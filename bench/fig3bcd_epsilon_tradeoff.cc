@@ -1,0 +1,99 @@
+// Reproduces Fig. 3b/3c/3d: the accuracy/performance trade-off of the
+// epsilon parameter — number of clusters vs epsilon (3b), in-memory index
+// size under load (3c), and ride-search latency (3d), all as epsilon (and
+// therefore the cluster count) varies.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/clock.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "graph/generator.h"
+#include "workload/trip_generator.h"
+#include "xar/xar_system.h"
+
+namespace xar {
+namespace {
+
+void Run() {
+  double scale = bench::BenchScale();
+  // Shared city + workload across the sweep; only the discretization varies.
+  CityOptions city;
+  city.rows = 28;
+  city.cols = 28;
+  city.seed = 42;
+  RoadGraph graph = GenerateCity(city);
+  SpatialNodeIndex spatial(graph);
+  WorkloadOptions wl;
+  wl.num_trips = static_cast<std::size_t>(6000 * scale);
+  wl.seed = 44;
+  std::vector<TaxiTrip> trips = GenerateTrips(graph.bounds(), wl);
+  std::size_t num_offers = trips.size() / 3;
+  std::size_t num_searches = trips.size() - num_offers;
+
+  bench::PrintHeader("Figure 3b/3c/3d",
+                     "clusters, index memory and search time vs epsilon");
+  std::printf("offers=%zu searches=%zu (per epsilon setting)\n\n", num_offers,
+              num_searches);
+
+  TextTable table({"epsilon_m", "delta_m", "clusters", "index_MB",
+                   "search_mean_ms", "search_p99_ms"});
+
+  const double epsilons[] = {500, 700, 1000, 1500, 2000, 3000};
+  for (double epsilon : epsilons) {
+    DiscretizationOptions dopt;
+    dopt.delta_m = epsilon / 4.0;
+    dopt.landmarks.num_candidates = 500;
+    dopt.landmarks.seed = 43;
+    RegionIndex region = RegionIndex::Build(graph, spatial, dopt);
+    GraphOracle oracle(graph);
+    XarSystem xar(graph, spatial, region, oracle);
+
+    // Load phase: offers become rides.
+    for (std::size_t i = 0; i < num_offers; ++i) {
+      RideOffer offer;
+      offer.source = trips[i].pickup;
+      offer.destination = trips[i].dropoff;
+      offer.departure_time_s = trips[i].pickup_time_s;
+      (void)xar.CreateRide(offer);
+    }
+
+    // Probe phase: the remaining trips search.
+    PercentileTracker search_ms;
+    for (std::size_t i = num_offers; i < trips.size(); ++i) {
+      RideRequest req;
+      req.id = trips[i].id;
+      req.source = trips[i].pickup;
+      req.destination = trips[i].dropoff;
+      req.earliest_departure_s = trips[i].pickup_time_s;
+      req.latest_departure_s = trips[i].pickup_time_s + 900;
+      Stopwatch w;
+      (void)xar.Search(req);
+      search_ms.Add(w.ElapsedMillis());
+    }
+
+    double index_mb =
+        static_cast<double>(region.MemoryFootprint() + xar.MemoryFootprint()) /
+        (1024.0 * 1024.0);
+    table.AddRow({TextTable::Num(epsilon, 0),
+                  TextTable::Num(dopt.delta_m, 0),
+                  std::to_string(region.NumClusters()),
+                  TextTable::Num(index_mb, 2),
+                  TextTable::Num(search_ms.mean(), 4),
+                  TextTable::Num(search_ms.Percentile(99), 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): clusters shrink as epsilon grows; memory and\n"
+      "search time grow with the cluster count (small epsilon).\n");
+}
+
+}  // namespace
+}  // namespace xar
+
+int main() {
+  xar::Run();
+  return 0;
+}

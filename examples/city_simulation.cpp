@@ -1,0 +1,75 @@
+// City-scale ride-sharing simulation (the paper's Section X-A protocol):
+// a day of NYC-like taxi trips is replayed as ride-share requests; matched
+// requests book the least-walking ride, unmatched commuters drive and offer
+// their car. Prints match rates, latency percentiles and quality metrics.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "sim/simulator.h"
+#include "workload/trip_generator.h"
+#include "xar/xar.h"
+
+int main() {
+  using namespace xar;
+
+  CityOptions city_options;
+  city_options.rows = 28;
+  city_options.cols = 28;
+  RoadGraph graph = GenerateCity(city_options);
+  SpatialNodeIndex spatial(graph);
+
+  DiscretizationOptions disc;
+  disc.landmarks.num_candidates = 500;
+  RegionIndex region = RegionIndex::Build(graph, spatial, disc);
+
+  WorkloadOptions workload;
+  workload.num_trips = 15000;
+  std::vector<TaxiTrip> trips = GenerateTrips(graph.bounds(), workload);
+
+  GraphOracle oracle(graph);
+  XarSystem xar(graph, spatial, region, oracle);
+
+  std::printf("simulating %zu trips over a day (%zu clusters, eps=%.0fm)...\n",
+              trips.size(), region.NumClusters(), region.epsilon());
+  SimResult result = SimulateRideSharing(xar, trips);
+
+  std::printf("\nrequests:      %zu\n", result.requests);
+  std::printf("matched:       %zu (%.1f%%)\n", result.matched,
+              100.0 * static_cast<double>(result.matched) /
+                  static_cast<double>(result.requests));
+  std::printf("rides created: %zu  => cars saved: %zu\n",
+              result.rides_created, result.requests - result.rides_created);
+
+  TextTable ops({"operation", "n", "mean_ms", "p95_ms", "p99_ms"});
+  auto row = [&](const char* name, const PercentileTracker& t) {
+    if (t.count() == 0) return;
+    ops.AddRow({name, std::to_string(t.count()), TextTable::Num(t.mean(), 3),
+                TextTable::Num(t.Percentile(95), 3),
+                TextTable::Num(t.Percentile(99), 3)});
+  };
+  std::printf("\noperation latencies:\n");
+  row("search", result.search_ms);
+  row("create", result.create_ms);
+  row("book", result.book_ms);
+  ops.Print();
+
+  std::printf("\nrider experience (matched riders):\n");
+  std::printf("  mean walk:   %.1f min\n",
+              result.metrics.walk_s.count()
+                  ? result.metrics.walk_s.mean() / 60.0
+                  : 0.0);
+  std::printf("  mean wait:   %.1f min\n",
+              result.metrics.wait_s.count()
+                  ? result.metrics.wait_s.mean() / 60.0
+                  : 0.0);
+  std::printf("  mean travel: %.1f min\n",
+              result.metrics.travel_s.count()
+                  ? result.metrics.travel_s.mean() / 60.0
+                  : 0.0);
+
+  std::printf("\nin-memory index: %.1f MB (region) + %.1f MB (rides)\n",
+              static_cast<double>(region.MemoryFootprint()) / 1048576.0,
+              static_cast<double>(xar.MemoryFootprint()) / 1048576.0);
+  return 0;
+}

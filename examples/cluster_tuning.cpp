@@ -1,0 +1,58 @@
+// Region-discretization tuning walkthrough (paper Section V + Fig. 3):
+// shows how GREEDYSEARCH trades the cluster count against the worst-case
+// intra-cluster distance guarantee, and verifies the Theorem 6 bicriteria
+// bound against the realized clustering.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "discretize/greedy_search.h"
+#include "discretize/kcenter.h"
+#include "discretize/landmark_extractor.h"
+#include "xar/xar.h"
+
+int main() {
+  using namespace xar;
+
+  CityOptions city_options;
+  city_options.rows = 24;
+  city_options.cols = 24;
+  RoadGraph graph = GenerateCity(city_options);
+  SpatialNodeIndex spatial(graph);
+
+  LandmarkExtractionOptions lopt;
+  lopt.num_candidates = 400;
+  std::vector<Landmark> landmarks = ExtractLandmarks(graph, spatial, lopt);
+  DistanceMatrix metric = DistanceMatrix::FromGraph(graph, landmarks);
+  std::printf("%zu landmarks extracted (min separation %.0f m)\n\n",
+              landmarks.size(), lopt.min_separation_f_m);
+
+  // The raw k-center curve: greedy radius for every k in one sweep.
+  std::vector<double> radius_at = GreedyRadiusSweep(metric);
+  std::printf("Gonzalez greedy radius: k=1 -> %.0f m, k=%zu -> %.0f m\n\n",
+              radius_at[0], radius_at.size() / 4,
+              radius_at[radius_at.size() / 4 - 1]);
+
+  TextTable table({"delta_m", "epsilon(4d)_m", "k_alg", "greedy_radius_m",
+                   "realized_diam_m", "diam<=4delta"});
+  for (double delta : {150.0, 250.0, 400.0, 600.0, 900.0}) {
+    GreedySearchResult result = GreedySearchClustering(metric, delta);
+    double diameter = MeasureDiameter(metric, result.clustering);
+    table.AddRow({TextTable::Num(delta, 0), TextTable::Num(4 * delta, 0),
+                  std::to_string(result.k_alg),
+                  TextTable::Num(result.clustering.radius, 0),
+                  TextTable::Num(diameter, 0),
+                  diameter <= 4 * delta + 1e-9 ? "yes" : "NO"});
+  }
+  table.Print();
+
+  // Show one binary-search trace (the paper's (k', delta_k') tuples).
+  GreedySearchResult trace = GreedySearchClustering(metric, 250.0);
+  std::printf("\nGREEDYSEARCH probes for delta=250m:\n");
+  for (const GreedySearchProbe& p : trace.probes) {
+    std::printf("  k=%-4zu greedy radius=%.0f m %s\n", p.k, p.delta_k,
+                p.delta_k <= 2 * 250.0 ? "(feasible)" : "(infeasible)");
+  }
+  std::printf("chosen k_alg=%zu\n", trace.k_alg);
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef XAR_COMMON_CLOCK_H_
+#define XAR_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xar {
+
+/// Wall-clock stopwatch for measuring operation latencies in benchmarks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Simulation time, in seconds since midnight of the simulated day.
+///
+/// The simulator advances this clock from request timestamps so that
+/// tracking/obsolescence logic is deterministic and independent of machine
+/// speed.
+class VirtualClock {
+ public:
+  double Now() const { return now_; }
+  void AdvanceTo(double t) {
+    if (t > now_) now_ = t;
+  }
+  void Reset(double t = 0.0) { now_ = t; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Formats seconds-since-midnight as "HH:MM:SS" (wraps past 24h).
+inline void FormatTimeOfDay(double seconds, char out[16]) {
+  std::int64_t s = static_cast<std::int64_t>(seconds);
+  std::int64_t h = (s / 3600) % 24;
+  std::int64_t m = (s / 60) % 60;
+  std::int64_t sec = s % 60;
+  out[0] = static_cast<char>('0' + h / 10);
+  out[1] = static_cast<char>('0' + h % 10);
+  out[2] = ':';
+  out[3] = static_cast<char>('0' + m / 10);
+  out[4] = static_cast<char>('0' + m % 10);
+  out[5] = ':';
+  out[6] = static_cast<char>('0' + sec / 10);
+  out[7] = static_cast<char>('0' + sec % 10);
+  out[8] = '\0';
+}
+
+}  // namespace xar
+
+#endif  // XAR_COMMON_CLOCK_H_

@@ -1,0 +1,118 @@
+#ifndef XAR_COMMON_HEAP_H_
+#define XAR_COMMON_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace xar {
+
+/// Indexed binary min-heap with decrease-key, keyed by dense element ids
+/// in [0, capacity). The workhorse priority queue for Dijkstra variants:
+/// avoids the duplicate-entry pattern of std::priority_queue and gives
+/// O(log n) DecreaseKey.
+class IndexedMinHeap {
+ public:
+  static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+  explicit IndexedMinHeap(std::size_t capacity)
+      : pos_(capacity, kNone), keys_(capacity, 0.0) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  bool Contains(std::size_t id) const { return pos_[id] != kNone; }
+  double KeyOf(std::size_t id) const { return keys_[id]; }
+
+  /// Inserts `id` with `key`; id must not already be present.
+  void Push(std::size_t id, double key) {
+    assert(!Contains(id));
+    keys_[id] = key;
+    pos_[id] = heap_.size();
+    heap_.push_back(id);
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Lowers the key of a present `id` to `key` (no-op if not lower).
+  void DecreaseKey(std::size_t id, double key) {
+    assert(Contains(id));
+    if (key >= keys_[id]) return;
+    keys_[id] = key;
+    SiftUp(pos_[id]);
+  }
+
+  /// Push if absent, otherwise DecreaseKey.
+  void PushOrDecrease(std::size_t id, double key) {
+    if (Contains(id)) {
+      DecreaseKey(id, key);
+    } else {
+      Push(id, key);
+    }
+  }
+
+  /// Removes and returns the id with the minimum key.
+  std::size_t PopMin() {
+    assert(!empty());
+    std::size_t top = heap_.front();
+    std::size_t last = heap_.back();
+    heap_.pop_back();
+    pos_[top] = kNone;
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      pos_[last] = 0;
+      SiftDown(0);
+    }
+    return top;
+  }
+
+  double MinKey() const {
+    assert(!empty());
+    return keys_[heap_.front()];
+  }
+
+  /// Removes all entries; O(size) not O(capacity).
+  void Clear() {
+    for (std::size_t id : heap_) pos_[id] = kNone;
+    heap_.clear();
+  }
+
+ private:
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (keys_[heap_[parent]] <= keys_[heap_[i]]) break;
+      Swap(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    for (;;) {
+      std::size_t l = 2 * i + 1;
+      std::size_t r = l + 1;
+      std::size_t smallest = i;
+      if (l < heap_.size() && keys_[heap_[l]] < keys_[heap_[smallest]])
+        smallest = l;
+      if (r < heap_.size() && keys_[heap_[r]] < keys_[heap_[smallest]])
+        smallest = r;
+      if (smallest == i) break;
+      Swap(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void Swap(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = a;
+    pos_[heap_[b]] = b;
+  }
+
+  std::vector<std::size_t> heap_;  // heap of ids
+  std::vector<std::size_t> pos_;   // id -> heap position or kNone
+  std::vector<double> keys_;       // id -> key
+};
+
+}  // namespace xar
+
+#endif  // XAR_COMMON_HEAP_H_

@@ -1,0 +1,86 @@
+#ifndef XAR_COMMON_IDS_H_
+#define XAR_COMMON_IDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace xar {
+
+/// A strongly-typed integral identifier. Distinct `Tag` types make NodeId,
+/// ClusterId, RideId, ... mutually unassignable while staying trivially
+/// copyable and hashable (usable as vector indices via value()).
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalidValue =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr StrongId() : value_(kInvalidValue) {}
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+
+  static constexpr StrongId Invalid() { return StrongId(); }
+
+  constexpr underlying_type value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(StrongId a, StrongId b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator<=(StrongId a, StrongId b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>=(StrongId a, StrongId b) {
+    return a.value_ >= b.value_;
+  }
+
+ private:
+  underlying_type value_;
+};
+
+struct NodeTag {};
+struct EdgeTag {};
+struct GridTag {};
+struct LandmarkTag {};
+struct ClusterTag {};
+struct RideTag {};
+struct RequestTag {};
+struct StopTag {};
+struct RouteTag {};
+struct TripTag {};
+
+using NodeId = StrongId<NodeTag>;          ///< Road-graph vertex.
+using EdgeId = StrongId<EdgeTag>;          ///< Road-graph edge.
+using GridId = StrongId<GridTag>;          ///< 100m x 100m grid cell.
+using LandmarkId = StrongId<LandmarkTag>;  ///< Point of interest.
+using ClusterId = StrongId<ClusterTag>;    ///< Set of landmarks (Def. 3).
+using RideId = StrongId<RideTag>;          ///< Ride offer.
+using RequestId = StrongId<RequestTag>;    ///< Ride request.
+using StopId = StrongId<StopTag>;          ///< Transit stop.
+using RouteId = StrongId<RouteTag>;        ///< Transit route.
+using TripId = StrongId<TripTag>;          ///< Transit trip (vehicle run).
+
+}  // namespace xar
+
+namespace std {
+template <typename Tag>
+struct hash<xar::StrongId<Tag>> {
+  size_t operator()(xar::StrongId<Tag> id) const noexcept {
+    return std::hash<typename xar::StrongId<Tag>::underlying_type>()(
+        id.value());
+  }
+};
+}  // namespace std
+
+#endif  // XAR_COMMON_IDS_H_

@@ -1,0 +1,128 @@
+#ifndef XAR_COMMON_IO_H_
+#define XAR_COMMON_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xar {
+
+/// Minimal binary file writer for snapshotting pre-processing artifacts
+/// (road graphs, region indexes). Host-endian, POD-only: snapshots are a
+/// same-machine cache of expensive computation, not an interchange format.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "wb")) {}
+  ~BinaryWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr && !error_; }
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!ok()) return;
+    if (std::fwrite(&value, sizeof(T), 1, file_) != 1) error_ = true;
+  }
+
+  void WriteU64(std::uint64_t v) { Write(v); }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(values.size());
+    if (!ok() || values.empty()) return;
+    if (std::fwrite(values.data(), sizeof(T), values.size(), file_) !=
+        values.size()) {
+      error_ = true;
+    }
+  }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    if (!ok() || s.empty()) return;
+    if (std::fwrite(s.data(), 1, s.size(), file_) != s.size()) error_ = true;
+  }
+
+  /// Flushes and closes; returns the accumulated I/O status.
+  Status Close() {
+    if (file_ == nullptr) return Status::Internal("open failed");
+    bool write_error = error_ || std::fclose(file_) != 0;
+    file_ = nullptr;
+    if (write_error) return Status::Internal("write failed");
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  bool error_ = false;
+};
+
+/// Counterpart reader; every accessor reports failure via ok().
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : file_(std::fopen(path.c_str(), "rb")) {}
+  ~BinaryReader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  bool ok() const { return file_ != nullptr && !error_; }
+
+  template <typename T>
+  void Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!ok()) return;
+    if (std::fread(value, sizeof(T), 1, file_) != 1) error_ = true;
+  }
+
+  std::uint64_t ReadU64() {
+    std::uint64_t v = 0;
+    Read(&v);
+    return v;
+  }
+
+  template <typename T>
+  void ReadVector(std::vector<T>* values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint64_t n = ReadU64();
+    if (!ok()) return;
+    // Sanity cap: refuse absurd sizes from corrupt files (16M elements).
+    if (n > (1ULL << 24)) {
+      error_ = true;
+      return;
+    }
+    values->resize(n);
+    if (n == 0) return;
+    if (std::fread(values->data(), sizeof(T), n, file_) != n) error_ = true;
+  }
+
+  void ReadString(std::string* s) {
+    std::uint64_t n = ReadU64();
+    if (!ok() || n > (1ULL << 24)) {
+      error_ = true;
+      return;
+    }
+    s->resize(n);
+    if (n == 0) return;
+    if (std::fread(s->data(), 1, n, file_) != n) error_ = true;
+  }
+
+ private:
+  std::FILE* file_;
+  bool error_ = false;
+};
+
+}  // namespace xar
+
+#endif  // XAR_COMMON_IO_H_

@@ -1,0 +1,54 @@
+#ifndef XAR_COMMON_LOGGING_H_
+#define XAR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace xar {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log-line collector; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace xar
+
+#define XAR_LOG(level)                                            \
+  ::xar::internal_logging::LogMessage(::xar::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+/// Fatal-on-false invariant check, active in all build types.
+#define XAR_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      XAR_LOG(Error) << "CHECK failed: " #cond;                       \
+      ::std::abort();                                                 \
+    }                                                                 \
+  } while (false)
+
+#endif  // XAR_COMMON_LOGGING_H_

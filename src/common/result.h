@@ -1,0 +1,75 @@
+#ifndef XAR_COMMON_RESULT_H_
+#define XAR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xar {
+
+/// A value-or-status holder, in the spirit of absl::StatusOr / arrow::Result.
+///
+/// Invariant: exactly one of {value present, status non-OK} holds. A default
+/// constructed Result is an Internal error ("uninitialized").
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+
+  /// Implicit construction from a value — mirrors StatusOr so that
+  /// `return some_value;` works in functions returning Result<T>.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a (non-OK) status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace xar
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define XAR_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto XAR_CONCAT_(_xar_res_, __LINE__) = (expr);        \
+  if (!XAR_CONCAT_(_xar_res_, __LINE__).ok())            \
+    return XAR_CONCAT_(_xar_res_, __LINE__).status();    \
+  lhs = std::move(XAR_CONCAT_(_xar_res_, __LINE__)).value()
+
+#define XAR_CONCAT_INNER_(a, b) a##b
+#define XAR_CONCAT_(a, b) XAR_CONCAT_INNER_(a, b)
+
+#endif  // XAR_COMMON_RESULT_H_

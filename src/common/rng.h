@@ -1,0 +1,104 @@
+#ifndef XAR_COMMON_RNG_H_
+#define XAR_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace xar {
+
+/// Deterministic, fast pseudo-random number generator (SplitMix64 core).
+///
+/// Every stochastic component in the library (workload generation, landmark
+/// sampling, synthetic city generation) takes an explicit `Rng&` so that
+/// experiments are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t NextIndex(std::uint64_t n) {
+    assert(n > 0);
+    return NextU64() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextIndex(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda) {
+    assert(lambda > 0);
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / lambda;
+  }
+
+  /// Poisson-distributed count (Knuth's method; fine for small means).
+  int Poisson(double mean) {
+    assert(mean >= 0);
+    double l = std::exp(-mean);
+    int k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+
+  /// Samples an index with probability proportional to weights[i].
+  /// Requires a non-empty vector with non-negative entries summing to > 0.
+  std::size_t Weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    assert(total > 0);
+    double x = NextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_COMMON_RNG_H_

@@ -1,0 +1,96 @@
+#ifndef XAR_COMMON_STATUS_H_
+#define XAR_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xar {
+
+/// Error codes used across the library. Modeled after the compact set used by
+/// storage engines: a small closed enum, with free-form detail messages.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Functions that can fail return a
+/// `Status` (or `Result<T>`, see result.h) instead of throwing: exceptions are
+/// disabled by convention in this codebase (Google style).
+///
+/// The OK status carries no message and allocates nothing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace xar
+
+/// Propagates a non-OK status to the caller.
+#define XAR_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::xar::Status _xar_st = (expr);          \
+    if (!_xar_st.ok()) return _xar_st;       \
+  } while (false)
+
+#endif  // XAR_COMMON_STATUS_H_

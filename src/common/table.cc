@@ -1,0 +1,53 @@
+#include "common/table.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace xar {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep.append(widths[c], '-');
+    sep.append(2, ' ');
+  }
+  while (!sep.empty() && sep.back() == ' ') sep.pop_back();
+  out += sep + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace xar

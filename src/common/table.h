@@ -1,0 +1,34 @@
+#ifndef XAR_COMMON_TABLE_H_
+#define XAR_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace xar {
+
+/// Aligned plain-text table writer used by the benchmark harness to print
+/// the rows/series the paper's tables and figures report.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders with column alignment and a separator under the header.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_COMMON_TABLE_H_

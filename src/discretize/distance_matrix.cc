@@ -1,0 +1,70 @@
+#include "discretize/distance_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "graph/dijkstra.h"
+
+namespace xar {
+
+DistanceMatrix DistanceMatrix::FromGraph(
+    const RoadGraph& graph, const std::vector<Landmark>& landmarks) {
+  DistanceMatrix m;
+  m.n_ = landmarks.size();
+  m.d_.assign(m.n_ * m.n_, 0.0);
+
+  std::vector<NodeId> targets;
+  targets.reserve(m.n_);
+  for (const Landmark& lm : landmarks) targets.push_back(lm.node);
+
+  DijkstraEngine engine(graph);
+  for (std::size_t i = 0; i < m.n_; ++i) {
+    std::vector<double> row = engine.DistancesToMany(
+        landmarks[i].node, targets, Metric::kDriveDistance);
+    for (std::size_t j = 0; j < m.n_; ++j) m.d_[i * m.n_ + j] = row[j];
+  }
+  // Symmetrize with max; see class comment.
+  for (std::size_t i = 0; i < m.n_; ++i) {
+    m.d_[i * m.n_ + i] = 0.0;
+    for (std::size_t j = i + 1; j < m.n_; ++j) {
+      double v = std::max(m.d_[i * m.n_ + j], m.d_[j * m.n_ + i]);
+      m.d_[i * m.n_ + j] = v;
+      m.d_[j * m.n_ + i] = v;
+    }
+  }
+  return m;
+}
+
+DistanceMatrix DistanceMatrix::FromPoints(const std::vector<LatLng>& points) {
+  DistanceMatrix m;
+  m.n_ = points.size();
+  m.d_.assign(m.n_ * m.n_, 0.0);
+  for (std::size_t i = 0; i < m.n_; ++i) {
+    for (std::size_t j = i + 1; j < m.n_; ++j) {
+      double v = HaversineMeters(points[i], points[j]);
+      m.d_[i * m.n_ + j] = v;
+      m.d_[j * m.n_ + i] = v;
+    }
+  }
+  return m;
+}
+
+DistanceMatrix DistanceMatrix::FromValues(std::size_t n,
+                                          std::vector<double> values) {
+  assert(values.size() == n * n);
+  DistanceMatrix m;
+  m.n_ = n;
+  m.d_ = std::move(values);
+  return m;
+}
+
+double DistanceMatrix::MaxValue() const {
+  double mx = 0.0;
+  for (double v : d_) {
+    if (v != std::numeric_limits<double>::infinity()) mx = std::max(mx, v);
+  }
+  return mx;
+}
+
+}  // namespace xar

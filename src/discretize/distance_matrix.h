@@ -1,0 +1,56 @@
+#ifndef XAR_DISCRETIZE_DISTANCE_MATRIX_H_
+#define XAR_DISCRETIZE_DISTANCE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "discretize/landmark.h"
+#include "geo/latlng.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// Dense symmetric pairwise-distance matrix over a point set — the metric
+/// space the clustering algorithms (Gonzalez GREEDY, GREEDYSEARCH, exact
+/// solvers) operate on.
+///
+/// When built from a road graph, directed driving distances are symmetrized
+/// with max(d(i,j), d(j,i)), which keeps the triangle inequality and makes
+/// every clustering guarantee conservative (a cluster feasible under the
+/// symmetrized metric is feasible in both driving directions).
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+
+  /// Pairwise driving distances between landmark nodes (one one-to-many
+  /// Dijkstra per landmark), symmetrized by max.
+  static DistanceMatrix FromGraph(const RoadGraph& graph,
+                                  const std::vector<Landmark>& landmarks);
+
+  /// Straight-line distances between the given points (test helper and
+  /// pure-metric experiments).
+  static DistanceMatrix FromPoints(const std::vector<LatLng>& points);
+
+  /// Arbitrary explicit matrix (row-major, n*n). Caller must supply a
+  /// symmetric matrix with zero diagonal.
+  static DistanceMatrix FromValues(std::size_t n, std::vector<double> values);
+
+  std::size_t size() const { return n_; }
+  double At(std::size_t i, std::size_t j) const { return d_[i * n_ + j]; }
+  double MaxValue() const;
+
+  /// Row-major backing store (n*n values); exposed for serialization.
+  const std::vector<double>& values() const { return d_; }
+
+  std::size_t MemoryFootprint() const {
+    return d_.capacity() * sizeof(double) + sizeof(*this);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> d_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_DISCRETIZE_DISTANCE_MATRIX_H_

@@ -1,0 +1,83 @@
+#include "discretize/exact_cluster.h"
+
+#include <cassert>
+#include <vector>
+
+namespace xar {
+namespace {
+
+struct PartitionSearch {
+  const DistanceMatrix& metric;
+  double delta;
+  std::size_t n;
+  std::size_t best;
+  // cliques[c] = member point indices of clique c in the current partial
+  // partition.
+  std::vector<std::vector<std::size_t>> cliques;
+
+  bool Compatible(std::size_t v, const std::vector<std::size_t>& clique) {
+    for (std::size_t u : clique) {
+      if (metric.At(u, v) > delta) return false;
+    }
+    return true;
+  }
+
+  void Recurse(std::size_t v) {
+    if (cliques.size() >= best) return;  // cannot improve
+    if (v == n) {
+      best = cliques.size();
+      return;
+    }
+    // Try putting v into each clique that exists at this depth. Index-based
+    // iteration: deeper recursion appends (and removes) a new clique, which
+    // may reallocate the outer vector.
+    std::size_t existing = cliques.size();
+    for (std::size_t c = 0; c < existing; ++c) {
+      if (Compatible(v, cliques[c])) {
+        cliques[c].push_back(v);
+        Recurse(v + 1);
+        cliques[c].pop_back();
+      }
+    }
+    // Or open a new clique for v.
+    cliques.push_back({v});
+    Recurse(v + 1);
+    cliques.pop_back();
+  }
+};
+
+}  // namespace
+
+std::size_t ExactClusterMinimization(const DistanceMatrix& metric,
+                                     double delta) {
+  std::size_t n = metric.size();
+  if (n == 0) return 0;
+
+  // Greedy first-fit upper bound: a strong initial incumbent prunes most of
+  // the branch-and-bound tree.
+  std::vector<std::vector<std::size_t>> greedy;
+  for (std::size_t v = 0; v < n; ++v) {
+    bool placed = false;
+    for (auto& clique : greedy) {
+      bool compatible = true;
+      for (std::size_t u : clique) {
+        if (metric.At(u, v) > delta) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) {
+        clique.push_back(v);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) greedy.push_back({v});
+  }
+
+  PartitionSearch search{metric, delta, n, greedy.size(), {}};
+  search.Recurse(0);
+  return search.best;
+}
+
+}  // namespace xar

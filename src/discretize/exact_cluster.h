@@ -1,0 +1,22 @@
+#ifndef XAR_DISCRETIZE_EXACT_CLUSTER_H_
+#define XAR_DISCRETIZE_EXACT_CLUSTER_H_
+
+#include <cstddef>
+
+#include "discretize/distance_matrix.h"
+
+namespace xar {
+
+/// Exact optimum of CLUSTERMINIMIZATION (paper Section V ILP): the minimum
+/// number of clusters such that every point is in exactly one cluster and
+/// all intra-cluster pairwise distances are <= delta. Equivalent to minimum
+/// clique partition of the graph with an edge iff d(i,j) <= delta.
+///
+/// Branch-and-bound backtracking; exponential, intended as a *test oracle*
+/// for the Theorem 6 bicriteria guarantee on instances with n <= ~18.
+std::size_t ExactClusterMinimization(const DistanceMatrix& metric,
+                                     double delta);
+
+}  // namespace xar
+
+#endif  // XAR_DISCRETIZE_EXACT_CLUSTER_H_

@@ -1,0 +1,101 @@
+#include "discretize/greedy_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "discretize/kcenter.h"
+
+namespace xar {
+namespace {
+
+Clustering ClusteringFromKCenter(const DistanceMatrix& metric,
+                                 const KCenterResult& kc) {
+  Clustering out;
+  out.clusters.resize(kc.centers.size());
+  out.cluster_of.resize(metric.size());
+  for (std::size_t i = 0; i < metric.size(); ++i) {
+    std::size_t c = kc.assignment[i];
+    out.cluster_of[i] = ClusterId(static_cast<ClusterId::underlying_type>(c));
+    out.clusters[c].push_back(
+        LandmarkId(static_cast<LandmarkId::underlying_type>(i)));
+  }
+  // Drop clusters that ended up empty (duplicate centers can cause this when
+  // k approaches n), re-densifying ids.
+  std::vector<std::vector<LandmarkId>> packed;
+  std::vector<ClusterId> remap(out.clusters.size());
+  for (std::size_t c = 0; c < out.clusters.size(); ++c) {
+    if (out.clusters[c].empty()) continue;
+    remap[c] =
+        ClusterId(static_cast<ClusterId::underlying_type>(packed.size()));
+    packed.push_back(std::move(out.clusters[c]));
+  }
+  for (std::size_t i = 0; i < metric.size(); ++i) {
+    out.cluster_of[i] = remap[kc.assignment[i]];
+  }
+  out.clusters = std::move(packed);
+  out.radius = kc.radius;
+  out.diameter = 0.0;
+  for (const auto& members : out.clusters) {
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        out.diameter = std::max(
+            out.diameter, metric.At(members[a].value(), members[b].value()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double MeasureDiameter(const DistanceMatrix& metric,
+                       const Clustering& clustering) {
+  double diameter = 0.0;
+  for (const auto& members : clustering.clusters) {
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        diameter = std::max(
+            diameter, metric.At(members[a].value(), members[b].value()));
+      }
+    }
+  }
+  return diameter;
+}
+
+GreedySearchResult GreedySearchClustering(const DistanceMatrix& metric,
+                                          double delta) {
+  std::size_t n = metric.size();
+  assert(n > 0 && delta > 0);
+  GreedySearchResult result;
+
+  // Binary search k in [1, n]: greedy radius is non-increasing in k, so the
+  // predicate "radius <= 2*delta" is monotone. We run ceil(log2 n) + 1
+  // probes as in the paper's description and keep the smallest feasible k.
+  std::size_t lo = 1;
+  std::size_t hi = n;
+  std::size_t k_alg = n;  // fallback: every landmark its own cluster
+  std::size_t iterations =
+      static_cast<std::size_t>(std::ceil(std::log2(std::max<std::size_t>(
+          n, 2)))) +
+      1;
+  for (std::size_t it = 0; it < iterations && lo <= hi; ++it) {
+    std::size_t k = lo + (hi - lo) / 2;
+    KCenterResult kc = GreedyKCenter(metric, k);
+    result.probes.push_back(GreedySearchProbe{k, kc.radius});
+    if (kc.radius <= 2 * delta) {
+      k_alg = std::min(k_alg, k);
+      if (k == 1) break;
+      hi = k - 1;  // search the lower half for a smaller feasible k
+    } else {
+      lo = k + 1;  // infeasible: search the upper half
+    }
+  }
+
+  KCenterResult final_kc = GreedyKCenter(metric, k_alg);
+  result.k_alg = k_alg;
+  result.clustering = ClusteringFromKCenter(metric, final_kc);
+  return result;
+}
+
+}  // namespace xar

@@ -1,0 +1,46 @@
+#ifndef XAR_DISCRETIZE_GREEDY_SEARCH_H_
+#define XAR_DISCRETIZE_GREEDY_SEARCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "discretize/distance_matrix.h"
+#include "discretize/landmark.h"
+
+namespace xar {
+
+/// One probe of the GREEDYSEARCH binary search: GREEDY was run with k' and
+/// achieved radius delta_k (the paper's (k', δ_k') tuples).
+struct GreedySearchProbe {
+  std::size_t k = 0;
+  double delta_k = 0.0;  ///< greedy radius achieved with k centers
+};
+
+/// Result of GREEDYSEARCH: the clustering plus the probe trace.
+struct GreedySearchResult {
+  Clustering clustering;
+  std::vector<GreedySearchProbe> probes;  ///< one per binary-search iteration
+  std::size_t k_alg = 0;                  ///< chosen number of clusters
+};
+
+/// GREEDYSEARCH (paper Section V): binary-searches k over [1, n] for
+/// ceil(log2 n) iterations, calling Gonzalez GREEDY at each probe, and picks
+/// the minimum probed k whose greedy radius is <= 2*delta. The returned
+/// clustering satisfies the Theorem 6 bicriteria guarantee:
+///   k_alg <= k_opt(delta)   and   intra-cluster diameter <= 4*delta.
+///
+/// If even k = n leaves some point at radius > 2*delta (impossible on a
+/// proper metric, where radius at k = n is 0), every point becomes its own
+/// cluster.
+GreedySearchResult GreedySearchClustering(const DistanceMatrix& metric,
+                                          double delta);
+
+/// Measures the realized max pairwise intra-cluster distance of `clustering`
+/// under `metric` (fills in nothing; pure query). Used to validate the 4δ
+/// bound empirically.
+double MeasureDiameter(const DistanceMatrix& metric,
+                       const Clustering& clustering);
+
+}  // namespace xar
+
+#endif  // XAR_DISCRETIZE_GREEDY_SEARCH_H_

@@ -1,0 +1,106 @@
+#include "discretize/kcenter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace xar {
+
+KCenterResult GreedyKCenter(const DistanceMatrix& metric, std::size_t k,
+                            std::size_t first_center) {
+  std::size_t n = metric.size();
+  assert(n > 0 && k >= 1 && first_center < n);
+  k = std::min(k, n);
+
+  KCenterResult result;
+  result.centers.reserve(k);
+  result.assignment.assign(n, 0);
+
+  // dist_to_set[i] = distance of point i to its closest chosen center.
+  std::vector<double> dist_to_set(n, std::numeric_limits<double>::infinity());
+
+  std::size_t next = first_center;
+  for (std::size_t c = 0; c < k; ++c) {
+    result.centers.push_back(next);
+    for (std::size_t i = 0; i < n; ++i) {
+      double d = metric.At(next, i);
+      if (d < dist_to_set[i]) {
+        dist_to_set[i] = d;
+        result.assignment[i] = c;
+      }
+    }
+    // Farthest remaining point becomes the next center (lowest index wins
+    // ties).
+    next = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (dist_to_set[i] > dist_to_set[next]) next = i;
+    }
+  }
+
+  result.radius = 0.0;
+  for (double d : dist_to_set) result.radius = std::max(result.radius, d);
+  return result;
+}
+
+std::vector<double> GreedyRadiusSweep(const DistanceMatrix& metric,
+                                      std::size_t first_center) {
+  std::size_t n = metric.size();
+  assert(n > 0 && first_center < n);
+  std::vector<double> radius_at;
+  radius_at.reserve(n);
+
+  std::vector<double> dist_to_set(n, std::numeric_limits<double>::infinity());
+  std::size_t next = first_center;
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dist_to_set[i] = std::min(dist_to_set[i], metric.At(next, i));
+    }
+    next = 0;
+    double radius = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist_to_set[i] > dist_to_set[next]) next = i;
+      radius = std::max(radius, dist_to_set[i]);
+    }
+    radius_at.push_back(radius);
+  }
+  return radius_at;
+}
+
+namespace {
+
+double RadiusForCenters(const DistanceMatrix& metric,
+                        const std::vector<std::size_t>& centers) {
+  double radius = 0.0;
+  for (std::size_t i = 0; i < metric.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c : centers) best = std::min(best, metric.At(i, c));
+    radius = std::max(radius, best);
+  }
+  return radius;
+}
+
+void EnumerateCenters(const DistanceMatrix& metric, std::size_t k,
+                      std::size_t start, std::vector<std::size_t>& chosen,
+                      double& best) {
+  if (chosen.size() == k) {
+    best = std::min(best, RadiusForCenters(metric, chosen));
+    return;
+  }
+  for (std::size_t i = start; i < metric.size(); ++i) {
+    chosen.push_back(i);
+    EnumerateCenters(metric, k, i + 1, chosen, best);
+    chosen.pop_back();
+  }
+}
+
+}  // namespace
+
+double ExactKCenterRadius(const DistanceMatrix& metric, std::size_t k) {
+  assert(k >= 1);
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> chosen;
+  EnumerateCenters(metric, std::min(k, metric.size()), 0, chosen, best);
+  return best;
+}
+
+}  // namespace xar

@@ -1,0 +1,40 @@
+#ifndef XAR_DISCRETIZE_KCENTER_H_
+#define XAR_DISCRETIZE_KCENTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "discretize/distance_matrix.h"
+
+namespace xar {
+
+/// Result of a k-center run: chosen centers, point-to-center assignment and
+/// the achieved radius (max distance of any point to its center).
+struct KCenterResult {
+  std::vector<std::size_t> centers;     ///< indices into the metric
+  std::vector<std::size_t> assignment;  ///< point -> index into `centers`
+  double radius = 0.0;
+};
+
+/// Gonzalez's greedy farthest-point algorithm for METRIC K-CENTER
+/// (Gonzalez 1985, the paper's GREEDY subroutine). 2-approximation on any
+/// metric: achieved radius <= 2 * optimal radius.
+///
+/// Ties in farthest-point selection break toward the lowest index, matching
+/// the paper's "lowest number in an ordering" convention.
+KCenterResult GreedyKCenter(const DistanceMatrix& metric, std::size_t k,
+                            std::size_t first_center = 0);
+
+/// One farthest-point sweep producing the greedy radius for *every* k in
+/// [1, n]: radius_at[k-1] is GreedyKCenter(metric, k).radius. O(n^2) total —
+/// the same cost as a single full GreedyKCenter run.
+std::vector<double> GreedyRadiusSweep(const DistanceMatrix& metric,
+                                      std::size_t first_center = 0);
+
+/// Exact minimum radius for k centers by exhaustive center enumeration.
+/// Exponential; only for tiny test instances (n <= ~15).
+double ExactKCenterRadius(const DistanceMatrix& metric, std::size_t k);
+
+}  // namespace xar
+
+#endif  // XAR_DISCRETIZE_KCENTER_H_

@@ -1,0 +1,38 @@
+#ifndef XAR_DISCRETIZE_LANDMARK_H_
+#define XAR_DISCRETIZE_LANDMARK_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "geo/latlng.h"
+
+namespace xar {
+
+/// A point of interest used as a pickup/drop-off anchor (paper Definition 2).
+/// Landmarks are at least `f` meters apart after extraction filtering, and
+/// each is snapped to its nearest road-network node.
+struct Landmark {
+  LandmarkId id;
+  LatLng position;
+  NodeId node;  ///< nearest road-graph node
+};
+
+/// A clustering of landmarks (paper Definition 3): each cluster is a set of
+/// landmarks with bounded pairwise driving distance; every landmark belongs
+/// to exactly one cluster.
+struct Clustering {
+  /// cluster -> member landmark ids.
+  std::vector<std::vector<LandmarkId>> clusters;
+  /// landmark -> owning cluster.
+  std::vector<ClusterId> cluster_of;
+  /// Maximum center-to-member distance achieved (k-center radius).
+  double radius = 0.0;
+  /// Maximum intra-cluster pairwise distance achieved (diameter).
+  double diameter = 0.0;
+
+  std::size_t NumClusters() const { return clusters.size(); }
+};
+
+}  // namespace xar
+
+#endif  // XAR_DISCRETIZE_LANDMARK_H_

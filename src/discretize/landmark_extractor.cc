@@ -1,0 +1,64 @@
+#include "discretize/landmark_extractor.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+
+namespace xar {
+
+std::vector<Landmark> ExtractLandmarks(
+    const RoadGraph& graph, const SpatialNodeIndex& spatial,
+    const LandmarkExtractionOptions& opt) {
+  Rng rng(opt.seed);
+  const BoundingBox& bounds = graph.bounds();
+  LatLng center = bounds.Center();
+  double half_diag = std::max(bounds.WidthMeters(), bounds.HeightMeters()) / 2;
+
+  // Candidate POIs: uniform positions thinned by a center-biased acceptance
+  // probability, then jittered off the road nodes slightly (real POIs sit
+  // beside the road, not on the intersection).
+  std::vector<LatLng> candidates;
+  candidates.reserve(opt.num_candidates);
+  while (candidates.size() < opt.num_candidates) {
+    LatLng p{rng.Uniform(bounds.min_lat, bounds.max_lat),
+             rng.Uniform(bounds.min_lng, bounds.max_lng)};
+    double dist_frac = EquirectangularMeters(p, center) / half_diag;
+    double accept = std::exp(-opt.center_bias * dist_frac);
+    if (!rng.Bernoulli(accept)) continue;
+    candidates.push_back(
+        OffsetMeters(p, rng.Uniform(-30, 30), rng.Uniform(-30, 30)));
+  }
+
+  // Min-separation filter on straight-line distance, accelerated by grid
+  // buckets sized to f.
+  GridSpec buckets(bounds, std::max(opt.min_separation_f_m, 10.0));
+  std::vector<std::vector<std::size_t>> bucket_members(buckets.CellCount());
+  std::vector<Landmark> landmarks;
+  for (const LatLng& p : candidates) {
+    if (!buckets.Contains(p)) continue;
+    GridId g = buckets.GridOf(p);
+    bool too_close = false;
+    for (GridId nb : buckets.Neighborhood(g, 1)) {
+      for (std::size_t idx : bucket_members[nb.value()]) {
+        if (EquirectangularMeters(p, landmarks[idx].position) <
+            opt.min_separation_f_m) {
+          too_close = true;
+          break;
+        }
+      }
+      if (too_close) break;
+    }
+    if (too_close) continue;
+    Landmark lm;
+    lm.id = LandmarkId(static_cast<LandmarkId::underlying_type>(
+        landmarks.size()));
+    lm.position = p;
+    lm.node = spatial.NearestNode(p);
+    bucket_members[g.value()].push_back(landmarks.size());
+    landmarks.push_back(lm);
+  }
+  return landmarks;
+}
+
+}  // namespace xar

@@ -1,0 +1,36 @@
+#ifndef XAR_DISCRETIZE_LANDMARK_EXTRACTOR_H_
+#define XAR_DISCRETIZE_LANDMARK_EXTRACTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "discretize/landmark.h"
+#include "graph/road_graph.h"
+#include "graph/spatial_index.h"
+
+namespace xar {
+
+/// Parameters for landmark extraction.
+///
+/// The paper queries Google Places per 500 m temporary grid cell and prunes
+/// insignificant POIs; we substitute density-skewed sampling of points near
+/// road nodes (more candidates near the city center), followed by the same
+/// min-separation filter `f` the paper applies.
+struct LandmarkExtractionOptions {
+  std::size_t num_candidates = 600;  ///< POIs sampled before filtering
+  double min_separation_f_m = 250.0; ///< paper's f: min landmark spacing
+  double center_bias = 1.5;          ///< >0 skews candidate density to center
+  std::uint64_t seed = 11;
+};
+
+/// Samples candidate POIs and applies the min-separation filter, returning
+/// landmarks with dense ids, each snapped to its nearest road node.
+/// Separation is checked on straight-line distance (a lower bound on driving
+/// distance, so the driving-distance separation also holds).
+std::vector<Landmark> ExtractLandmarks(const RoadGraph& graph,
+                                       const SpatialNodeIndex& spatial,
+                                       const LandmarkExtractionOptions& options);
+
+}  // namespace xar
+
+#endif  // XAR_DISCRETIZE_LANDMARK_EXTRACTOR_H_

@@ -1,0 +1,209 @@
+#include "discretize/region_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "graph/dijkstra.h"
+
+namespace xar {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mirror of the graph with all drivable arcs reversed (walkable arcs are
+/// symmetric by construction and are mirrored too, which is harmless).
+/// Dijkstra from node s on the reverse graph yields distance *to* s.
+RoadGraph ReverseDrivableGraph(const RoadGraph& g) {
+  GraphBuilder builder;
+  for (std::size_t i = 0; i < g.NumNodes(); ++i) {
+    builder.AddNode(g.PositionOf(NodeId(static_cast<NodeId::underlying_type>(i))));
+  }
+  for (std::size_t u = 0; u < g.NumNodes(); ++u) {
+    NodeId from(static_cast<NodeId::underlying_type>(u));
+    for (const RoadEdge& e : g.OutEdges(from)) {
+      double speed = e.drivable && e.time_s > 0 ? e.length_m / e.time_s : 0.0;
+      builder.AddArc(e.to, from, e.length_m, speed, e.drivable, e.walkable);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+ClusterId RegionIndex::ClusterOfGrid(GridId g) const {
+  LandmarkId lm = grid_landmark_[g.value()];
+  if (!lm.valid()) return ClusterId::Invalid();
+  return clustering_.cluster_of[lm.value()];
+}
+
+NodeId RegionIndex::RepresentativeNode(ClusterId c) const {
+  const std::vector<LandmarkId>& members = clustering_.clusters[c.value()];
+  assert(!members.empty());
+  return landmarks_[members.front().value()].node;
+}
+
+std::size_t RegionIndex::MemoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += landmarks_.capacity() * sizeof(Landmark);
+  bytes += landmark_metric_.MemoryFootprint();
+  bytes += cluster_dist_.capacity() * sizeof(double);
+  for (const auto& members : clustering_.clusters) {
+    bytes += members.capacity() * sizeof(LandmarkId);
+  }
+  bytes += clustering_.cluster_of.capacity() * sizeof(ClusterId);
+  bytes += grid_node_.capacity() * sizeof(NodeId);
+  bytes += grid_landmark_.capacity() * sizeof(LandmarkId);
+  bytes += grid_landmark_drive_m_.capacity() * sizeof(double);
+  bytes += walkable_offsets_.capacity() * sizeof(std::size_t);
+  bytes += walkable_.capacity() * sizeof(WalkableCluster);
+  return bytes;
+}
+
+RegionIndex RegionIndex::Build(const RoadGraph& graph,
+                               const SpatialNodeIndex& spatial,
+                               const DiscretizationOptions& options) {
+  RegionIndex index;
+  index.options_ = options;
+  index.grid_ = GridSpec(graph.bounds(), options.grid_cell_m);
+
+  // --- Tier 2: landmarks --------------------------------------------------
+  index.landmarks_ = ExtractLandmarks(graph, spatial, options.landmarks);
+  assert(!index.landmarks_.empty());
+
+  // --- Tier 3: clusters via GREEDYSEARCH ----------------------------------
+  index.landmark_metric_ = DistanceMatrix::FromGraph(graph, index.landmarks_);
+  GreedySearchResult gs =
+      GreedySearchClustering(index.landmark_metric_, options.delta_m);
+  index.clustering_ = std::move(gs.clustering);
+  std::size_t m = index.clustering_.NumClusters();
+  std::size_t n = index.landmarks_.size();
+
+  // Cluster-to-cluster distance: closest landmark pair.
+  index.cluster_dist_.assign(m * m, kInf);
+  for (std::size_t c = 0; c < m; ++c) index.cluster_dist_[c * m + c] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t ci = index.clustering_.cluster_of[i].value();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::size_t cj = index.clustering_.cluster_of[j].value();
+      if (ci == cj) continue;
+      double d = index.landmark_metric_.At(i, j);
+      double& slot_ij = index.cluster_dist_[ci * m + cj];
+      if (d < slot_ij) {
+        slot_ij = d;
+        index.cluster_dist_[cj * m + ci] = d;
+      }
+    }
+  }
+
+  // Nominal speed: length-weighted mean over drivable edges.
+  double total_len = 0.0;
+  double total_time = 0.0;
+  for (std::size_t u = 0; u < graph.NumNodes(); ++u) {
+    for (const RoadEdge& e :
+         graph.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      if (e.drivable && e.time_s > 0) {
+        total_len += e.length_m;
+        total_time += e.time_s;
+      }
+    }
+  }
+  if (total_time > 0) index.nominal_speed_mps_ = total_len / total_time;
+
+  // --- Tier 1: grids — representative node, landmark, walkable clusters ---
+  std::size_t num_cells = index.grid_.CellCount();
+  index.grid_node_.resize(num_cells);
+  for (std::size_t g = 0; g < num_cells; ++g) {
+    index.grid_node_[g] = spatial.NearestNode(index.grid_.CentroidOf(
+        GridId(static_cast<GridId::underlying_type>(g))));
+  }
+
+  // Per-node nearest landmark by *driving* distance node->landmark, found by
+  // one bounded Dijkstra per landmark on the reverse drivable graph
+  // (distance on the reverse graph from landmark L to node v equals the
+  // forward driving distance v->L).
+  RoadGraph reverse = ReverseDrivableGraph(graph);
+  DijkstraEngine rev_engine(reverse);
+  std::vector<double> node_landmark_dist(graph.NumNodes(), kInf);
+  std::vector<LandmarkId> node_landmark(graph.NumNodes());
+  for (const Landmark& lm : index.landmarks_) {
+    for (auto [node, dist] :
+         rev_engine.NodesWithin(lm.node, options.max_drive_to_landmark_m,
+                                Metric::kDriveDistance)) {
+      double& best = node_landmark_dist[node.value()];
+      LandmarkId& best_lm = node_landmark[node.value()];
+      // Lowest landmark id wins ties, per the paper's ordering convention.
+      if (dist < best || (dist == best && lm.id < best_lm)) {
+        best = dist;
+        best_lm = lm.id;
+      }
+    }
+  }
+
+  index.grid_landmark_.resize(num_cells);
+  index.grid_landmark_drive_m_.assign(num_cells, kInf);
+  for (std::size_t g = 0; g < num_cells; ++g) {
+    NodeId node = index.grid_node_[g];
+    if (node.valid() && node_landmark[node.value()].valid()) {
+      index.grid_landmark_[g] = node_landmark[node.value()];
+      index.grid_landmark_drive_m_[g] = node_landmark_dist[node.value()];
+    }
+  }
+
+  // Per-node walkable clusters: one bounded walking Dijkstra per landmark
+  // (walking arcs are symmetric, so forward == reverse). For each settled
+  // node keep, per cluster, the minimum walking distance and the landmark
+  // realizing it.
+  DijkstraEngine walk_engine(graph);
+  std::vector<std::unordered_map<std::uint32_t,
+                                 std::pair<double, LandmarkId>>>
+      node_walkable(graph.NumNodes());
+  for (const Landmark& lm : index.landmarks_) {
+    std::uint32_t cluster =
+        index.clustering_.cluster_of[lm.id.value()].value();
+    for (auto [node, dist] : walk_engine.NodesWithin(
+             lm.node, options.max_walk_m, Metric::kWalkDistance)) {
+      auto& slot = node_walkable[node.value()];
+      auto it = slot.find(cluster);
+      if (it == slot.end() || dist < it->second.first) {
+        slot[cluster] = {dist, lm.id};
+      }
+    }
+  }
+
+  // Materialize per-grid sorted lists. The straight-line leg from the grid
+  // centroid to its representative node is added so the stored w never
+  // understates the true walk.
+  index.walkable_offsets_.assign(num_cells + 1, 0);
+  std::vector<std::vector<WalkableCluster>> per_grid(num_cells);
+  for (std::size_t g = 0; g < num_cells; ++g) {
+    NodeId node = index.grid_node_[g];
+    if (!node.valid()) continue;
+    double approach = EquirectangularMeters(
+        index.grid_.CentroidOf(GridId(static_cast<GridId::underlying_type>(g))),
+        graph.PositionOf(node));
+    for (const auto& [cluster, entry] : node_walkable[node.value()]) {
+      double w = entry.first + approach;
+      if (w > options.max_walk_m) continue;
+      per_grid[g].push_back(WalkableCluster{
+          ClusterId(cluster), w, entry.second});
+    }
+    std::sort(per_grid[g].begin(), per_grid[g].end(),
+              [](const WalkableCluster& a, const WalkableCluster& b) {
+                return a.walk_m < b.walk_m;
+              });
+    index.walkable_offsets_[g + 1] = per_grid[g].size();
+  }
+  for (std::size_t g = 1; g <= num_cells; ++g) {
+    index.walkable_offsets_[g] += index.walkable_offsets_[g - 1];
+  }
+  index.walkable_.reserve(index.walkable_offsets_[num_cells]);
+  for (std::size_t g = 0; g < num_cells; ++g) {
+    index.walkable_.insert(index.walkable_.end(), per_grid[g].begin(),
+                           per_grid[g].end());
+  }
+  return index;
+}
+
+}  // namespace xar

@@ -1,0 +1,169 @@
+#ifndef XAR_DISCRETIZE_REGION_INDEX_H_
+#define XAR_DISCRETIZE_REGION_INDEX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "discretize/distance_matrix.h"
+#include "discretize/greedy_search.h"
+#include "discretize/landmark.h"
+#include "discretize/landmark_extractor.h"
+#include "geo/grid.h"
+#include "graph/road_graph.h"
+#include "graph/spatial_index.h"
+
+namespace xar {
+
+/// Parameters of the three-tier discretization (paper Section IV).
+struct DiscretizationOptions {
+  double grid_cell_m = 100.0;              ///< grid size (paper: 100 m)
+  double delta_m = 250.0;                  ///< δ: cluster distance target
+  /// Δ: max driving distance for a grid→landmark association. Larger Δ
+  /// assigns more grids (finer pass-through detection); because insertion
+  /// estimates use the landmark metric rather than Δ-anchored distances,
+  /// a generous Δ does not cost accuracy (see bench/ablation_delta).
+  double max_drive_to_landmark_m = 1500.0;
+  double max_walk_m = 1000.0;              ///< W: system max walking distance
+  LandmarkExtractionOptions landmarks;
+};
+
+/// One entry of a grid's walkable-cluster list: cluster C is reachable on
+/// foot from the grid via `nearest_landmark`, at walking distance `walk_m`
+/// (paper's <C, w> tuples, kept sorted by non-decreasing w).
+struct WalkableCluster {
+  ClusterId cluster;
+  double walk_m = 0.0;
+  LandmarkId nearest_landmark;
+};
+
+/// The immutable product of pre-processing (paper Fig. 1, left box): the
+/// hierarchical region → clusters → landmarks → grids discretization, plus
+/// the precomputed distances that let the runtime avoid shortest-path
+/// computation during search.
+///
+/// Resolution contract: any point maps to a unique grid; a grid maps to at
+/// most one landmark (the nearest by driving distance, if within Δ) and
+/// carries a sorted list of walkable clusters (within W). A grid with
+/// neither cannot be served (paper Section IV).
+class RegionIndex {
+ public:
+  /// Runs the full pre-processing pipeline: landmark extraction, landmark
+  /// metric, GREEDYSEARCH clustering with δ, grid→landmark assignment and
+  /// walkable-cluster lists.
+  static RegionIndex Build(const RoadGraph& graph,
+                           const SpatialNodeIndex& spatial,
+                           const DiscretizationOptions& options);
+
+  // --- Geometry / hierarchy resolution ---------------------------------
+
+  const GridSpec& grid() const { return grid_; }
+  GridId GridOfPoint(const LatLng& p) const { return grid_.GridOf(p); }
+
+  /// Road node representing a grid (nearest to its centroid).
+  NodeId NodeOfGrid(GridId g) const { return grid_node_[g.value()]; }
+
+  /// The landmark a grid is associated with, or Invalid if none within Δ.
+  LandmarkId LandmarkOfGrid(GridId g) const {
+    return grid_landmark_[g.value()];
+  }
+
+  /// Driving distance from the grid to its landmark (+inf if unassigned).
+  double DriveToLandmarkOfGrid(GridId g) const {
+    return grid_landmark_drive_m_[g.value()];
+  }
+
+  /// The cluster a grid belongs to via its landmark; Invalid if unassigned.
+  ClusterId ClusterOfGrid(GridId g) const;
+
+  /// Shorthand: point -> grid -> landmark -> cluster.
+  ClusterId ClusterOfPoint(const LatLng& p) const {
+    return ClusterOfGrid(GridOfPoint(p));
+  }
+
+  /// Walkable clusters of a grid, sorted by non-decreasing walking distance
+  /// and truncated at W. Prune further by the per-request walking threshold
+  /// by scanning the prefix.
+  std::span<const WalkableCluster> WalkableClustersOf(GridId g) const {
+    return {walkable_.data() + walkable_offsets_[g.value()],
+            walkable_offsets_[g.value() + 1] - walkable_offsets_[g.value()]};
+  }
+
+  // --- Landmarks & clusters ---------------------------------------------
+
+  const std::vector<Landmark>& landmarks() const { return landmarks_; }
+  const Landmark& GetLandmark(LandmarkId id) const {
+    return landmarks_[id.value()];
+  }
+  const Clustering& clustering() const { return clustering_; }
+  std::size_t NumClusters() const { return clustering_.NumClusters(); }
+  ClusterId ClusterOfLandmark(LandmarkId id) const {
+    return clustering_.cluster_of[id.value()];
+  }
+  const std::vector<LandmarkId>& LandmarksInCluster(ClusterId c) const {
+    return clustering_.clusters[c.value()];
+  }
+
+  /// Driving distance between clusters = distance between their closest
+  /// landmark pair (paper Section VI). Precomputed; O(1).
+  double ClusterDistance(ClusterId a, ClusterId b) const {
+    return cluster_dist_[a.value() * NumClusters() + b.value()];
+  }
+
+  /// A representative road node for a cluster (its first landmark's node);
+  /// used for coarse ETA estimation.
+  NodeId RepresentativeNode(ClusterId c) const;
+
+  /// The landmark metric used for clustering (driving distances).
+  const DistanceMatrix& landmark_metric() const { return landmark_metric_; }
+
+  // --- Guarantees & bookkeeping ------------------------------------------
+
+  /// ε = 4δ: the worst-case intra-cluster distance guarantee (Theorem 6).
+  double epsilon() const { return 4.0 * options_.delta_m; }
+  const DiscretizationOptions& options() const { return options_; }
+
+  /// Network-wide mean driving speed (m/s); used to turn precomputed
+  /// distances into ETA estimates without touching the graph at search time.
+  double nominal_speed_mps() const { return nominal_speed_mps_; }
+
+  /// Bytes held by the discretization tables (Fig. 3c accounting).
+  std::size_t MemoryFootprint() const;
+
+  // --- Snapshotting --------------------------------------------------------
+  // Pre-processing runs once per region (paper Section III); snapshots let
+  // deployments skip it on restart. Same-machine binary format.
+
+  /// Writes the fully-built index to `path`.
+  Status Save(const std::string& path) const;
+
+  /// Reads an index written by Save. The road graph is not part of the
+  /// snapshot; the caller must pair the index with the same graph.
+  static Result<RegionIndex> Load(const std::string& path);
+
+ private:
+  RegionIndex() = default;
+
+  DiscretizationOptions options_;
+  GridSpec grid_;
+  std::vector<Landmark> landmarks_;
+  DistanceMatrix landmark_metric_;
+  Clustering clustering_;
+  std::vector<double> cluster_dist_;  // NumClusters()^2, row-major
+
+  std::vector<NodeId> grid_node_;               // grid -> nearest node
+  std::vector<LandmarkId> grid_landmark_;       // grid -> landmark (or inv.)
+  std::vector<double> grid_landmark_drive_m_;   // grid -> drive dist
+  std::vector<std::size_t> walkable_offsets_;   // grid -> walkable_ range
+  std::vector<WalkableCluster> walkable_;
+
+  double nominal_speed_mps_ = 8.33;
+};
+
+}  // namespace xar
+
+#endif  // XAR_DISCRETIZE_REGION_INDEX_H_

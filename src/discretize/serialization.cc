@@ -1,0 +1,110 @@
+#include <cstdint>
+
+#include "common/io.h"
+#include "discretize/region_index.h"
+
+namespace xar {
+namespace {
+
+constexpr std::uint32_t kRegionMagic = 0x52524158;  // "XARR"
+constexpr std::uint32_t kRegionVersion = 1;
+
+static_assert(std::is_trivially_copyable_v<GridSpec>);
+static_assert(std::is_trivially_copyable_v<DiscretizationOptions>);
+static_assert(std::is_trivially_copyable_v<Landmark>);
+static_assert(std::is_trivially_copyable_v<WalkableCluster>);
+
+}  // namespace
+
+Status RegionIndex::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  writer.Write(kRegionMagic);
+  writer.Write(kRegionVersion);
+
+  writer.Write(options_);
+  writer.Write(grid_);
+  writer.WriteVector(landmarks_);
+
+  writer.WriteU64(landmark_metric_.size());
+  writer.WriteVector(landmark_metric_.values());
+
+  writer.WriteU64(clustering_.clusters.size());
+  for (const std::vector<LandmarkId>& members : clustering_.clusters) {
+    writer.WriteVector(members);
+  }
+  writer.WriteVector(clustering_.cluster_of);
+  writer.Write(clustering_.radius);
+  writer.Write(clustering_.diameter);
+
+  writer.WriteVector(cluster_dist_);
+  writer.WriteVector(grid_node_);
+  writer.WriteVector(grid_landmark_);
+  writer.WriteVector(grid_landmark_drive_m_);
+  writer.WriteVector(walkable_offsets_);
+  writer.WriteVector(walkable_);
+  writer.Write(nominal_speed_mps_);
+  return writer.Close();
+}
+
+Result<RegionIndex> RegionIndex::Load(const std::string& path) {
+  BinaryReader reader(path);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  reader.Read(&magic);
+  reader.Read(&version);
+  if (!reader.ok() || magic != kRegionMagic) {
+    return Status::InvalidArgument("not a region-index snapshot: " + path);
+  }
+  if (version != kRegionVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+
+  RegionIndex index;
+  reader.Read(&index.options_);
+  reader.Read(&index.grid_);
+  reader.ReadVector(&index.landmarks_);
+
+  std::uint64_t metric_n = reader.ReadU64();
+  std::vector<double> metric_values;
+  reader.ReadVector(&metric_values);
+  if (!reader.ok() || metric_values.size() != metric_n * metric_n) {
+    return Status::Internal("corrupt snapshot: landmark metric");
+  }
+  index.landmark_metric_ =
+      DistanceMatrix::FromValues(metric_n, std::move(metric_values));
+
+  std::uint64_t num_clusters = reader.ReadU64();
+  if (!reader.ok() || num_clusters > (1ULL << 24)) {
+    return Status::Internal("corrupt snapshot: cluster count");
+  }
+  index.clustering_.clusters.resize(num_clusters);
+  for (std::uint64_t c = 0; c < num_clusters; ++c) {
+    reader.ReadVector(&index.clustering_.clusters[c]);
+  }
+  reader.ReadVector(&index.clustering_.cluster_of);
+  reader.Read(&index.clustering_.radius);
+  reader.Read(&index.clustering_.diameter);
+
+  reader.ReadVector(&index.cluster_dist_);
+  reader.ReadVector(&index.grid_node_);
+  reader.ReadVector(&index.grid_landmark_);
+  reader.ReadVector(&index.grid_landmark_drive_m_);
+  reader.ReadVector(&index.walkable_offsets_);
+  reader.ReadVector(&index.walkable_);
+  reader.Read(&index.nominal_speed_mps_);
+  if (!reader.ok()) return Status::Internal("truncated snapshot: " + path);
+
+  // Structural validation before handing the index out.
+  if (index.cluster_dist_.size() != num_clusters * num_clusters ||
+      index.clustering_.cluster_of.size() != index.landmarks_.size() ||
+      index.grid_node_.size() != index.grid_.CellCount() ||
+      index.grid_landmark_.size() != index.grid_.CellCount() ||
+      index.grid_landmark_drive_m_.size() != index.grid_.CellCount() ||
+      index.walkable_offsets_.size() != index.grid_.CellCount() + 1 ||
+      index.walkable_.size() != index.walkable_offsets_.back()) {
+    return Status::Internal("corrupt snapshot: inconsistent table sizes");
+  }
+  return index;
+}
+
+}  // namespace xar

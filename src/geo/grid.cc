@@ -1,0 +1,84 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xar {
+
+GridSpec::GridSpec(const BoundingBox& bounds, double cell_meters)
+    : bounds_(bounds), cell_meters_(cell_meters) {
+  assert(cell_meters > 0);
+  cell_lat_deg_ = cell_meters / MetersPerDegreeLat();
+  double mid_lat = (bounds.min_lat + bounds.max_lat) / 2;
+  cell_lng_deg_ = cell_meters / MetersPerDegreeLng(mid_lat);
+  rows_ = static_cast<std::size_t>(
+      std::ceil((bounds.max_lat - bounds.min_lat) / cell_lat_deg_));
+  cols_ = static_cast<std::size_t>(
+      std::ceil((bounds.max_lng - bounds.min_lng) / cell_lng_deg_));
+  rows_ = std::max<std::size_t>(rows_, 1);
+  cols_ = std::max<std::size_t>(cols_, 1);
+}
+
+GridId GridSpec::GridOf(const LatLng& p) const {
+  double frow = (p.lat - bounds_.min_lat) / cell_lat_deg_;
+  double fcol = (p.lng - bounds_.min_lng) / cell_lng_deg_;
+  std::ptrdiff_t row = static_cast<std::ptrdiff_t>(std::floor(frow));
+  std::ptrdiff_t col = static_cast<std::ptrdiff_t>(std::floor(fcol));
+  row = std::clamp<std::ptrdiff_t>(row, 0,
+                                   static_cast<std::ptrdiff_t>(rows_) - 1);
+  col = std::clamp<std::ptrdiff_t>(col, 0,
+                                   static_cast<std::ptrdiff_t>(cols_) - 1);
+  return At(static_cast<std::size_t>(row), static_cast<std::size_t>(col));
+}
+
+LatLng GridSpec::CentroidOf(GridId g) const {
+  assert(g.valid() && g.value() < CellCount());
+  std::size_t row = RowOf(g);
+  std::size_t col = ColOf(g);
+  return LatLng{
+      bounds_.min_lat + (static_cast<double>(row) + 0.5) * cell_lat_deg_,
+      bounds_.min_lng + (static_cast<double>(col) + 0.5) * cell_lng_deg_};
+}
+
+std::vector<GridId> GridSpec::Ring(GridId center, std::size_t ring) const {
+  std::vector<GridId> out;
+  std::ptrdiff_t crow = static_cast<std::ptrdiff_t>(RowOf(center));
+  std::ptrdiff_t ccol = static_cast<std::ptrdiff_t>(ColOf(center));
+  std::ptrdiff_t r = static_cast<std::ptrdiff_t>(ring);
+  auto push_if_valid = [&](std::ptrdiff_t row, std::ptrdiff_t col) {
+    if (row < 0 || col < 0 || row >= static_cast<std::ptrdiff_t>(rows_) ||
+        col >= static_cast<std::ptrdiff_t>(cols_)) {
+      return;
+    }
+    out.push_back(
+        At(static_cast<std::size_t>(row), static_cast<std::size_t>(col)));
+  };
+  if (ring == 0) {
+    push_if_valid(crow, ccol);
+    return out;
+  }
+  // Top and bottom edges of the ring square.
+  for (std::ptrdiff_t col = ccol - r; col <= ccol + r; ++col) {
+    push_if_valid(crow - r, col);
+    push_if_valid(crow + r, col);
+  }
+  // Left and right edges (excluding corners already emitted).
+  for (std::ptrdiff_t row = crow - r + 1; row <= crow + r - 1; ++row) {
+    push_if_valid(row, ccol - r);
+    push_if_valid(row, ccol + r);
+  }
+  return out;
+}
+
+std::vector<GridId> GridSpec::Neighborhood(GridId center,
+                                           std::size_t radius) const {
+  std::vector<GridId> out;
+  for (std::size_t ring = 0; ring <= radius; ++ring) {
+    std::vector<GridId> cells = Ring(center, ring);
+    out.insert(out.end(), cells.begin(), cells.end());
+  }
+  return out;
+}
+
+}  // namespace xar

@@ -1,0 +1,68 @@
+#ifndef XAR_GEO_GRID_H_
+#define XAR_GEO_GRID_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "geo/latlng.h"
+
+namespace xar {
+
+/// Uniform square gridding of a geographic region (paper Definition 1).
+///
+/// Grids are *implicit*: a GridSpec stores only the region bounds and cell
+/// size; any point maps numerically to a unique GridId (row-major), and a
+/// GridId maps back to its centroid. The paper uses 100 m cells; distances
+/// "from a grid" are measured from the centroid.
+class GridSpec {
+ public:
+  GridSpec() = default;
+
+  /// Covers `bounds` with square cells of `cell_meters` on a side. The last
+  /// row/column may extend slightly past the bounds.
+  GridSpec(const BoundingBox& bounds, double cell_meters);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t CellCount() const { return rows_ * cols_; }
+  double cell_meters() const { return cell_meters_; }
+  const BoundingBox& bounds() const { return bounds_; }
+
+  /// True if `p` lies inside the gridded region (points outside have no grid).
+  bool Contains(const LatLng& p) const { return bounds_.Contains(p); }
+
+  /// Maps a point to its grid. Points outside the bounds are clamped to the
+  /// nearest boundary cell, matching the paper's "any location maps to a
+  /// unique grid" contract; call Contains() first if clamping is undesirable.
+  GridId GridOf(const LatLng& p) const;
+
+  /// Centroid of the cell.
+  LatLng CentroidOf(GridId g) const;
+
+  std::size_t RowOf(GridId g) const { return g.value() / cols_; }
+  std::size_t ColOf(GridId g) const { return g.value() % cols_; }
+  GridId At(std::size_t row, std::size_t col) const {
+    return GridId(static_cast<GridId::underlying_type>(row * cols_ + col));
+  }
+
+  /// All cells whose Chebyshev ring index equals `ring` around `center`
+  /// (ring 0 = the cell itself). Used by the T-Share baseline's expanding
+  /// grid search. Returns only in-bounds cells.
+  std::vector<GridId> Ring(GridId center, std::size_t ring) const;
+
+  /// All cells within Chebyshev distance `radius` (inclusive), row-major.
+  std::vector<GridId> Neighborhood(GridId center, std::size_t radius) const;
+
+ private:
+  BoundingBox bounds_;
+  double cell_meters_ = 0.0;
+  double cell_lat_deg_ = 0.0;
+  double cell_lng_deg_ = 0.0;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace xar
+
+#endif  // XAR_GEO_GRID_H_

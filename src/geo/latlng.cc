@@ -1,0 +1,74 @@
+#include "geo/latlng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace xar {
+namespace {
+
+constexpr double kDegToRad = 0.017453292519943295;
+
+}  // namespace
+
+std::string LatLng::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f)", lat, lng);
+  return buf;
+}
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlng = (b.lng - a.lng) * kDegToRad;
+  double s1 = std::sin(dlat / 2);
+  double s2 = std::sin(dlng / 2);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  h = std::min(1.0, h);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+double EquirectangularMeters(const LatLng& a, const LatLng& b) {
+  double mean_lat = (a.lat + b.lat) / 2 * kDegToRad;
+  double x = (b.lng - a.lng) * kDegToRad * std::cos(mean_lat);
+  double y = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(x * x + y * y);
+}
+
+double MetersPerDegreeLat() { return kEarthRadiusMeters * kDegToRad; }
+
+double MetersPerDegreeLng(double lat_deg) {
+  return kEarthRadiusMeters * kDegToRad * std::cos(lat_deg * kDegToRad);
+}
+
+LatLng OffsetMeters(const LatLng& origin, double dx_meters, double dy_meters) {
+  return LatLng{origin.lat + dy_meters / MetersPerDegreeLat(),
+                origin.lng + dx_meters / MetersPerDegreeLng(origin.lat)};
+}
+
+double BoundingBox::WidthMeters() const {
+  double mid_lat = (min_lat + max_lat) / 2;
+  return (max_lng - min_lng) * MetersPerDegreeLng(mid_lat);
+}
+
+double BoundingBox::HeightMeters() const {
+  return (max_lat - min_lat) * MetersPerDegreeLat();
+}
+
+void BoundingBox::Extend(const LatLng& p) {
+  min_lat = std::min(min_lat, p.lat);
+  max_lat = std::max(max_lat, p.lat);
+  min_lng = std::min(min_lng, p.lng);
+  max_lng = std::max(max_lng, p.lng);
+}
+
+BoundingBox BoundingBox::FromCenterAndSize(const LatLng& center,
+                                           double width_m, double height_m) {
+  double dlat = height_m / 2 / MetersPerDegreeLat();
+  double dlng = width_m / 2 / MetersPerDegreeLng(center.lat);
+  return BoundingBox{center.lat - dlat, center.lng - dlng, center.lat + dlat,
+                     center.lng + dlng};
+}
+
+}  // namespace xar

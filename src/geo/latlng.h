@@ -1,0 +1,70 @@
+#ifndef XAR_GEO_LATLNG_H_
+#define XAR_GEO_LATLNG_H_
+
+#include <string>
+
+namespace xar {
+
+/// Mean Earth radius in meters (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// A geographic point (degrees). Trivially copyable value type.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+
+  friend bool operator==(const LatLng& a, const LatLng& b) {
+    return a.lat == b.lat && a.lng == b.lng;
+  }
+
+  std::string ToString() const;
+};
+
+/// Great-circle distance in meters (haversine formula).
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// Fast flat-earth approximation of distance in meters; accurate to well
+/// under 0.1% at city scale. Used in inner loops where exactness of the
+/// great-circle value does not matter.
+double EquirectangularMeters(const LatLng& a, const LatLng& b);
+
+/// Returns the point reached from `origin` by going `dx_meters` east and
+/// `dy_meters` north (local tangent-plane approximation).
+LatLng OffsetMeters(const LatLng& origin, double dx_meters, double dy_meters);
+
+/// Meters per degree of longitude at latitude `lat_deg`.
+double MetersPerDegreeLng(double lat_deg);
+
+/// Meters per degree of latitude (constant to first order).
+double MetersPerDegreeLat();
+
+/// Axis-aligned geographic bounding box.
+struct BoundingBox {
+  double min_lat = 0.0;
+  double min_lng = 0.0;
+  double max_lat = 0.0;
+  double max_lng = 0.0;
+
+  bool Contains(const LatLng& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lng >= min_lng &&
+           p.lng <= max_lng;
+  }
+
+  LatLng Center() const {
+    return LatLng{(min_lat + max_lat) / 2, (min_lng + max_lng) / 2};
+  }
+
+  double WidthMeters() const;   ///< East-west extent at the center latitude.
+  double HeightMeters() const;  ///< North-south extent.
+
+  /// Grows the box to include `p`.
+  void Extend(const LatLng& p);
+
+  /// Box spanning `width_m` x `height_m` meters centered at `center`.
+  static BoundingBox FromCenterAndSize(const LatLng& center, double width_m,
+                                       double height_m);
+};
+
+}  // namespace xar
+
+#endif  // XAR_GEO_LATLNG_H_

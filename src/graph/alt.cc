@@ -1,0 +1,133 @@
+#include "graph/alt.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/dijkstra.h"
+
+namespace xar {
+namespace {
+
+/// Mirror of the graph with all arcs reversed (weights preserved), used to
+/// compute node->anchor distances with a forward engine.
+RoadGraph ReverseGraph(const RoadGraph& g) {
+  GraphBuilder builder;
+  for (std::size_t i = 0; i < g.NumNodes(); ++i) {
+    builder.AddNode(
+        g.PositionOf(NodeId(static_cast<NodeId::underlying_type>(i))));
+  }
+  for (std::size_t u = 0; u < g.NumNodes(); ++u) {
+    NodeId from(static_cast<NodeId::underlying_type>(u));
+    for (const RoadEdge& e : g.OutEdges(from)) {
+      double speed = e.drivable && e.time_s > 0 ? e.length_m / e.time_s : 0;
+      builder.AddArc(e.to, from, e.length_m, speed, e.drivable, e.walkable);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+AltEngine::AltEngine(const RoadGraph& graph, std::size_t num_anchors,
+                     Metric metric)
+    : graph_(graph),
+      metric_(metric),
+      heap_(graph.NumNodes()),
+      g_(graph.NumNodes(), kInf),
+      mark_(graph.NumNodes(), 0) {
+  assert(graph.NumNodes() > 0);
+  num_anchors = std::min(num_anchors, graph.NumNodes());
+
+  // Farthest-point anchor selection on the (symmetrized) distance from the
+  // current anchor set — the standard ALT heuristic placement.
+  DijkstraEngine forward(graph);
+  RoadGraph reverse = ReverseGraph(graph);
+  DijkstraEngine backward(reverse);
+
+  std::vector<double> min_dist(graph.NumNodes(), kInf);
+  NodeId next(0);
+  for (std::size_t a = 0; a < num_anchors; ++a) {
+    anchors_.push_back(next);
+    std::size_t base = a * graph.NumNodes();
+    dist_from_.resize(base + graph.NumNodes(), kInf);
+    dist_to_.resize(base + graph.NumNodes(), kInf);
+    for (auto [node, dist] : forward.NodesWithin(next, kInf, metric_)) {
+      dist_from_[base + node.value()] = dist;
+    }
+    for (auto [node, dist] : backward.NodesWithin(next, kInf, metric_)) {
+      dist_to_[base + node.value()] = dist;
+    }
+    // Pick the node farthest from all chosen anchors as the next one.
+    std::size_t best = 0;
+    double best_d = -1;
+    for (std::size_t v = 0; v < graph.NumNodes(); ++v) {
+      double d = std::min(dist_from_[base + v], min_dist[v]);
+      min_dist[v] = d;
+      if (d != kInf && d > best_d) {
+        best_d = d;
+        best = v;
+      }
+    }
+    next = NodeId(static_cast<NodeId::underlying_type>(best));
+  }
+}
+
+double AltEngine::LowerBound(NodeId v, NodeId dst) const {
+  double bound = 0.0;
+  std::size_t n = graph_.NumNodes();
+  for (std::size_t a = 0; a < anchors_.size(); ++a) {
+    double av = dist_from_[a * n + v.value()];
+    double at = dist_from_[a * n + dst.value()];
+    double va = dist_to_[a * n + v.value()];
+    double ta = dist_to_[a * n + dst.value()];
+    // d(v,t) >= d(a,t) - d(a,v), valid when both finite.
+    if (at != kInf && av != kInf) bound = std::max(bound, at - av);
+    // d(v,t) >= d(v,a) - d(t,a).
+    if (va != kInf && ta != kInf) bound = std::max(bound, va - ta);
+  }
+  return bound;
+}
+
+double AltEngine::Distance(NodeId src, NodeId dst) {
+  ++generation_;
+  heap_.Clear();
+  last_settled_count_ = 0;
+
+  auto gval = [&](std::size_t v) {
+    return mark_[v] == generation_ ? g_[v] : kInf;
+  };
+
+  g_[src.value()] = 0.0;
+  mark_[src.value()] = generation_;
+  heap_.Push(src.value(), LowerBound(src, dst));
+
+  while (!heap_.empty()) {
+    std::size_t u = heap_.PopMin();
+    ++last_settled_count_;
+    if (u == dst.value()) return gval(u);
+    double du = gval(u);
+    for (const RoadEdge& e :
+         graph_.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      double w = RoadGraph::EdgeWeight(e, metric_);
+      if (w == kInf) continue;
+      std::size_t v = e.to.value();
+      double nd = du + w;
+      if (nd < gval(v)) {
+        g_[v] = nd;
+        mark_[v] = generation_;
+        heap_.PushOrDecrease(
+            v, nd + LowerBound(NodeId(static_cast<NodeId::underlying_type>(v)),
+                               dst));
+      }
+    }
+  }
+  return kInf;
+}
+
+std::size_t AltEngine::MemoryFootprint() const {
+  return (dist_from_.capacity() + dist_to_.capacity()) * sizeof(double) +
+         anchors_.capacity() * sizeof(NodeId) + g_.capacity() * sizeof(double) +
+         mark_.capacity() * sizeof(std::uint32_t) + sizeof(*this);
+}
+
+}  // namespace xar

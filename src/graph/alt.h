@@ -1,0 +1,59 @@
+#ifndef XAR_GRAPH_ALT_H_
+#define XAR_GRAPH_ALT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/heap.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// ALT point-to-point engine (A*, Landmarks, Triangle inequality; Goldberg &
+/// Harrelson 2005): picks a handful of far-apart *anchor* nodes, precomputes
+/// exact distances to/from each, and uses the triangle-inequality bounds
+///   d(v,t) >= d(v,a) - d(t,a)   and   d(v,t) >= d(a,t) - d(a,v)
+/// as an A* heuristic that is much tighter than the geometric one on road
+/// networks with one-ways and speed variance.
+///
+/// ("Anchor" here to avoid confusion with the discretization's landmarks.)
+/// The metric is fixed at construction; preprocessing costs
+/// 2 * num_anchors Dijkstra runs.
+class AltEngine {
+ public:
+  AltEngine(const RoadGraph& graph, std::size_t num_anchors = 8,
+            Metric metric = Metric::kDriveDistance);
+
+  /// One-to-one distance under the construction metric; +inf if unreachable.
+  double Distance(NodeId src, NodeId dst);
+
+  std::size_t num_anchors() const { return anchors_.size(); }
+  const std::vector<NodeId>& anchors() const { return anchors_; }
+  std::size_t last_settled_count() const { return last_settled_count_; }
+
+  /// The (admissible) heuristic value used for `v` toward `dst`.
+  double LowerBound(NodeId v, NodeId dst) const;
+
+  std::size_t MemoryFootprint() const;
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  const RoadGraph& graph_;
+  Metric metric_;
+  std::vector<NodeId> anchors_;
+  // Flattened [anchor][node] exact distances.
+  std::vector<double> dist_from_;  // anchor -> node
+  std::vector<double> dist_to_;    // node -> anchor
+
+  IndexedMinHeap heap_;
+  std::vector<double> g_;
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t generation_ = 0;
+  std::size_t last_settled_count_ = 0;
+};
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_ALT_H_

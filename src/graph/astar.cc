@@ -1,0 +1,95 @@
+#include "graph/astar.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xar {
+
+AStarEngine::AStarEngine(const RoadGraph& graph)
+    : graph_(graph),
+      heap_(graph.NumNodes()),
+      g_(graph.NumNodes(), kInf),
+      mark_(graph.NumNodes(), 0),
+      parent_(graph.NumNodes()) {}
+
+double AStarEngine::Heuristic(NodeId v, NodeId dst, Metric metric) const {
+  double straight =
+      EquirectangularMeters(graph_.PositionOf(v), graph_.PositionOf(dst));
+  if (metric == Metric::kDriveTime) return straight / graph_.MaxSpeedMps();
+  return straight;
+}
+
+double AStarEngine::Run(NodeId src, NodeId dst, Metric metric,
+                        bool record_parents) {
+  ++generation_;
+  heap_.Clear();
+  last_settled_count_ = 0;
+
+  auto gval = [&](std::size_t v) {
+    return mark_[v] == generation_ ? g_[v] : kInf;
+  };
+
+  g_[src.value()] = 0.0;
+  mark_[src.value()] = generation_;
+  if (record_parents) parent_[src.value()] = NodeId::Invalid();
+  heap_.Push(src.value(), Heuristic(src, dst, metric));
+
+  while (!heap_.empty()) {
+    std::size_t u = heap_.PopMin();
+    ++last_settled_count_;
+    if (u == dst.value()) return gval(u);
+    double du = gval(u);
+    for (const RoadEdge& e :
+         graph_.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      double w = RoadGraph::EdgeWeight(e, metric);
+      if (w == kInf) continue;
+      std::size_t v = e.to.value();
+      double nd = du + w;
+      if (nd < gval(v)) {
+        g_[v] = nd;
+        mark_[v] = generation_;
+        if (record_parents)
+          parent_[v] = NodeId(static_cast<NodeId::underlying_type>(u));
+        heap_.PushOrDecrease(
+            v, nd + Heuristic(NodeId(static_cast<NodeId::underlying_type>(v)),
+                              dst, metric));
+      }
+    }
+  }
+  return kInf;
+}
+
+double AStarEngine::Distance(NodeId src, NodeId dst, Metric metric) {
+  return Run(src, dst, metric, /*record_parents=*/false);
+}
+
+Path AStarEngine::ShortestPath(NodeId src, NodeId dst, Metric metric) {
+  double d = Run(src, dst, metric, /*record_parents=*/true);
+  Path path;
+  if (d == kInf) return path;
+  for (NodeId v = dst; v.valid(); v = parent_[v.value()]) {
+    path.nodes.push_back(v);
+    if (v == src) break;
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  path.length_m = 0;
+  path.time_s = 0;
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    const RoadEdge* best = nullptr;
+    double best_w = kInf;
+    for (const RoadEdge& e : graph_.OutEdges(path.nodes[i])) {
+      if (e.to != path.nodes[i + 1]) continue;
+      double w = RoadGraph::EdgeWeight(e, metric);
+      if (w < best_w) {
+        best_w = w;
+        best = &e;
+      }
+    }
+    assert(best != nullptr);
+    path.length_m += best->length_m;
+    path.time_s += best->time_s;
+  }
+  return path;
+}
+
+}  // namespace xar

@@ -1,0 +1,47 @@
+#ifndef XAR_GRAPH_ASTAR_H_
+#define XAR_GRAPH_ASTAR_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/heap.h"
+#include "graph/path.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// A* point-to-point search with an admissible geometric heuristic:
+/// straight-line distance for distance metrics, straight-line distance over
+/// the network's top speed for the time metric. Typically settles far fewer
+/// nodes than plain Dijkstra on spread-out queries.
+class AStarEngine {
+ public:
+  explicit AStarEngine(const RoadGraph& graph);
+
+  /// One-to-one distance under `metric`; +inf if unreachable.
+  double Distance(NodeId src, NodeId dst, Metric metric);
+
+  /// One-to-one path (nodes + both totals); empty path if unreachable.
+  Path ShortestPath(NodeId src, NodeId dst, Metric metric);
+
+  std::size_t last_settled_count() const { return last_settled_count_; }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  double Heuristic(NodeId v, NodeId dst, Metric metric) const;
+  double Run(NodeId src, NodeId dst, Metric metric, bool record_parents);
+
+  const RoadGraph& graph_;
+  IndexedMinHeap heap_;
+  std::vector<double> g_;
+  std::vector<std::uint32_t> mark_;
+  std::vector<NodeId> parent_;
+  std::uint32_t generation_ = 0;
+  std::size_t last_settled_count_ = 0;
+};
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_ASTAR_H_

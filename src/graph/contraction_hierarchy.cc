@@ -1,0 +1,233 @@
+#include "graph/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xar {
+
+ContractionHierarchy::ContractionHierarchy(const RoadGraph& graph,
+                                           Metric metric, ChOptions options)
+    : n_(graph.NumNodes()),
+      options_(options),
+      fwd_(n_),
+      bwd_(n_),
+      contracted_(n_, false),
+      contracted_neighbors_(n_, 0),
+      rank_(n_, 0),
+      up_(n_),
+      down_(n_),
+      fwd_heap_(n_),
+      bwd_heap_(n_),
+      fwd_dist_(n_, kInf),
+      bwd_dist_(n_, kInf),
+      fwd_mark_(n_, 0),
+      bwd_mark_(n_, 0),
+      wit_dist_(n_, kInf),
+      wit_mark_(n_, 0),
+      wit_heap_(n_) {
+  // Base adjacency under the chosen metric (lightest parallel arc only).
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (const RoadEdge& e :
+         graph.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      double w = RoadGraph::EdgeWeight(e, metric);
+      if (w == kInf) continue;
+      fwd_[u].push_back(Arc{e.to.value(), w});
+      bwd_[e.to.value()].push_back(Arc{static_cast<std::uint32_t>(u), w});
+    }
+  }
+  auto dedup = [](std::vector<Arc>& arcs) {
+    std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+      if (a.to != b.to) return a.to < b.to;
+      return a.weight < b.weight;
+    });
+    arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                           [](const Arc& a, const Arc& b) {
+                             return a.to == b.to;
+                           }),
+               arcs.end());
+  };
+  for (std::size_t u = 0; u < n_; ++u) {
+    dedup(fwd_[u]);
+    dedup(bwd_[u]);
+  }
+
+  // Lazy-update contraction order on (edge difference + contracted
+  // neighbors).
+  IndexedMinHeap order(n_);
+  for (std::size_t v = 0; v < n_; ++v) {
+    order.Push(v, ContractPriority(static_cast<std::uint32_t>(v)));
+  }
+  std::size_t next_rank = 0;
+  while (!order.empty()) {
+    std::uint32_t v = static_cast<std::uint32_t>(order.PopMin());
+    // Lazy re-evaluation: if the priority rose, re-insert.
+    double fresh = ContractPriority(v);
+    if (!order.empty() && fresh > order.MinKey()) {
+      order.Push(v, fresh);
+      continue;
+    }
+    rank_[v] = next_rank++;
+    (void)SimulateContract(v, /*apply=*/true);
+    contracted_[v] = true;
+    for (const Arc& a : fwd_[v]) ++contracted_neighbors_[a.to];
+    for (const Arc& a : bwd_[v]) ++contracted_neighbors_[a.to];
+  }
+
+  // Assemble the upward/downward search graphs from the final arc sets
+  // (originals + shortcuts accumulated into fwd_/bwd_).
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (const Arc& a : fwd_[u]) {
+      if (rank_[a.to] > rank_[u]) up_[u].push_back(a);
+    }
+    for (const Arc& a : bwd_[u]) {
+      if (rank_[a.to] > rank_[u]) down_[u].push_back(a);
+    }
+    dedup(up_[u]);
+    dedup(down_[u]);
+  }
+}
+
+double ContractionHierarchy::WitnessDistance(std::uint32_t from,
+                                             std::uint32_t target,
+                                             std::uint32_t excluded,
+                                             double cutoff) {
+  ++wit_generation_;
+  wit_heap_.Clear();
+  auto dist = [&](std::uint32_t v) {
+    return wit_mark_[v] == wit_generation_ ? wit_dist_[v] : kInf;
+  };
+  wit_dist_[from] = 0;
+  wit_mark_[from] = wit_generation_;
+  wit_heap_.Push(from, 0);
+  std::size_t settled = 0;
+  while (!wit_heap_.empty() && settled < options_.witness_search_limit) {
+    std::uint32_t u = static_cast<std::uint32_t>(wit_heap_.PopMin());
+    ++settled;
+    double du = dist(u);
+    if (u == target || du > cutoff) break;
+    for (const Arc& a : fwd_[u]) {
+      if (a.to == excluded || contracted_[a.to]) continue;
+      double nd = du + a.weight;
+      if (nd < dist(a.to) && nd <= cutoff) {
+        wit_dist_[a.to] = nd;
+        wit_mark_[a.to] = wit_generation_;
+        wit_heap_.PushOrDecrease(a.to, nd);
+      }
+    }
+  }
+  return dist(target);
+}
+
+std::vector<std::pair<ContractionHierarchy::Arc, std::uint32_t>>
+ContractionHierarchy::SimulateContract(std::uint32_t v, bool apply) {
+  std::vector<std::pair<Arc, std::uint32_t>> shortcuts;  // (arc, from)
+  for (const Arc& in : bwd_[v]) {
+    if (contracted_[in.to]) continue;
+    for (const Arc& out : fwd_[v]) {
+      if (contracted_[out.to] || out.to == in.to) continue;
+      double via = in.weight + out.weight;
+      double witness = WitnessDistance(in.to, out.to, v, via);
+      if (witness <= via) continue;  // a path avoiding v is as good
+      shortcuts.push_back({Arc{out.to, via}, in.to});
+    }
+  }
+  if (apply) {
+    for (const auto& [arc, from] : shortcuts) {
+      fwd_[from].push_back(arc);
+      bwd_[arc.to].push_back(Arc{from, arc.weight});
+      ++num_shortcuts_;
+    }
+  }
+  return shortcuts;
+}
+
+double ContractionHierarchy::ContractPriority(std::uint32_t v) {
+  if (contracted_[v]) return kInf;
+  std::size_t removed = 0;
+  for (const Arc& a : fwd_[v]) removed += contracted_[a.to] ? 0 : 1;
+  for (const Arc& a : bwd_[v]) removed += contracted_[a.to] ? 0 : 1;
+  std::size_t added = SimulateContract(v, /*apply=*/false).size();
+  return static_cast<double>(added) - static_cast<double>(removed) +
+         2.0 * static_cast<double>(contracted_neighbors_[v]);
+}
+
+double ContractionHierarchy::Distance(NodeId src, NodeId dst) {
+  if (src == dst) return 0.0;
+  ++generation_;
+  fwd_heap_.Clear();
+  bwd_heap_.Clear();
+  last_settled_count_ = 0;
+
+  auto fdist = [&](std::uint32_t v) {
+    return fwd_mark_[v] == generation_ ? fwd_dist_[v] : kInf;
+  };
+  auto bdist = [&](std::uint32_t v) {
+    return bwd_mark_[v] == generation_ ? bwd_dist_[v] : kInf;
+  };
+
+  fwd_dist_[src.value()] = 0;
+  fwd_mark_[src.value()] = generation_;
+  bwd_dist_[dst.value()] = 0;
+  bwd_mark_[dst.value()] = generation_;
+  fwd_heap_.Push(src.value(), 0);
+  bwd_heap_.Push(dst.value(), 0);
+
+  double best = kInf;
+  // Upward searches from both ends; a settled node reached by both sides
+  // closes a candidate path. Standard CH stopping: a side stops once its
+  // queue minimum exceeds the best candidate.
+  while (!fwd_heap_.empty() || !bwd_heap_.empty()) {
+    bool fwd_turn;
+    if (fwd_heap_.empty()) {
+      fwd_turn = false;
+    } else if (bwd_heap_.empty()) {
+      fwd_turn = true;
+    } else {
+      fwd_turn = fwd_heap_.MinKey() <= bwd_heap_.MinKey();
+    }
+    IndexedMinHeap& heap = fwd_turn ? fwd_heap_ : bwd_heap_;
+    if (heap.MinKey() >= best) {
+      heap.Clear();
+      continue;
+    }
+    std::uint32_t u = static_cast<std::uint32_t>(heap.PopMin());
+    ++last_settled_count_;
+    double du = fwd_turn ? fdist(u) : bdist(u);
+    double other = fwd_turn ? bdist(u) : fdist(u);
+    if (other != kInf) best = std::min(best, du + other);
+    const std::vector<Arc>& arcs = fwd_turn ? up_[u] : down_[u];
+    for (const Arc& a : arcs) {
+      double nd = du + a.weight;
+      if (fwd_turn) {
+        if (nd < fdist(a.to)) {
+          fwd_dist_[a.to] = nd;
+          fwd_mark_[a.to] = generation_;
+          fwd_heap_.PushOrDecrease(a.to, nd);
+        }
+      } else {
+        if (nd < bdist(a.to)) {
+          bwd_dist_[a.to] = nd;
+          bwd_mark_[a.to] = generation_;
+          bwd_heap_.PushOrDecrease(a.to, nd);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t ContractionHierarchy::MemoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  auto count = [&](const std::vector<std::vector<Arc>>& adj) {
+    for (const auto& arcs : adj) bytes += arcs.capacity() * sizeof(Arc);
+  };
+  count(fwd_);
+  count(bwd_);
+  count(up_);
+  count(down_);
+  bytes += n_ * (2 * sizeof(double) + 2 * sizeof(std::uint32_t) +
+                 sizeof(std::size_t) + 2);
+  return bytes;
+}
+
+}  // namespace xar

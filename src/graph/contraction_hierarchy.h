@@ -1,0 +1,106 @@
+#ifndef XAR_GRAPH_CONTRACTION_HIERARCHY_H_
+#define XAR_GRAPH_CONTRACTION_HIERARCHY_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/heap.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// Options for the contraction-hierarchy preprocessing.
+struct ChOptions {
+  /// Cap on nodes settled by each witness search; smaller builds faster but
+  /// inserts more (harmless) shortcuts.
+  std::size_t witness_search_limit = 60;
+};
+
+/// Contraction Hierarchies (Geisberger et al. 2008) over one metric of a
+/// RoadGraph: nodes are contracted in importance order, shortcut arcs
+/// preserve shortest distances among the remaining nodes, and queries run
+/// a bidirectional Dijkstra that only ever moves *upward* in the hierarchy
+/// — typically settling orders of magnitude fewer nodes than plain
+/// Dijkstra on large networks.
+///
+/// Exactness does not depend on the node order or the witness-search limit;
+/// both only affect preprocessing time and shortcut count.
+class ContractionHierarchy {
+ public:
+  explicit ContractionHierarchy(const RoadGraph& graph,
+                                Metric metric = Metric::kDriveDistance,
+                                ChOptions options = {});
+
+  /// One-to-one distance under the construction metric; +inf if
+  /// unreachable.
+  double Distance(NodeId src, NodeId dst);
+
+  /// Shortcut arcs added during preprocessing.
+  std::size_t NumShortcuts() const { return num_shortcuts_; }
+
+  /// Nodes settled by the most recent query (both directions).
+  std::size_t last_settled_count() const { return last_settled_count_; }
+
+  /// Contraction rank of a node (0 = contracted first / least important).
+  std::size_t RankOf(NodeId n) const { return rank_[n.value()]; }
+
+  std::size_t MemoryFootprint() const;
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  struct Arc {
+    std::uint32_t to;
+    double weight;
+  };
+
+  /// Witness search: shortest u->w distance in the remaining graph avoiding
+  /// `excluded`, capped at `limit` settled nodes and `cutoff` distance.
+  double WitnessDistance(std::uint32_t from, std::uint32_t target,
+                         std::uint32_t excluded, double cutoff);
+
+  /// Shortcuts needed if `v` were contracted now (returned, not applied).
+  std::vector<std::pair<Arc, std::uint32_t>> SimulateContract(
+      std::uint32_t v, bool apply);
+
+  /// Priority term: edge difference + contracted-neighbor count.
+  double ContractPriority(std::uint32_t v);
+
+  std::size_t n_;
+  ChOptions options_;
+
+  // Remaining-graph adjacency during construction (forward and backward).
+  std::vector<std::vector<Arc>> fwd_;
+  std::vector<std::vector<Arc>> bwd_;
+  std::vector<bool> contracted_;
+  std::vector<std::uint32_t> contracted_neighbors_;
+  std::vector<std::size_t> rank_;
+
+  // Final search graphs: upward arcs for the forward search, and upward
+  // arcs of the reverse graph for the backward search.
+  std::vector<std::vector<Arc>> up_;
+  std::vector<std::vector<Arc>> down_;
+
+  // Query state (reused).
+  IndexedMinHeap fwd_heap_;
+  IndexedMinHeap bwd_heap_;
+  std::vector<double> fwd_dist_;
+  std::vector<double> bwd_dist_;
+  std::vector<std::uint32_t> fwd_mark_;
+  std::vector<std::uint32_t> bwd_mark_;
+  std::uint32_t generation_ = 0;
+
+  // Witness-search state (reused).
+  std::vector<double> wit_dist_;
+  std::vector<std::uint32_t> wit_mark_;
+  std::uint32_t wit_generation_ = 0;
+  IndexedMinHeap wit_heap_;
+
+  std::size_t num_shortcuts_ = 0;
+  std::size_t last_settled_count_ = 0;
+};
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_CONTRACTION_HIERARCHY_H_

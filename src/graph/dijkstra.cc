@@ -1,0 +1,221 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xar {
+
+DijkstraEngine::DijkstraEngine(const RoadGraph& graph)
+    : graph_(graph),
+      heap_(graph.NumNodes()),
+      dist_(graph.NumNodes(), kInf),
+      visit_mark_(graph.NumNodes(), 0),
+      parent_(graph.NumNodes()) {}
+
+void DijkstraEngine::Reset() {
+  ++generation_;
+  heap_.Clear();
+  last_settled_count_ = 0;
+}
+
+template <typename DoneFn>
+void DijkstraEngine::Run(NodeId src, Metric metric, bool record_parents,
+                         DoneFn done) {
+  Reset();
+  SetDist(src.value(), 0.0);
+  if (record_parents) parent_[src.value()] = NodeId::Invalid();
+  heap_.Push(src.value(), 0.0);
+  while (!heap_.empty()) {
+    std::size_t u = heap_.PopMin();
+    ++last_settled_count_;
+    if (done(NodeId(static_cast<NodeId::underlying_type>(u)))) return;
+    double du = Dist(u);
+    for (const RoadEdge& e :
+         graph_.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      double w = RoadGraph::EdgeWeight(e, metric);
+      if (w == kInf) continue;
+      double nd = du + w;
+      std::size_t v = e.to.value();
+      if (nd < Dist(v)) {
+        SetDist(v, nd);
+        if (record_parents)
+          parent_[v] = NodeId(static_cast<NodeId::underlying_type>(u));
+        heap_.PushOrDecrease(v, nd);
+      }
+    }
+  }
+}
+
+double DijkstraEngine::Distance(NodeId src, NodeId dst, Metric metric) {
+  Run(src, metric, /*record_parents=*/false,
+      [dst](NodeId settled) { return settled == dst; });
+  return Dist(dst.value());
+}
+
+Path DijkstraEngine::ShortestPath(NodeId src, NodeId dst, Metric metric) {
+  Run(src, metric, /*record_parents=*/true,
+      [dst](NodeId settled) { return settled == dst; });
+  Path path;
+  if (Dist(dst.value()) == kInf) return path;
+
+  // Reconstruct node chain.
+  for (NodeId v = dst; v.valid(); v = parent_[v.value()]) {
+    path.nodes.push_back(v);
+    if (v == src) break;
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+
+  // Accumulate both metrics along the chain (cheapest matching edge per hop).
+  path.length_m = 0;
+  path.time_s = 0;
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    const RoadEdge* best = nullptr;
+    double best_w = kInf;
+    for (const RoadEdge& e : graph_.OutEdges(path.nodes[i])) {
+      if (e.to != path.nodes[i + 1]) continue;
+      double w = RoadGraph::EdgeWeight(e, metric);
+      if (w < best_w) {
+        best_w = w;
+        best = &e;
+      }
+    }
+    assert(best != nullptr);
+    path.length_m += best->length_m;
+    path.time_s += best->time_s;
+  }
+  return path;
+}
+
+std::vector<double> DijkstraEngine::DistancesToMany(
+    NodeId src, const std::vector<NodeId>& targets, Metric metric) {
+  // Mark targets for O(1) membership tests.
+  std::vector<std::uint8_t> is_target(graph_.NumNodes(), 0);
+  std::size_t remaining = 0;
+  for (NodeId t : targets) {
+    if (!is_target[t.value()]) {
+      is_target[t.value()] = 1;
+      ++remaining;
+    }
+  }
+  Run(src, metric, /*record_parents=*/false, [&](NodeId settled) {
+    if (is_target[settled.value()]) {
+      is_target[settled.value()] = 0;
+      if (--remaining == 0) return true;
+    }
+    return false;
+  });
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (NodeId t : targets) out.push_back(Dist(t.value()));
+  return out;
+}
+
+std::vector<std::pair<NodeId, double>> DijkstraEngine::NodesWithin(
+    NodeId src, double bound, Metric metric) {
+  std::vector<std::pair<NodeId, double>> settled;
+  Run(src, metric, /*record_parents=*/false, [&](NodeId u) {
+    double d = Dist(u.value());
+    if (d > bound) return true;  // Monotone frontier: all later pops exceed.
+    settled.emplace_back(u, d);
+    return false;
+  });
+  return settled;
+}
+
+BidirectionalDijkstra::BidirectionalDijkstra(const RoadGraph& graph)
+    : graph_(graph),
+      fwd_heap_(graph.NumNodes()),
+      bwd_heap_(graph.NumNodes()),
+      fwd_dist_(graph.NumNodes(), kInf),
+      bwd_dist_(graph.NumNodes(), kInf),
+      fwd_mark_(graph.NumNodes(), 0),
+      bwd_mark_(graph.NumNodes(), 0) {
+  // Build reverse CSR once.
+  std::size_t n = graph.NumNodes();
+  rev_offsets_.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const RoadEdge& e :
+         graph.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      ++rev_offsets_[e.to.value() + 1];
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) rev_offsets_[i] += rev_offsets_[i - 1];
+  rev_edges_.resize(graph.NumEdges());
+  std::vector<std::size_t> cursor(rev_offsets_.begin(), rev_offsets_.end() - 1);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const RoadEdge& e :
+         graph.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      RoadEdge rev = e;
+      rev.to = NodeId(static_cast<NodeId::underlying_type>(u));
+      rev_edges_[cursor[e.to.value()]++] = rev;
+    }
+  }
+}
+
+double BidirectionalDijkstra::Distance(NodeId src, NodeId dst, Metric metric) {
+  if (src == dst) return 0.0;
+  ++generation_;
+  fwd_heap_.Clear();
+  bwd_heap_.Clear();
+
+  auto fdist = [&](std::size_t v) {
+    return fwd_mark_[v] == generation_ ? fwd_dist_[v] : kInf;
+  };
+  auto bdist = [&](std::size_t v) {
+    return bwd_mark_[v] == generation_ ? bwd_dist_[v] : kInf;
+  };
+
+  fwd_dist_[src.value()] = 0.0;
+  fwd_mark_[src.value()] = generation_;
+  bwd_dist_[dst.value()] = 0.0;
+  bwd_mark_[dst.value()] = generation_;
+  fwd_heap_.Push(src.value(), 0.0);
+  bwd_heap_.Push(dst.value(), 0.0);
+
+  double best = kInf;
+  while (!fwd_heap_.empty() || !bwd_heap_.empty()) {
+    double fmin = fwd_heap_.empty() ? kInf : fwd_heap_.MinKey();
+    double bmin = bwd_heap_.empty() ? kInf : bwd_heap_.MinKey();
+    if (fmin + bmin >= best) break;  // Standard stopping criterion.
+
+    bool forward = fmin <= bmin;
+    IndexedMinHeap& heap = forward ? fwd_heap_ : bwd_heap_;
+    std::size_t u = heap.PopMin();
+    double du = forward ? fdist(u) : bdist(u);
+    double other = forward ? bdist(u) : fdist(u);
+    if (other != kInf) best = std::min(best, du + other);
+
+    if (forward) {
+      for (const RoadEdge& e :
+           graph_.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+        double w = RoadGraph::EdgeWeight(e, metric);
+        if (w == kInf) continue;
+        std::size_t v = e.to.value();
+        double nd = du + w;
+        if (nd < fdist(v)) {
+          fwd_dist_[v] = nd;
+          fwd_mark_[v] = generation_;
+          fwd_heap_.PushOrDecrease(v, nd);
+          if (bdist(v) != kInf) best = std::min(best, nd + bdist(v));
+        }
+      }
+    } else {
+      for (std::size_t i = rev_offsets_[u]; i < rev_offsets_[u + 1]; ++i) {
+        const RoadEdge& e = rev_edges_[i];
+        double w = RoadGraph::EdgeWeight(e, metric);
+        if (w == kInf) continue;
+        std::size_t v = e.to.value();
+        double nd = du + w;
+        if (nd < bdist(v)) {
+          bwd_dist_[v] = nd;
+          bwd_mark_[v] = generation_;
+          bwd_heap_.PushOrDecrease(v, nd);
+          if (fdist(v) != kInf) best = std::min(best, nd + fdist(v));
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace xar

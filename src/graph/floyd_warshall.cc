@@ -1,0 +1,34 @@
+#include "graph/floyd_warshall.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace xar {
+
+std::vector<double> FloydWarshallDistances(const RoadGraph& graph,
+                                           Metric metric) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t n = graph.NumNodes();
+  std::vector<double> d(n * n, kInf);
+  for (std::size_t u = 0; u < n; ++u) {
+    d[u * n + u] = 0.0;
+    for (const RoadEdge& e :
+         graph.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      double w = RoadGraph::EdgeWeight(e, metric);
+      if (w < d[u * n + e.to.value()]) d[u * n + e.to.value()] = w;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double dik = d[i * n + k];
+      if (dik == kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        double nd = dik + d[k * n + j];
+        if (nd < d[i * n + j]) d[i * n + j] = nd;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace xar

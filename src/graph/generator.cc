@@ -1,0 +1,247 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace xar {
+namespace {
+
+/// Largest strongly connected component of the drivable subgraph, via
+/// iterative Kosaraju. Returns a keep-mask over node ids.
+std::vector<bool> LargestDrivableScc(const RoadGraph& g) {
+  std::size_t n = g.NumNodes();
+  // Forward and reverse drivable adjacency.
+  std::vector<std::vector<std::uint32_t>> fwd(n), rev(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const RoadEdge& e :
+         g.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      if (!e.drivable) continue;
+      fwd[u].push_back(e.to.value());
+      rev[e.to.value()].push_back(static_cast<std::uint32_t>(u));
+    }
+  }
+
+  // Pass 1: finish order on forward graph.
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    seen[s] = 1;
+    stack.emplace_back(static_cast<std::uint32_t>(s), 0);
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < fwd[u].size()) {
+        std::uint32_t v = fwd[u][next++];
+        if (!seen[v]) {
+          seen[v] = 1;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        order.push_back(u);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Pass 2: components on reverse graph in reverse finish order.
+  std::vector<std::int32_t> comp(n, -1);
+  std::int32_t num_comps = 0;
+  std::vector<std::uint32_t> dfs;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (comp[*it] != -1) continue;
+    dfs.push_back(*it);
+    comp[*it] = num_comps;
+    while (!dfs.empty()) {
+      std::uint32_t u = dfs.back();
+      dfs.pop_back();
+      for (std::uint32_t v : rev[u]) {
+        if (comp[v] == -1) {
+          comp[v] = num_comps;
+          dfs.push_back(v);
+        }
+      }
+    }
+    ++num_comps;
+  }
+
+  std::vector<std::size_t> comp_size(static_cast<std::size_t>(num_comps), 0);
+  for (std::size_t u = 0; u < n; ++u)
+    ++comp_size[static_cast<std::size_t>(comp[u])];
+  std::size_t best = static_cast<std::size_t>(
+      std::max_element(comp_size.begin(), comp_size.end()) -
+      comp_size.begin());
+
+  std::vector<bool> keep(n, false);
+  for (std::size_t u = 0; u < n; ++u) {
+    keep[u] = comp[u] == static_cast<std::int32_t>(best);
+  }
+  return keep;
+}
+
+/// Rebuilds `g` with only the nodes in `keep`, densifying node ids.
+RoadGraph FilterGraph(const RoadGraph& g, const std::vector<bool>& keep) {
+  GraphBuilder builder;
+  std::vector<NodeId> remap(g.NumNodes(), NodeId::Invalid());
+  for (std::size_t u = 0; u < g.NumNodes(); ++u) {
+    if (keep[u]) {
+      remap[u] = builder.AddNode(
+          g.PositionOf(NodeId(static_cast<NodeId::underlying_type>(u))));
+    }
+  }
+  for (std::size_t u = 0; u < g.NumNodes(); ++u) {
+    if (!keep[u]) continue;
+    for (const RoadEdge& e :
+         g.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      if (!keep[e.to.value()]) continue;
+      double speed = e.drivable && e.time_s > 0 ? e.length_m / e.time_s : 0.0;
+      builder.AddArc(remap[u], remap[e.to.value()], e.length_m, speed,
+                     e.drivable, e.walkable);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+RoadGraph GenerateCity(const CityOptions& opt) {
+  assert(opt.rows >= 2 && opt.cols >= 2);
+  Rng rng(opt.seed);
+  GraphBuilder builder;
+
+  // Lattice nodes with positional jitter.
+  std::vector<NodeId> node(opt.rows * opt.cols);
+  auto at = [&](std::size_t r, std::size_t c) -> NodeId& {
+    return node[r * opt.cols + c];
+  };
+  for (std::size_t r = 0; r < opt.rows; ++r) {
+    for (std::size_t c = 0; c < opt.cols; ++c) {
+      double jx = rng.Uniform(-opt.jitter_frac, opt.jitter_frac) * opt.block_m;
+      double jy = rng.Uniform(-opt.jitter_frac, opt.jitter_frac) * opt.block_m;
+      at(r, c) = builder.AddNode(
+          OffsetMeters(opt.origin, static_cast<double>(c) * opt.block_m + jx,
+                       static_cast<double>(r) * opt.block_m + jy));
+    }
+  }
+
+  auto is_avenue_col = [&](std::size_t c) { return c % opt.avenue_every == 0; };
+  auto is_avenue_row = [&](std::size_t r) { return r % opt.avenue_every == 0; };
+
+  // Vertical segments (between row r and r+1 in column c).
+  for (std::size_t c = 0; c < opt.cols; ++c) {
+    for (std::size_t r = 0; r + 1 < opt.rows; ++r) {
+      bool avenue = is_avenue_col(c);
+      if (!avenue && rng.Bernoulli(opt.removed_fraction)) continue;
+      double speed = avenue ? opt.avenue_speed_mps : opt.street_speed_mps;
+      if (!avenue && rng.Bernoulli(opt.one_way_fraction)) {
+        // Alternate direction by column parity, like Manhattan avenues.
+        if (c % 2 == 0) {
+          builder.AddOneWayStreet(at(r, c), at(r + 1, c), speed);
+        } else {
+          builder.AddOneWayStreet(at(r + 1, c), at(r, c), speed);
+        }
+      } else {
+        builder.AddTwoWayStreet(at(r, c), at(r + 1, c), speed);
+      }
+    }
+  }
+
+  // Horizontal segments (between column c and c+1 in row r).
+  for (std::size_t r = 0; r < opt.rows; ++r) {
+    for (std::size_t c = 0; c + 1 < opt.cols; ++c) {
+      bool avenue = is_avenue_row(r);
+      if (!avenue && rng.Bernoulli(opt.removed_fraction)) continue;
+      double speed = avenue ? opt.avenue_speed_mps : opt.street_speed_mps;
+      if (!avenue && rng.Bernoulli(opt.one_way_fraction)) {
+        if (r % 2 == 0) {
+          builder.AddOneWayStreet(at(r, c), at(r, c + 1), speed);
+        } else {
+          builder.AddOneWayStreet(at(r, c + 1), at(r, c), speed);
+        }
+      } else {
+        builder.AddTwoWayStreet(at(r, c), at(r, c + 1), speed);
+      }
+    }
+  }
+
+  // Broadway-style diagonal: fast two-way shortcuts along the main diagonal.
+  if (opt.diagonal_avenue) {
+    std::size_t steps = std::min(opt.rows, opt.cols) - 1;
+    for (std::size_t i = 0; i < steps; ++i) {
+      builder.AddTwoWayStreet(at(i, i), at(i + 1, i + 1),
+                              opt.diagonal_speed_mps);
+    }
+  }
+
+  RoadGraph full = builder.Build();
+  std::vector<bool> keep = LargestDrivableScc(full);
+  return FilterGraph(full, keep);
+}
+
+RoadGraph GenerateRadialCity(const RadialCityOptions& opt) {
+  assert(opt.rings >= 1 && opt.spokes >= 3);
+  Rng rng(opt.seed);
+  GraphBuilder builder;
+
+  NodeId center = builder.AddNode(opt.center);
+  // node(ring, spoke), rings indexed from 1.
+  std::vector<NodeId> nodes(opt.rings * opt.spokes);
+  auto at = [&](std::size_t ring, std::size_t spoke) -> NodeId& {
+    return nodes[(ring - 1) * opt.spokes + spoke];
+  };
+  constexpr double kTau = 6.283185307179586;
+  for (std::size_t ring = 1; ring <= opt.rings; ++ring) {
+    double radius = static_cast<double>(ring) * opt.ring_spacing_m;
+    for (std::size_t s = 0; s < opt.spokes; ++s) {
+      double angle = kTau * static_cast<double>(s) /
+                     static_cast<double>(opt.spokes);
+      at(ring, s) = builder.AddNode(OffsetMeters(
+          opt.center, radius * std::sin(angle), radius * std::cos(angle)));
+    }
+  }
+
+  // Spokes: center -> ring 1 -> ... -> outermost ring (arterial two-ways;
+  // outer segments occasionally missing).
+  for (std::size_t s = 0; s < opt.spokes; ++s) {
+    builder.AddTwoWayStreet(center, at(1, s), opt.spoke_speed_mps);
+    for (std::size_t ring = 1; ring + 1 <= opt.rings; ++ring) {
+      if (ring >= 2 && rng.Bernoulli(opt.removed_fraction)) continue;
+      builder.AddTwoWayStreet(at(ring, s), at(ring + 1, s),
+                              opt.spoke_speed_mps);
+    }
+  }
+
+  // Rings: adjacent spokes on the same ring; whole rings may be one-way
+  // with direction alternating by ring parity (inner ring always two-way so
+  // the center stays richly connected).
+  for (std::size_t ring = 1; ring <= opt.rings; ++ring) {
+    bool one_way = ring > 1 && rng.Bernoulli(opt.one_way_ring_fraction);
+    bool clockwise = ring % 2 == 0;
+    for (std::size_t s = 0; s < opt.spokes; ++s) {
+      std::size_t next = (s + 1) % opt.spokes;
+      if (ring > 1 && rng.Bernoulli(opt.removed_fraction)) continue;
+      if (one_way) {
+        if (clockwise) {
+          builder.AddOneWayStreet(at(ring, s), at(ring, next),
+                                  opt.ring_speed_mps);
+        } else {
+          builder.AddOneWayStreet(at(ring, next), at(ring, s),
+                                  opt.ring_speed_mps);
+        }
+      } else {
+        builder.AddTwoWayStreet(at(ring, s), at(ring, next),
+                                opt.ring_speed_mps);
+      }
+    }
+  }
+
+  RoadGraph full = builder.Build();
+  std::vector<bool> keep = LargestDrivableScc(full);
+  return FilterGraph(full, keep);
+}
+
+}  // namespace xar

@@ -1,0 +1,64 @@
+#ifndef XAR_GRAPH_GENERATOR_H_
+#define XAR_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "geo/latlng.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// Parameters for the synthetic Manhattan-style city generator.
+///
+/// This is the reproduction's substitute for the paper's OpenStreetMap NYC
+/// extract (see DESIGN.md §1): a jittered lattice with avenue/street speed
+/// classes, alternating one-way streets, randomly missing street segments
+/// and an optional high-speed diagonal. One-ways and missing segments make
+/// driving distance genuinely asymmetric and longer than walking distance,
+/// which is exactly what exercises XAR's walkable-cluster and Δ-miss logic.
+struct CityOptions {
+  std::size_t rows = 24;          ///< lattice intersections north-south
+  std::size_t cols = 24;          ///< lattice intersections east-west
+  double block_m = 250.0;         ///< nominal block edge length
+  double jitter_frac = 0.15;      ///< node position jitter as fraction of block
+  std::size_t avenue_every = 5;   ///< every k-th row/col is a two-way avenue
+  double one_way_fraction = 0.6;  ///< chance a minor street is one-way
+  double removed_fraction = 0.06; ///< chance a street segment is missing
+  bool diagonal_avenue = true;    ///< add a Broadway-style diagonal
+  double street_speed_mps = 8.33;   ///< ~30 km/h
+  double avenue_speed_mps = 11.11;  ///< ~40 km/h
+  double diagonal_speed_mps = 13.89;///< ~50 km/h
+  LatLng origin{40.700, -74.020};   ///< south-west corner (NYC-ish)
+  std::uint64_t seed = 42;
+};
+
+/// Generates a synthetic city road network. The result is guaranteed to be
+/// strongly connected for driving (nodes outside the largest drivable SCC
+/// are dropped and ids re-densified).
+RoadGraph GenerateCity(const CityOptions& options);
+
+/// Parameters for the radial (European-style) city generator: concentric
+/// ring roads crossed by spokes radiating from the center, with ring
+/// one-ways alternating direction. Exercises topologies the lattice
+/// generator cannot — curved detours, hub-and-spoke shortest paths and a
+/// dense center — useful for validating that nothing in the stack assumes
+/// grid-like streets.
+struct RadialCityOptions {
+  std::size_t rings = 6;            ///< concentric ring roads
+  std::size_t spokes = 12;          ///< radial roads
+  double ring_spacing_m = 500.0;    ///< distance between rings
+  double one_way_ring_fraction = 0.5;  ///< chance a ring is one-way
+  double removed_fraction = 0.05;   ///< chance a segment is missing
+  double spoke_speed_mps = 11.11;   ///< spokes are arterial
+  double ring_speed_mps = 8.33;
+  LatLng center{40.740, -73.975};
+  std::uint64_t seed = 7;
+};
+
+/// Generates a radial city; same strong-connectivity guarantee as
+/// GenerateCity.
+RoadGraph GenerateRadialCity(const RadialCityOptions& options);
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_GENERATOR_H_

@@ -1,0 +1,84 @@
+#include "graph/oracle.h"
+
+namespace xar {
+namespace {
+
+std::uint64_t PackKey(NodeId from, NodeId to, Metric metric) {
+  return (static_cast<std::uint64_t>(from.value()) << 34) |
+         (static_cast<std::uint64_t>(to.value()) << 2) |
+         static_cast<std::uint64_t>(metric);
+}
+
+}  // namespace
+
+GraphOracle::GraphOracle(const RoadGraph& graph, std::size_t cache_capacity)
+    : graph_(graph),
+      astar_(graph),
+      dijkstra_(graph),
+      cache_capacity_(cache_capacity) {}
+
+double GraphOracle::CachedDistance(NodeId from, NodeId to, Metric metric) {
+  if (cache_capacity_ == 0) {
+    ++computations_;
+    return astar_.Distance(from, to, metric);
+  }
+  std::uint64_t key = PackKey(from, to, metric);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.distance;
+  }
+  ++computations_;
+  double d = astar_.Distance(from, to, metric);
+  lru_.push_front(key);
+  cache_.emplace(key, CacheEntry{d, lru_.begin()});
+  if (cache_.size() > cache_capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return d;
+}
+
+double GraphOracle::DriveDistance(NodeId from, NodeId to) {
+  return CachedDistance(from, to, Metric::kDriveDistance);
+}
+
+double GraphOracle::DriveTime(NodeId from, NodeId to) {
+  return CachedDistance(from, to, Metric::kDriveTime);
+}
+
+double GraphOracle::WalkDistance(NodeId from, NodeId to) {
+  return CachedDistance(from, to, Metric::kWalkDistance);
+}
+
+Path GraphOracle::DriveRoute(NodeId from, NodeId to) {
+  ++computations_;
+  return astar_.ShortestPath(from, to, Metric::kDriveDistance);
+}
+
+HaversineOracle::HaversineOracle(const RoadGraph& graph,
+                                 double drive_speed_mps)
+    : graph_(graph), drive_speed_mps_(drive_speed_mps) {}
+
+double HaversineOracle::DriveDistance(NodeId from, NodeId to) {
+  return HaversineMeters(graph_.PositionOf(from), graph_.PositionOf(to));
+}
+
+double HaversineOracle::DriveTime(NodeId from, NodeId to) {
+  return DriveDistance(from, to) / drive_speed_mps_;
+}
+
+double HaversineOracle::WalkDistance(NodeId from, NodeId to) {
+  return DriveDistance(from, to);
+}
+
+Path HaversineOracle::DriveRoute(NodeId from, NodeId to) {
+  Path p;
+  p.nodes = {from, to};
+  p.length_m = DriveDistance(from, to);
+  p.time_s = DriveTime(from, to);
+  return p;
+}
+
+}  // namespace xar

@@ -1,0 +1,100 @@
+#ifndef XAR_GRAPH_ORACLE_H_
+#define XAR_GRAPH_ORACLE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "graph/astar.h"
+#include "graph/dijkstra.h"
+#include "graph/path.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// Point-to-point distance/route provider.
+///
+/// Everything above the graph layer (discretization, XAR booking/creation,
+/// T-Share's lazy shortest paths, the MMTP) talks to this interface, which
+/// makes the routing backend swappable: real routing, haversine (the paper's
+/// Fig. 5a T-Share variant) or a test double.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Driving distance in meters; +inf if unreachable.
+  virtual double DriveDistance(NodeId from, NodeId to) = 0;
+
+  /// Driving time in seconds; +inf if unreachable.
+  virtual double DriveTime(NodeId from, NodeId to) = 0;
+
+  /// Walking distance in meters; +inf if unreachable.
+  virtual double WalkDistance(NodeId from, NodeId to) = 0;
+
+  /// Full driving route (shortest by distance). Empty path if unreachable.
+  virtual Path DriveRoute(NodeId from, NodeId to) = 0;
+
+  /// Number of real shortest-path computations performed (cache misses).
+  /// Lets benchmarks report how many shortest paths each operation cost.
+  virtual std::size_t computation_count() const { return 0; }
+};
+
+/// Exact oracle backed by A* / bidirectional Dijkstra over a RoadGraph, with
+/// an LRU result cache (distance queries only; routes are always computed).
+class GraphOracle : public DistanceOracle {
+ public:
+  /// `cache_capacity` = max cached (src,dst,metric) distance entries;
+  /// 0 disables caching.
+  explicit GraphOracle(const RoadGraph& graph,
+                       std::size_t cache_capacity = 1 << 16);
+
+  double DriveDistance(NodeId from, NodeId to) override;
+  double DriveTime(NodeId from, NodeId to) override;
+  double WalkDistance(NodeId from, NodeId to) override;
+  Path DriveRoute(NodeId from, NodeId to) override;
+
+  std::size_t computation_count() const override { return computations_; }
+  std::size_t cache_hit_count() const { return cache_hits_; }
+
+ private:
+  double CachedDistance(NodeId from, NodeId to, Metric metric);
+
+  const RoadGraph& graph_;
+  AStarEngine astar_;
+  DijkstraEngine dijkstra_;
+
+  // LRU cache keyed by (from, to, metric) packed into 8 bytes.
+  std::size_t cache_capacity_;
+  std::list<std::uint64_t> lru_;
+  struct CacheEntry {
+    double distance;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::size_t computations_ = 0;
+  std::size_t cache_hits_ = 0;
+};
+
+/// Straight-line (haversine) approximation oracle. DriveRoute returns the
+/// two-node direct path. Used for the "no shortest path" T-Share variant and
+/// as a cheap lower-bound oracle in tests.
+class HaversineOracle : public DistanceOracle {
+ public:
+  /// `drive_speed_mps` converts distances to times.
+  explicit HaversineOracle(const RoadGraph& graph,
+                           double drive_speed_mps = 8.33);
+
+  double DriveDistance(NodeId from, NodeId to) override;
+  double DriveTime(NodeId from, NodeId to) override;
+  double WalkDistance(NodeId from, NodeId to) override;
+  Path DriveRoute(NodeId from, NodeId to) override;
+
+ private:
+  const RoadGraph& graph_;
+  double drive_speed_mps_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_ORACLE_H_

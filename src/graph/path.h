@@ -1,0 +1,24 @@
+#ifndef XAR_GRAPH_PATH_H_
+#define XAR_GRAPH_PATH_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace xar {
+
+/// A shortest path through the road network. `nodes` lists the way-points
+/// from source to destination inclusive; an unreachable pair yields an empty
+/// node list and infinite weights.
+struct Path {
+  std::vector<NodeId> nodes;
+  double length_m = std::numeric_limits<double>::infinity();
+  double time_s = std::numeric_limits<double>::infinity();
+
+  bool Found() const { return !nodes.empty(); }
+};
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_PATH_H_

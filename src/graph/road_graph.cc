@@ -1,0 +1,89 @@
+#include "graph/road_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace xar {
+
+double RoadGraph::EdgeWeight(const RoadEdge& e, Metric metric) {
+  switch (metric) {
+    case Metric::kDriveDistance:
+      return e.drivable ? e.length_m : std::numeric_limits<double>::infinity();
+    case Metric::kDriveTime:
+      return e.drivable ? e.time_s : std::numeric_limits<double>::infinity();
+    case Metric::kWalkDistance:
+      return e.walkable ? e.length_m : std::numeric_limits<double>::infinity();
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+std::size_t RoadGraph::MemoryFootprint() const {
+  return positions_.capacity() * sizeof(LatLng) +
+         offsets_.capacity() * sizeof(std::size_t) +
+         edges_.capacity() * sizeof(RoadEdge) + sizeof(*this);
+}
+
+NodeId GraphBuilder::AddNode(const LatLng& pos) {
+  positions_.push_back(pos);
+  return NodeId(static_cast<NodeId::underlying_type>(positions_.size() - 1));
+}
+
+void GraphBuilder::AddArc(NodeId from, NodeId to, double length_m,
+                          double speed_mps, bool drivable, bool walkable) {
+  assert(from.value() < positions_.size() && to.value() < positions_.size());
+  if (length_m <= 0) {
+    length_m =
+        HaversineMeters(positions_[from.value()], positions_[to.value()]);
+  }
+  RoadEdge e;
+  e.to = to;
+  e.length_m = length_m;
+  e.time_s = drivable && speed_mps > 0 ? length_m / speed_mps : 0.0;
+  e.drivable = drivable;
+  e.walkable = walkable;
+  if (drivable && speed_mps > max_speed_mps_) max_speed_mps_ = speed_mps;
+  arcs_.push_back(PendingArc{from, e});
+}
+
+void GraphBuilder::AddTwoWayStreet(NodeId a, NodeId b, double speed_mps,
+                                   double length_m) {
+  AddArc(a, b, length_m, speed_mps, /*drivable=*/true, /*walkable=*/true);
+  AddArc(b, a, length_m, speed_mps, /*drivable=*/true, /*walkable=*/true);
+}
+
+void GraphBuilder::AddOneWayStreet(NodeId from, NodeId to, double speed_mps,
+                                   double length_m) {
+  AddArc(from, to, length_m, speed_mps, /*drivable=*/true, /*walkable=*/true);
+  // Pedestrians ignore the one-way restriction.
+  AddArc(to, from, length_m, speed_mps, /*drivable=*/false, /*walkable=*/true);
+}
+
+RoadGraph GraphBuilder::Build() {
+  RoadGraph g;
+  g.positions_ = std::move(positions_);
+  g.max_speed_mps_ = max_speed_mps_;
+
+  std::size_t n = g.positions_.size();
+  g.offsets_.assign(n + 1, 0);
+  for (const PendingArc& a : arcs_) {
+    ++g.offsets_[a.from.value() + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.edges_.resize(arcs_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const PendingArc& a : arcs_) {
+    g.edges_[cursor[a.from.value()]++] = a.edge;
+  }
+
+  if (!g.positions_.empty()) {
+    g.bounds_ = BoundingBox{g.positions_[0].lat, g.positions_[0].lng,
+                            g.positions_[0].lat, g.positions_[0].lng};
+    for (const LatLng& p : g.positions_) g.bounds_.Extend(p);
+  }
+  arcs_.clear();
+  return g;
+}
+
+}  // namespace xar

@@ -1,0 +1,80 @@
+#include "graph/serialization.h"
+
+#include <cstdint>
+
+#include "common/io.h"
+
+namespace xar {
+namespace {
+
+constexpr std::uint32_t kGraphMagic = 0x47524158;  // "XARG"
+constexpr std::uint32_t kGraphVersion = 1;
+
+/// Flattened edge record (bools widened for a stable layout).
+struct EdgeRecord {
+  std::uint32_t from;
+  std::uint32_t to;
+  double length_m;
+  double time_s;
+  std::uint8_t drivable;
+  std::uint8_t walkable;
+};
+
+}  // namespace
+
+Status SaveRoadGraph(const RoadGraph& graph, const std::string& path) {
+  BinaryWriter writer(path);
+  writer.Write(kGraphMagic);
+  writer.Write(kGraphVersion);
+
+  std::vector<LatLng> positions;
+  positions.reserve(graph.NumNodes());
+  std::vector<EdgeRecord> edges;
+  edges.reserve(graph.NumEdges());
+  for (std::size_t u = 0; u < graph.NumNodes(); ++u) {
+    NodeId n(static_cast<NodeId::underlying_type>(u));
+    positions.push_back(graph.PositionOf(n));
+    for (const RoadEdge& e : graph.OutEdges(n)) {
+      edges.push_back(EdgeRecord{static_cast<std::uint32_t>(u),
+                                 e.to.value(), e.length_m, e.time_s,
+                                 e.drivable ? std::uint8_t{1} : std::uint8_t{0},
+                                 e.walkable ? std::uint8_t{1} : std::uint8_t{0}});
+    }
+  }
+  writer.WriteVector(positions);
+  writer.WriteVector(edges);
+  return writer.Close();
+}
+
+Result<RoadGraph> LoadRoadGraph(const std::string& path) {
+  BinaryReader reader(path);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  reader.Read(&magic);
+  reader.Read(&version);
+  if (!reader.ok() || magic != kGraphMagic) {
+    return Status::InvalidArgument("not a road-graph snapshot: " + path);
+  }
+  if (version != kGraphVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  std::vector<LatLng> positions;
+  std::vector<EdgeRecord> edges;
+  reader.ReadVector(&positions);
+  reader.ReadVector(&edges);
+  if (!reader.ok()) return Status::Internal("truncated snapshot: " + path);
+
+  GraphBuilder builder;
+  for (const LatLng& p : positions) builder.AddNode(p);
+  for (const EdgeRecord& e : edges) {
+    if (e.from >= positions.size() || e.to >= positions.size()) {
+      return Status::Internal("corrupt snapshot: edge endpoint out of range");
+    }
+    double speed = e.drivable != 0 && e.time_s > 0 ? e.length_m / e.time_s : 0;
+    builder.AddArc(NodeId(e.from), NodeId(e.to), e.length_m, speed,
+                   e.drivable != 0, e.walkable != 0);
+  }
+  return builder.Build();
+}
+
+}  // namespace xar

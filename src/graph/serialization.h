@@ -1,0 +1,20 @@
+#ifndef XAR_GRAPH_SERIALIZATION_H_
+#define XAR_GRAPH_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// Writes a road graph snapshot to `path` (binary, same-machine format).
+Status SaveRoadGraph(const RoadGraph& graph, const std::string& path);
+
+/// Reads a snapshot produced by SaveRoadGraph.
+Result<RoadGraph> LoadRoadGraph(const std::string& path);
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_SERIALIZATION_H_

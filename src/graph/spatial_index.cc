@@ -1,0 +1,69 @@
+#include "graph/spatial_index.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace xar {
+
+SpatialNodeIndex::SpatialNodeIndex(const RoadGraph& graph,
+                                   double bucket_meters)
+    : graph_(graph) {
+  assert(graph.NumNodes() > 0);
+  // Pad the bounds slightly so boundary points map cleanly.
+  BoundingBox b = graph.bounds();
+  LatLng pad_lo = OffsetMeters({b.min_lat, b.min_lng}, -10, -10);
+  LatLng pad_hi = OffsetMeters({b.max_lat, b.max_lng}, 10, 10);
+  buckets_ = GridSpec(BoundingBox{pad_lo.lat, pad_lo.lng, pad_hi.lat,
+                                  pad_hi.lng},
+                      bucket_meters);
+  bucket_nodes_.resize(buckets_.CellCount());
+  for (std::size_t i = 0; i < graph.NumNodes(); ++i) {
+    NodeId n(static_cast<NodeId::underlying_type>(i));
+    bucket_nodes_[buckets_.GridOf(graph.PositionOf(n)).value()].push_back(n);
+  }
+}
+
+NodeId SpatialNodeIndex::NearestNode(const LatLng& p) const {
+  GridId center = buckets_.GridOf(p);
+  NodeId best = NodeId::Invalid();
+  double best_d = std::numeric_limits<double>::infinity();
+  std::size_t max_ring = std::max(buckets_.rows(), buckets_.cols());
+  for (std::size_t ring = 0; ring <= max_ring; ++ring) {
+    // Once we have a candidate, any ring whose nearest possible point is
+    // farther than the candidate cannot improve it.
+    if (best.valid()) {
+      double ring_min_d =
+          (static_cast<double>(ring) - 1.0) * buckets_.cell_meters();
+      if (ring_min_d > best_d) break;
+    }
+    for (GridId g : buckets_.Ring(center, ring)) {
+      for (NodeId n : bucket_nodes_[g.value()]) {
+        double d = EquirectangularMeters(p, graph_.PositionOf(n));
+        if (d < best_d) {
+          best_d = d;
+          best = n;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> SpatialNodeIndex::NodesWithin(const LatLng& p,
+                                                  double radius_m) const {
+  std::vector<NodeId> out;
+  std::size_t rings = static_cast<std::size_t>(
+                          std::ceil(radius_m / buckets_.cell_meters())) +
+                      1;
+  for (GridId g : buckets_.Neighborhood(buckets_.GridOf(p), rings)) {
+    for (NodeId n : bucket_nodes_[g.value()]) {
+      if (EquirectangularMeters(p, graph_.PositionOf(n)) <= radius_m) {
+        out.push_back(n);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xar

@@ -1,0 +1,36 @@
+#ifndef XAR_GRAPH_SPATIAL_INDEX_H_
+#define XAR_GRAPH_SPATIAL_INDEX_H_
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/latlng.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// Grid-bucketed nearest-node lookup over a RoadGraph. Maps arbitrary
+/// lat/lng points (trip pickups, landmarks, transit stops) to their closest
+/// network node in roughly O(1) expected time.
+class SpatialNodeIndex {
+ public:
+  /// `bucket_meters` controls bucket granularity; a few hundred meters is a
+  /// good default for city networks.
+  explicit SpatialNodeIndex(const RoadGraph& graph,
+                            double bucket_meters = 250.0);
+
+  /// Nearest node by straight-line distance. The graph must be non-empty.
+  NodeId NearestNode(const LatLng& p) const;
+
+  /// All nodes within `radius_m` straight-line meters of `p`.
+  std::vector<NodeId> NodesWithin(const LatLng& p, double radius_m) const;
+
+ private:
+  const RoadGraph& graph_;
+  GridSpec buckets_;
+  std::vector<std::vector<NodeId>> bucket_nodes_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_SPATIAL_INDEX_H_

@@ -1,0 +1,161 @@
+#include "graph/text_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xar {
+namespace {
+
+/// Splits a CSV line into up to `max_fields` trimmed fields.
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else if (c != '\r' && c != '\n') {
+      current += c;
+    }
+  }
+  fields.push_back(current);
+  for (std::string& f : fields) {
+    while (!f.empty() && std::isspace(static_cast<unsigned char>(f.front())))
+      f.erase(f.begin());
+    while (!f.empty() && std::isspace(static_cast<unsigned char>(f.back())))
+      f.pop_back();
+  }
+  return fields;
+}
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+/// Reads all data lines of a CSV file (skipping comments and a header).
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, std::size_t min_fields) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  char buf[512];
+  std::size_t line_no = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++line_no;
+    std::string line(buf);
+    if (line.empty() || line[0] == '#' || line == "\n") continue;
+    std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (!LooksNumeric(fields[0])) {
+      if (line_no == 1) continue;  // header
+      std::fclose(f);
+      return Status::InvalidArgument(path + ": non-numeric line " +
+                                     std::to_string(line_no));
+    }
+    if (fields.size() < min_fields) {
+      std::fclose(f);
+      return Status::InvalidArgument(path + ": too few fields on line " +
+                                     std::to_string(line_no));
+    }
+    rows.push_back(std::move(fields));
+  }
+  std::fclose(f);
+  return rows;
+}
+
+}  // namespace
+
+Result<RoadGraph> LoadGraphFromCsv(const std::string& nodes_path,
+                                   const std::string& edges_path) {
+  XAR_ASSIGN_OR_RETURN(auto node_rows, ReadCsv(nodes_path, 3));
+  XAR_ASSIGN_OR_RETURN(auto edge_rows, ReadCsv(edges_path, 6));
+
+  GraphBuilder builder;
+  std::unordered_map<unsigned long long, NodeId> remap;
+  for (const auto& row : node_rows) {
+    unsigned long long ext_id = std::strtoull(row[0].c_str(), nullptr, 10);
+    if (remap.count(ext_id) != 0) {
+      return Status::InvalidArgument(nodes_path + ": duplicate node id " +
+                                     row[0]);
+    }
+    double lat = std::strtod(row[1].c_str(), nullptr);
+    double lng = std::strtod(row[2].c_str(), nullptr);
+    if (lat < -90 || lat > 90 || lng < -180 || lng > 180) {
+      return Status::InvalidArgument(nodes_path + ": bad coordinates for " +
+                                     row[0]);
+    }
+    remap[ext_id] = builder.AddNode(LatLng{lat, lng});
+  }
+
+  for (const auto& row : edge_rows) {
+    auto from = remap.find(std::strtoull(row[0].c_str(), nullptr, 10));
+    auto to = remap.find(std::strtoull(row[1].c_str(), nullptr, 10));
+    if (from == remap.end() || to == remap.end()) {
+      return Status::InvalidArgument(edges_path + ": edge references " +
+                                     "unknown node (" + row[0] + "," +
+                                     row[1] + ")");
+    }
+    double length = std::strtod(row[2].c_str(), nullptr);
+    double speed = std::strtod(row[3].c_str(), nullptr);
+    bool oneway = row[4] != "0";
+    bool walkable = row[5] != "0";
+    if (speed <= 0) {
+      return Status::InvalidArgument(edges_path + ": non-positive speed");
+    }
+    if (oneway) {
+      builder.AddArc(from->second, to->second, length, speed,
+                     /*drivable=*/true, walkable);
+      if (walkable) {
+        // Pedestrians ignore one-ways.
+        builder.AddArc(to->second, from->second, length, speed,
+                       /*drivable=*/false, /*walkable=*/true);
+      }
+    } else {
+      builder.AddArc(from->second, to->second, length, speed, true, walkable);
+      builder.AddArc(to->second, from->second, length, speed, true, walkable);
+    }
+  }
+  if (builder.NumNodes() == 0) {
+    return Status::InvalidArgument(nodes_path + ": no nodes");
+  }
+  return builder.Build();
+}
+
+Status WriteGraphCsv(const RoadGraph& graph, const std::string& nodes_path,
+                     const std::string& edges_path) {
+  std::FILE* nf = std::fopen(nodes_path.c_str(), "w");
+  if (nf == nullptr) return Status::Internal("cannot write " + nodes_path);
+  std::fprintf(nf, "id,lat,lng\n");
+  for (std::size_t i = 0; i < graph.NumNodes(); ++i) {
+    const LatLng& p =
+        graph.PositionOf(NodeId(static_cast<NodeId::underlying_type>(i)));
+    std::fprintf(nf, "%zu,%.7f,%.7f\n", i, p.lat, p.lng);
+  }
+  if (std::fclose(nf) != 0) return Status::Internal("write failed");
+
+  std::FILE* ef = std::fopen(edges_path.c_str(), "w");
+  if (ef == nullptr) return Status::Internal("cannot write " + edges_path);
+  std::fprintf(ef, "from,to,length_m,speed_mps,oneway,walkable\n");
+  for (std::size_t u = 0; u < graph.NumNodes(); ++u) {
+    for (const RoadEdge& e :
+         graph.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      // Every stored arc becomes an explicit one-way record; walk-only
+      // reverse arcs are regenerated by the loader, so skip them here.
+      if (!e.drivable) continue;
+      double speed = e.time_s > 0 ? e.length_m / e.time_s : 1.0;
+      std::fprintf(ef, "%zu,%u,%.3f,%.3f,1,%d\n", u, e.to.value(),
+                   e.length_m, speed, e.walkable ? 1 : 0);
+    }
+  }
+  if (std::fclose(ef) != 0) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+}  // namespace xar

@@ -1,0 +1,32 @@
+#ifndef XAR_GRAPH_TEXT_IO_H_
+#define XAR_GRAPH_TEXT_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// Loads a road network from two CSV files — the bridge for real
+/// (OSM-derived) data.
+///
+/// nodes CSV: `id,lat,lng` — `id` is any non-negative integer (remapped to
+/// dense NodeIds in file order). edges CSV:
+/// `from,to,length_m,speed_mps,oneway,walkable` where `length_m <= 0` means
+/// "use the geometric distance", `oneway`/`walkable` are 0/1, and a two-way
+/// edge contributes arcs in both directions. Lines starting with `#` and a
+/// leading header line (any line whose first field is not a number) are
+/// skipped.
+Result<RoadGraph> LoadGraphFromCsv(const std::string& nodes_path,
+                                   const std::string& edges_path);
+
+/// Writes `graph` in the same CSV pair format (each stored arc emitted as a
+/// one-way edge, so a round-trip preserves the arc set exactly).
+Status WriteGraphCsv(const RoadGraph& graph, const std::string& nodes_path,
+                     const std::string& edges_path);
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_TEXT_IO_H_

@@ -1,0 +1,242 @@
+#include "mmtp/integration.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace xar {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Rider's arrival time at trip-plan point `i` (0 = origin).
+double ArrivalAtPoint(const Journey& plan, std::size_t i) {
+  return i == 0 ? plan.DepartureS() : plan.legs[i - 1].arrival_s;
+}
+
+/// Scheduled departure from point `j` (kInf at the final destination).
+double DepartureFromPoint(const Journey& plan, std::size_t j) {
+  return j >= plan.legs.size() ? kInf : plan.legs[j].depart_s;
+}
+
+/// Location of trip-plan point `i`.
+LatLng PointAt(const Journey& plan, std::size_t i) {
+  return i == 0 ? plan.legs.front().from : plan.legs[i - 1].to;
+}
+
+/// plan.legs[0..i) + ride_legs + plan.legs[j..end), with the post-splice
+/// leg's waiting time recomputed.
+Journey Compose(const Journey& plan, std::size_t i, std::size_t j,
+                const std::vector<JourneyLeg>& ride_legs) {
+  Journey out;
+  out.feasible = true;
+  out.legs.assign(plan.legs.begin(),
+                  plan.legs.begin() + static_cast<std::ptrdiff_t>(i));
+  out.legs.insert(out.legs.end(), ride_legs.begin(), ride_legs.end());
+  for (std::size_t l = j; l < plan.legs.size(); ++l) {
+    JourneyLeg leg = plan.legs[l];
+    if (l == j && !out.legs.empty()) {
+      double arrive = out.legs.back().arrival_s;
+      if (arrive <= leg.depart_s) leg.start_s = arrive;
+    }
+    out.legs.push_back(leg);
+  }
+  return out;
+}
+
+}  // namespace
+
+XarMmtpIntegration::XarMmtpIntegration(const TripPlanner& planner,
+                                       XarSystem& xar,
+                                       IntegrationOptions options)
+    : planner_(planner), xar_(xar), options_(options) {}
+
+std::vector<RideMatch> XarMmtpIntegration::ProbeSegment(
+    const LatLng& from, const LatLng& to, double earliest, double latest,
+    RequestId request_id) const {
+  RideRequest req;
+  req.id = request_id;
+  req.source = from;
+  req.destination = to;
+  req.earliest_departure_s = earliest;
+  req.latest_departure_s = latest;
+  return xar_.Search(req);
+}
+
+std::vector<JourneyLeg> XarMmtpIntegration::RideLegs(const RideMatch& match,
+                                                     const LatLng& from,
+                                                     const LatLng& to,
+                                                     double start_s) const {
+  const RegionIndex& region = xar_.region();
+  LatLng pickup = region.GetLandmark(match.pickup_landmark).position;
+  LatLng dropoff = region.GetLandmark(match.dropoff_landmark).position;
+  double walk_speed = planner_.options().csa.walk_speed_mps;
+
+  std::vector<JourneyLeg> legs;
+  JourneyLeg walk_in;
+  walk_in.mode = LegMode::kWalk;
+  walk_in.from = from;
+  walk_in.to = pickup;
+  walk_in.start_s = walk_in.depart_s = start_s;
+  walk_in.walk_m = match.walk_source_m;
+  walk_in.arrival_s = start_s + match.walk_source_m / walk_speed;
+  legs.push_back(walk_in);
+
+  JourneyLeg ride;
+  ride.mode = LegMode::kRideShare;
+  ride.from = pickup;
+  ride.to = dropoff;
+  ride.start_s = walk_in.arrival_s;
+  ride.depart_s = std::max(match.eta_source_s, walk_in.arrival_s);
+  ride.arrival_s =
+      std::max(match.eta_dest_s, ride.depart_s);  // ETA estimates may cross
+  ride.description = "shared ride #" + std::to_string(match.ride.value());
+  legs.push_back(ride);
+
+  JourneyLeg walk_out;
+  walk_out.mode = LegMode::kWalk;
+  walk_out.from = dropoff;
+  walk_out.to = to;
+  walk_out.start_s = walk_out.depart_s = ride.arrival_s;
+  walk_out.walk_m = match.walk_dest_m;
+  walk_out.arrival_s = ride.arrival_s + match.walk_dest_m / walk_speed;
+  legs.push_back(walk_out);
+  return legs;
+}
+
+IntegrationResult XarMmtpIntegration::Aid(const Journey& plan,
+                                          RequestId request_id) {
+  IntegrationResult result;
+  result.journey = plan;
+  if (!plan.feasible || plan.legs.empty()) return result;
+
+  Journey out;
+  out.feasible = true;
+  for (std::size_t l = 0; l < plan.legs.size(); ++l) {
+    const JourneyLeg& leg = plan.legs[l];
+    bool infeasible = leg.walk_m > options_.infeasible_walk_m ||
+                      (leg.depart_s - leg.start_s) > options_.infeasible_wait_s;
+    if (!infeasible) {
+      out.legs.push_back(leg);
+      continue;
+    }
+    ++result.segments_probed;
+    double start = out.legs.empty() ? leg.start_s : out.legs.back().arrival_s;
+    std::vector<RideMatch> matches =
+        ProbeSegment(leg.from, leg.to, start, start + options_.window_slack_s,
+                     request_id);
+    // Accept the best match only if the substitution does not arrive later
+    // than the original segment (no downstream schedule damage).
+    const RideMatch* chosen = nullptr;
+    std::vector<JourneyLeg> ride_legs;
+    for (const RideMatch& m : matches) {
+      std::vector<JourneyLeg> candidate =
+          RideLegs(m, leg.from, leg.to, start);
+      if (candidate.back().arrival_s <= leg.arrival_s) {
+        chosen = &m;
+        ride_legs = std::move(candidate);
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      out.legs.push_back(leg);
+      continue;
+    }
+    if (options_.book_matches) {
+      RideRequest req;
+      req.id = request_id;
+      req.source = leg.from;
+      req.destination = leg.to;
+      req.earliest_departure_s = start;
+      req.latest_departure_s = start + options_.window_slack_s;
+      if (!xar_.Book(chosen->ride, req, *chosen).ok()) {
+        out.legs.push_back(leg);
+        continue;
+      }
+    }
+    out.legs.insert(out.legs.end(), ride_legs.begin(), ride_legs.end());
+    ++result.segments_replaced;
+  }
+  result.improved = result.segments_replaced > 0;
+  if (result.improved) result.journey = std::move(out);
+  return result;
+}
+
+IntegrationResult XarMmtpIntegration::Enhance(const Journey& plan,
+                                              RequestId request_id) {
+  IntegrationResult result;
+  result.journey = plan;
+  if (!plan.feasible || plan.legs.size() < 2) return result;
+
+  std::size_t num_legs = plan.legs.size();       // points are 0..num_legs
+  std::size_t k = num_legs - 1;                  // intermediate hops
+
+  // Candidate (i, j) point pairs: all non-adjacent pairs for small k, only
+  // endpoint-touching pairs otherwise (paper Section IX-B).
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  if (k <= options_.max_hops_for_all_pairs) {
+    for (std::size_t i = 0; i + 2 <= num_legs; ++i) {
+      for (std::size_t j = i + 2; j <= num_legs; ++j) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  } else {
+    for (std::size_t j = 2; j <= num_legs; ++j) pairs.emplace_back(0, j);
+    for (std::size_t i = 1; i + 2 <= num_legs; ++i) {
+      pairs.emplace_back(i, num_legs);
+    }
+  }
+
+  Journey best = plan;
+  const RideMatch* best_match = nullptr;
+  RideMatch best_match_storage;
+  std::pair<std::size_t, std::size_t> best_pair{0, 0};
+
+  auto better = [](const Journey& a, const Journey& b) {
+    if (a.Hops() != b.Hops()) return a.Hops() < b.Hops();
+    return a.ArrivalS() < b.ArrivalS();
+  };
+
+  for (auto [i, j] : pairs) {
+    ++result.segments_probed;
+    double earliest = ArrivalAtPoint(plan, i);
+    double deadline = DepartureFromPoint(plan, j);
+    std::vector<RideMatch> matches =
+        ProbeSegment(PointAt(plan, i), PointAt(plan, j), earliest,
+                     earliest + options_.window_slack_s, request_id);
+    for (const RideMatch& m : matches) {
+      std::vector<JourneyLeg> legs =
+          RideLegs(m, PointAt(plan, i), PointAt(plan, j), earliest);
+      if (legs.back().arrival_s > deadline) continue;
+      Journey candidate = Compose(plan, i, j, legs);
+      if (better(candidate, best)) {
+        best = candidate;
+        best_match_storage = m;
+        best_match = &best_match_storage;
+        best_pair = {i, j};
+      }
+      break;  // matches are sorted by least walking; first viable is enough
+    }
+  }
+
+  if (best_match != nullptr) {
+    if (options_.book_matches) {
+      RideRequest req;
+      req.id = request_id;
+      req.source = PointAt(plan, best_pair.first);
+      req.destination = PointAt(plan, best_pair.second);
+      req.earliest_departure_s = ArrivalAtPoint(plan, best_pair.first);
+      req.latest_departure_s =
+          req.earliest_departure_s + options_.window_slack_s;
+      if (!xar_.Book(best_match->ride, req, *best_match).ok()) {
+        return result;  // booking raced away; keep the original plan
+      }
+    }
+    result.journey = std::move(best);
+    result.segments_replaced = 1;
+    result.improved = true;
+  }
+  return result;
+}
+
+}  // namespace xar

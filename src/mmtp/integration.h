@@ -1,0 +1,80 @@
+#ifndef XAR_MMTP_INTEGRATION_H_
+#define XAR_MMTP_INTEGRATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "mmtp/trip_planner.h"
+#include "transit/journey.h"
+#include "xar/xar_system.h"
+
+namespace xar {
+
+/// Thresholds and limits for the Section IX integration modes.
+struct IntegrationOptions {
+  /// A trip-plan segment is *infeasible* when it asks for more walking or
+  /// waiting than this (paper Fig. 6 setup: 1 km / 10 min).
+  double infeasible_walk_m = 1000.0;
+  double infeasible_wait_s = 600.0;
+
+  /// Enhancer mode: with at most this many intermediate hops, all
+  /// (k+1 choose 2) non-adjacent point pairs are probed; beyond it, only the
+  /// 2k+1 pairs touching the trip endpoints (paper Section IX-B).
+  std::size_t max_hops_for_all_pairs = 4;
+
+  /// Slack allowed around segment times when forming ride-request windows.
+  double window_slack_s = 300.0;
+
+  /// If true, winning matches are booked on the spot (Fig. 6 RS+PT mode);
+  /// if false the integration only *searches* (look-to-book style probing).
+  bool book_matches = true;
+};
+
+/// Outcome of an Aider/Enhancer pass over one trip plan.
+struct IntegrationResult {
+  Journey journey;                     ///< possibly enhanced plan
+  std::size_t segments_probed = 0;     ///< XAR searches issued
+  std::size_t segments_replaced = 0;   ///< legs replaced by shared rides
+  bool improved = false;
+};
+
+/// The Section IX integration layer: connects a multi-modal trip planner to
+/// a XAR instance, replacing infeasible segments (Aider mode) or probing all
+/// segment combinations for improvements (Enhancer mode).
+class XarMmtpIntegration {
+ public:
+  XarMmtpIntegration(const TripPlanner& planner, XarSystem& xar,
+                     IntegrationOptions options = {});
+
+  /// Aider mode (Section IX-A): for each infeasible segment of `plan`
+  /// (excess walking or waiting), asks XAR for a shared ride covering that
+  /// segment and substitutes the best match.
+  IntegrationResult Aid(const Journey& plan, RequestId request_id);
+
+  /// Enhancer mode (Section IX-B): probes ride-share substitutions for the
+  /// (k+1 choose 2) combinations of trip-plan points (or the 2k+1 endpoint
+  /// pairs when k exceeds the threshold), and applies the substitution that
+  /// improves the plan most (fewer hops, then earlier arrival).
+  IntegrationResult Enhance(const Journey& plan, RequestId request_id);
+
+  const IntegrationOptions& options() const { return options_; }
+
+ private:
+  /// Issues a XAR search for a ride from `from` to `to` in the window
+  /// [earliest, latest]; returns matches sorted by least walking.
+  std::vector<RideMatch> ProbeSegment(const LatLng& from, const LatLng& to,
+                                      double earliest, double latest,
+                                      RequestId request_id) const;
+
+  /// Builds the legs of a ride-share substitution (walk + ride + walk).
+  std::vector<JourneyLeg> RideLegs(const RideMatch& match, const LatLng& from,
+                                   const LatLng& to, double start_s) const;
+
+  const TripPlanner& planner_;
+  XarSystem& xar_;
+  IntegrationOptions options_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_MMTP_INTEGRATION_H_

@@ -1,0 +1,46 @@
+#include "mmtp/trip_planner.h"
+
+namespace xar {
+
+TripPlanner::TripPlanner(const Timetable& timetable,
+                         TripPlannerOptions options)
+    : timetable_(timetable), csa_(timetable, options.csa),
+      options_(options) {}
+
+Journey TripPlanner::WalkOnly(const LatLng& origin,
+                              const LatLng& destination,
+                              double departure_s) const {
+  Journey j;
+  double walk = EquirectangularMeters(origin, destination) *
+                options_.csa.walk_detour_factor;
+  JourneyLeg leg;
+  leg.mode = LegMode::kWalk;
+  leg.from = origin;
+  leg.to = destination;
+  leg.start_s = leg.depart_s = departure_s;
+  leg.arrival_s = departure_s + walk / options_.csa.walk_speed_mps;
+  leg.walk_m = walk;
+  j.legs.push_back(leg);
+  j.feasible = true;
+  return j;
+}
+
+Journey TripPlanner::PlanTrip(const LatLng& origin,
+                              const LatLng& destination,
+                              double departure_s) const {
+  Journey transit = csa_.EarliestArrival(origin, destination, departure_s);
+  double direct = EquirectangularMeters(origin, destination);
+  bool walk_allowed = direct * options_.csa.walk_detour_factor <=
+                      options_.direct_walk_max_m;
+  if (!transit.feasible) {
+    if (walk_allowed) return WalkOnly(origin, destination, departure_s);
+    return transit;  // infeasible
+  }
+  if (walk_allowed) {
+    Journey walk = WalkOnly(origin, destination, departure_s);
+    if (walk.ArrivalS() <= transit.ArrivalS()) return walk;
+  }
+  return transit;
+}
+
+}  // namespace xar

@@ -1,0 +1,48 @@
+#ifndef XAR_MMTP_TRIP_PLANNER_H_
+#define XAR_MMTP_TRIP_PLANNER_H_
+
+#include "geo/latlng.h"
+#include "transit/csa.h"
+#include "transit/journey.h"
+#include "transit/timetable.h"
+
+namespace xar {
+
+/// Options of the multi-modal trip planner.
+struct TripPlannerOptions {
+  CsaOptions csa;
+  /// Trips shorter than this may be answered with a pure walking plan when
+  /// walking beats transit.
+  double direct_walk_max_m = 2000.0;
+};
+
+/// The multi-modal trip planner (OpenTripPlanner stand-in): walking +
+/// scheduled transit via the Connection Scan planner. Produces Journey
+/// objects whose legs the XAR integration modes (Section IX) inspect and
+/// enhance.
+class TripPlanner {
+ public:
+  explicit TripPlanner(const Timetable& timetable,
+                       TripPlannerOptions options = {});
+
+  /// Best door-to-door plan departing at/after `departure_s`: the earliest
+  /// arriving of {transit journey, pure walk (if within the walk cap)}.
+  /// Journey.feasible == false when neither mode can serve the trip.
+  Journey PlanTrip(const LatLng& origin, const LatLng& destination,
+                   double departure_s) const;
+
+  /// A pure walking journey (always well-formed; caller checks distance).
+  Journey WalkOnly(const LatLng& origin, const LatLng& destination,
+                   double departure_s) const;
+
+  const TripPlannerOptions& options() const { return options_; }
+
+ private:
+  const Timetable& timetable_;
+  ConnectionScanPlanner csa_;
+  TripPlannerOptions options_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_MMTP_TRIP_PLANNER_H_

@@ -1,0 +1,243 @@
+#include "schedule/kinetic_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace xar {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+KineticTree::KineticTree(NodeId origin, double start_time_s, int capacity,
+                         DistanceOracle& oracle)
+    : oracle_(&oracle),
+      position_(origin),
+      time_s_(start_time_s),
+      capacity_(capacity) {
+  assert(capacity >= 1);
+}
+
+std::unique_ptr<KineticTree::Node> KineticTree::CopyRebased(
+    const Node& node, NodeId from, double at_time, int onboard) const {
+  double arrival = at_time + oracle_->DriveTime(from, node.stop.node);
+  if (arrival > node.stop.deadline_s) return nullptr;
+  int onboard_after = onboard + (node.stop.is_pickup ? 1 : -1);
+  if (onboard_after > capacity_ || onboard_after < 0) return nullptr;
+
+  auto copy = std::make_unique<Node>();
+  copy->stop = node.stop;
+  copy->arrival_s = arrival;
+  copy->onboard_after = onboard_after;
+  for (const std::unique_ptr<Node>& child : node.children) {
+    std::unique_ptr<Node> rebased =
+        CopyRebased(*child, node.stop.node, arrival, onboard_after);
+    if (rebased != nullptr) copy->children.push_back(std::move(rebased));
+  }
+  // A non-leaf whose orderings all died cannot serve its remaining stops.
+  if (!node.children.empty() && copy->children.empty()) return nullptr;
+  return copy;
+}
+
+std::vector<std::unique_ptr<KineticTree::Node>> KineticTree::InsertInto(
+    const std::vector<std::unique_ptr<Node>>& children, NodeId from,
+    double at_time, int onboard, const ScheduleStop& stop,
+    const ScheduleStop* then) const {
+  std::vector<std::unique_ptr<Node>> result;
+
+  // Option A: serve `stop` next, then everything else (with `then`, if any,
+  // inserted somewhere below it).
+  double arrival = at_time + oracle_->DriveTime(from, stop.node);
+  int onboard_after = onboard + (stop.is_pickup ? 1 : -1);
+  if (arrival <= stop.deadline_s && onboard_after <= capacity_ &&
+      onboard_after >= 0) {
+    std::vector<std::unique_ptr<Node>> kids;
+    if (then != nullptr) {
+      kids = InsertInto(children, stop.node, arrival, onboard_after, *then,
+                        nullptr);
+    } else {
+      for (const std::unique_ptr<Node>& child : children) {
+        std::unique_ptr<Node> rebased =
+            CopyRebased(*child, stop.node, arrival, onboard_after);
+        if (rebased != nullptr) kids.push_back(std::move(rebased));
+      }
+    }
+    bool needs_kids = !children.empty() || then != nullptr;
+    if (!needs_kids || !kids.empty()) {
+      auto node = std::make_unique<Node>();
+      node->stop = stop;
+      node->arrival_s = arrival;
+      node->onboard_after = onboard_after;
+      node->children = std::move(kids);
+      result.push_back(std::move(node));
+    }
+  }
+
+  // Option B: some existing stop is served first; `stop` (and `then`) go
+  // deeper into that branch.
+  for (const std::unique_ptr<Node>& child : children) {
+    double child_arrival = at_time + oracle_->DriveTime(from,
+                                                        child->stop.node);
+    if (child_arrival > child->stop.deadline_s) continue;
+    int child_onboard = onboard + (child->stop.is_pickup ? 1 : -1);
+    if (child_onboard > capacity_ || child_onboard < 0) continue;
+    std::vector<std::unique_ptr<Node>> deeper =
+        InsertInto(child->children, child->stop.node, child_arrival,
+                   child_onboard, stop, then);
+    if (deeper.empty()) continue;
+    auto node = std::make_unique<Node>();
+    node->stop = child->stop;
+    node->arrival_s = child_arrival;
+    node->onboard_after = child_onboard;
+    node->children = std::move(deeper);
+    result.push_back(std::move(node));
+  }
+  return result;
+}
+
+void KineticTree::BestLeafPath(const Node& node,
+                               std::vector<const Node*>* current,
+                               std::vector<const Node*>* best,
+                               double* best_time) const {
+  current->push_back(&node);
+  if (node.children.empty()) {
+    if (node.arrival_s < *best_time) {
+      *best_time = node.arrival_s;
+      *best = *current;
+    }
+  } else {
+    for (const std::unique_ptr<Node>& child : node.children) {
+      BestLeafPath(*child, current, best, best_time);
+    }
+  }
+  current->pop_back();
+}
+
+std::size_t KineticTree::CountLeaves(const Node& node) const {
+  if (node.children.empty()) return 1;
+  std::size_t total = 0;
+  for (const std::unique_ptr<Node>& child : node.children) {
+    total += CountLeaves(*child);
+  }
+  return total;
+}
+
+double KineticTree::TryInsert(const ScheduleStop& pickup,
+                              const ScheduleStop& dropoff) const {
+  std::vector<std::unique_ptr<Node>> candidate =
+      InsertInto(roots_, position_, time_s_, onboard_, pickup, &dropoff);
+  double best = kInf;
+  std::vector<const Node*> path, best_path;
+  for (const std::unique_ptr<Node>& root : candidate) {
+    BestLeafPath(*root, &path, &best_path, &best);
+  }
+  return best;
+}
+
+bool KineticTree::Insert(const ScheduleStop& pickup,
+                         const ScheduleStop& dropoff) {
+  assert(pickup.is_pickup && !dropoff.is_pickup);
+  assert(pickup.request == dropoff.request);
+  std::vector<std::unique_ptr<Node>> next =
+      InsertInto(roots_, position_, time_s_, onboard_, pickup, &dropoff);
+  if (next.empty()) return false;
+  roots_ = std::move(next);
+  pending_stops_ += 2;
+  return true;
+}
+
+Schedule KineticTree::BestSchedule() const {
+  Schedule schedule;
+  double best = kInf;
+  std::vector<const Node*> path, best_path;
+  for (const std::unique_ptr<Node>& root : roots_) {
+    BestLeafPath(*root, &path, &best_path, &best);
+  }
+  for (const Node* node : best_path) schedule.stops.push_back(node->stop);
+  schedule.completion_time_s = best_path.empty() ? time_s_ : best;
+  return schedule;
+}
+
+std::size_t KineticTree::NumSchedules() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Node>& root : roots_) {
+    total += CountLeaves(*root);
+  }
+  return total;
+}
+
+ScheduleStop KineticTree::AdvanceToNextStop() {
+  assert(!roots_.empty());
+  // Commit to the branch whose best leaf finishes earliest.
+  double best = kInf;
+  std::size_t best_root = 0;
+  std::vector<const Node*> path, best_path;
+  for (std::size_t r = 0; r < roots_.size(); ++r) {
+    double before = best;
+    BestLeafPath(*roots_[r], &path, &best_path, &best);
+    if (best < before) best_root = r;
+  }
+  std::unique_ptr<Node> chosen = std::move(roots_[best_root]);
+  position_ = chosen->stop.node;
+  time_s_ = chosen->arrival_s;
+  onboard_ = chosen->onboard_after;
+  roots_ = std::move(chosen->children);
+  --pending_stops_;
+  return chosen->stop;
+}
+
+namespace {
+
+void EnumerateSchedules(
+    const std::vector<std::pair<ScheduleStop, ScheduleStop>>& riders,
+    std::vector<int>& state,  // 0 = none, 1 = picked, 2 = dropped
+    NodeId at, double time, int onboard, int capacity,
+    DistanceOracle& oracle, std::vector<ScheduleStop>& current,
+    Schedule* best) {
+  bool done = true;
+  for (std::size_t r = 0; r < riders.size(); ++r) {
+    if (state[r] == 2) continue;  // rider fully served
+    done = false;
+    int prev_state = state[r];
+    const ScheduleStop& next =
+        prev_state == 0 ? riders[r].first : riders[r].second;
+    double arrival = time + oracle.DriveTime(at, next.node);
+    if (arrival > next.deadline_s) continue;
+    int onboard_after = onboard + (next.is_pickup ? 1 : -1);
+    if (onboard_after > capacity || onboard_after < 0) continue;
+    state[r] = prev_state + 1;  // 0 -> picked, 1 -> dropped
+    current.push_back(next);
+    EnumerateSchedules(riders, state, next.node, arrival, onboard_after,
+                       capacity, oracle, current, best);
+    current.pop_back();
+    state[r] = prev_state;
+  }
+  if (done) {
+    if (time < best->completion_time_s) {
+      best->completion_time_s = time;
+      best->stops = current;
+    }
+  }
+}
+
+}  // namespace
+
+Schedule BruteForceBestSchedule(
+    NodeId origin, double start_time_s, int capacity, DistanceOracle& oracle,
+    const std::vector<std::pair<ScheduleStop, ScheduleStop>>& riders) {
+  Schedule best;
+  best.completion_time_s = kInf;
+  std::vector<int> state(riders.size(), 0);
+  std::vector<ScheduleStop> current;
+  EnumerateSchedules(riders, state, origin, start_time_s, 0, capacity,
+                     oracle, current, &best);
+  if (best.completion_time_s == kInf) {
+    best.completion_time_s = start_time_s;  // no riders => empty schedule
+    if (!riders.empty()) best.completion_time_s = kInf;
+  }
+  return best;
+}
+
+}  // namespace xar

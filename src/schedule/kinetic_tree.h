@@ -1,0 +1,109 @@
+#ifndef XAR_SCHEDULE_KINETIC_TREE_H_
+#define XAR_SCHEDULE_KINETIC_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "graph/oracle.h"
+#include "schedule/stop.h"
+
+namespace xar {
+
+/// Kinetic-tree schedule maintainer (after Huang et al., VLDB 2014 — the
+/// dynamic scheduling layer the XAR paper names as complementary to its
+/// search index).
+///
+/// The tree's root is the vehicle's current position/time; every root-to-
+/// leaf path is a *feasible* ordering of the outstanding pickup/drop-off
+/// stops (deadlines met, pickup before drop-off, seats never exceeded).
+/// Inserting a new rider explores all placements of their pickup and
+/// drop-off across all retained orderings, pruning infeasible branches —
+/// so the best schedule after any sequence of insertions is exact over the
+/// retained orderings, without re-enumerating permutations from scratch.
+///
+/// Intended scale matches ride sharing: a handful of concurrent riders per
+/// vehicle. Driving times come from the DistanceOracle.
+class KineticTree {
+ public:
+  /// A vehicle at `origin`, free from `start_time_s`, with `capacity` seats
+  /// for riders.
+  KineticTree(NodeId origin, double start_time_s, int capacity,
+              DistanceOracle& oracle);
+
+  KineticTree(const KineticTree&) = delete;
+  KineticTree& operator=(const KineticTree&) = delete;
+  KineticTree(KineticTree&&) = default;
+  KineticTree& operator=(KineticTree&&) = default;
+
+  /// Best completion time if `pickup`+`dropoff` were inserted, without
+  /// committing; +inf when no feasible ordering exists.
+  double TryInsert(const ScheduleStop& pickup,
+                   const ScheduleStop& dropoff) const;
+
+  /// Inserts the rider's stop pair, keeping every feasible ordering.
+  /// Returns false (and leaves the tree unchanged) when infeasible.
+  bool Insert(const ScheduleStop& pickup, const ScheduleStop& dropoff);
+
+  /// Commits the vehicle to the *best* schedule's first stop: the root
+  /// moves there, alternatives that begin differently are discarded.
+  /// Returns the stop served. Requires a non-empty schedule.
+  ScheduleStop AdvanceToNextStop();
+
+  /// Minimum-completion-time ordering among all retained feasible ones.
+  Schedule BestSchedule() const;
+
+  /// Number of feasible orderings currently retained (leaf count).
+  std::size_t NumSchedules() const;
+
+  /// Outstanding stops (any single ordering's length).
+  std::size_t NumPendingStops() const { return pending_stops_; }
+
+  bool empty() const { return pending_stops_ == 0; }
+  NodeId position() const { return position_; }
+  double time() const { return time_s_; }
+
+ private:
+  struct Node {
+    ScheduleStop stop;
+    double arrival_s = 0.0;
+    int onboard_after = 0;  ///< riders on board after serving this stop
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  /// Deep copy with arrival times recomputed from (`from`, `at_time`);
+  /// returns nullptr if the subtree becomes infeasible.
+  std::unique_ptr<Node> CopyRebased(const Node& node, NodeId from,
+                                    double at_time, int onboard) const;
+
+  /// All placements of `stop` into `subtree` (which hangs off `from` at
+  /// `at_time`): as a new node above each child subset point and recursively
+  /// deeper. When `then` is non-null, it is inserted into the subtree below
+  /// each placement of `stop` (the pickup-then-dropoff constraint).
+  std::vector<std::unique_ptr<Node>> InsertInto(
+      const std::vector<std::unique_ptr<Node>>& children, NodeId from,
+      double at_time, int onboard, const ScheduleStop& stop,
+      const ScheduleStop* then) const;
+
+  void BestLeafPath(const Node& node, std::vector<const Node*>* current,
+                    std::vector<const Node*>* best, double* best_time) const;
+  std::size_t CountLeaves(const Node& node) const;
+
+  DistanceOracle* oracle_;
+  NodeId position_;
+  double time_s_;
+  int capacity_;
+  int onboard_ = 0;
+  std::size_t pending_stops_ = 0;
+  std::vector<std::unique_ptr<Node>> roots_;  ///< first-stop alternatives
+};
+
+/// Reference solver: exact best schedule by enumerating all valid
+/// permutations of the stop pairs. Exponential; test oracle only.
+Schedule BruteForceBestSchedule(
+    NodeId origin, double start_time_s, int capacity, DistanceOracle& oracle,
+    const std::vector<std::pair<ScheduleStop, ScheduleStop>>& riders);
+
+}  // namespace xar
+
+#endif  // XAR_SCHEDULE_KINETIC_TREE_H_

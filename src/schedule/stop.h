@@ -1,0 +1,32 @@
+#ifndef XAR_SCHEDULE_STOP_H_
+#define XAR_SCHEDULE_STOP_H_
+
+#include <vector>
+
+#include "common/ids.h"
+
+namespace xar {
+
+/// One scheduled vehicle stop: a rider's pickup or drop-off, with the
+/// latest acceptable arrival time (service-quality deadline).
+struct ScheduleStop {
+  NodeId node;
+  RequestId request;
+  bool is_pickup = false;
+  double deadline_s = 0.0;  ///< latest acceptable arrival
+
+  friend bool operator==(const ScheduleStop& a, const ScheduleStop& b) {
+    return a.node == b.node && a.request == b.request &&
+           a.is_pickup == b.is_pickup && a.deadline_s == b.deadline_s;
+  }
+};
+
+/// A concrete stop ordering with its timing.
+struct Schedule {
+  std::vector<ScheduleStop> stops;
+  double completion_time_s = 0.0;  ///< arrival at the last stop
+};
+
+}  // namespace xar
+
+#endif  // XAR_SCHEDULE_STOP_H_

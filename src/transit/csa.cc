@@ -1,0 +1,196 @@
+#include "transit/csa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace xar {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Label {
+  double tau = kInf;              ///< earliest arrival at the stop
+  int via_connection = -1;        ///< last connection used (-1: on foot)
+  int via_transfer_from = -1;     ///< stop walked from (-1: origin access)
+  double walk_m = 0.0;            ///< walking meters of the foot move
+  bool by_vehicle = false;        ///< arrived sitting in a vehicle
+};
+
+}  // namespace
+
+ConnectionScanPlanner::ConnectionScanPlanner(const Timetable& timetable,
+                                             CsaOptions options)
+    : timetable_(timetable), options_(options) {
+  assert(timetable.finalized());
+}
+
+Journey ConnectionScanPlanner::EarliestArrival(const LatLng& origin,
+                                               const LatLng& destination,
+                                               double departure_s) const {
+  const std::vector<Connection>& conns = timetable_.connections();
+  std::vector<Label> label(timetable_.stops().size());
+  std::vector<int> trip_board(timetable_.trips().size(), -1);
+
+  // Origin access on foot.
+  for (StopId s :
+       timetable_.StopsNear(origin, options_.max_access_walk_m)) {
+    double walk = EquirectangularMeters(
+                      origin, timetable_.GetStop(s).position) *
+                  options_.walk_detour_factor;
+    double tau = departure_s + walk / options_.walk_speed_mps;
+    Label& l = label[s.value()];
+    if (tau < l.tau) {
+      l.tau = tau;
+      l.via_connection = -1;
+      l.via_transfer_from = -1;
+      l.walk_m = walk;
+      l.by_vehicle = false;
+    }
+  }
+
+  // Scan connections departing at/after the earliest possible boarding.
+  auto first = std::lower_bound(
+      conns.begin(), conns.end(), departure_s,
+      [](const Connection& c, double t) { return c.departure_s < t; });
+
+  auto relax_transfers = [&](StopId at) {
+    const Label& from = label[at.value()];
+    for (const Timetable::Transfer& tr : timetable_.TransfersFrom(at)) {
+      double walk = tr.walk_m * options_.walk_detour_factor;
+      double tau = from.tau + walk / options_.walk_speed_mps +
+                   options_.min_transfer_s;
+      Label& to = label[tr.to.value()];
+      if (tau < to.tau) {
+        to.tau = tau;
+        to.via_connection = -1;
+        to.via_transfer_from = static_cast<int>(at.value());
+        to.walk_m = walk;
+        to.by_vehicle = false;
+      }
+    }
+  };
+
+  for (auto it = first; it != conns.end(); ++it) {
+    const Connection& c = *it;
+    std::size_t ci = static_cast<std::size_t>(it - conns.begin());
+    bool reachable = trip_board[c.trip.value()] >= 0;
+    if (!reachable) {
+      const Label& from = label[c.from.value()];
+      double buffer = from.by_vehicle ? options_.min_transfer_s : 0.0;
+      if (from.tau + buffer <= c.departure_s) {
+        reachable = true;
+        trip_board[c.trip.value()] = static_cast<int>(ci);
+      }
+    }
+    if (!reachable) continue;
+    Label& to = label[c.to.value()];
+    if (c.arrival_s < to.tau) {
+      to.tau = c.arrival_s;
+      to.via_connection = static_cast<int>(ci);
+      to.via_transfer_from = -1;
+      to.walk_m = 0.0;
+      to.by_vehicle = true;
+      relax_transfers(c.to);
+    }
+  }
+
+  // Pick the best egress stop.
+  double best_arrival = kInf;
+  int best_stop = -1;
+  double best_egress_walk = 0.0;
+  for (StopId s :
+       timetable_.StopsNear(destination, options_.max_access_walk_m)) {
+    const Label& l = label[s.value()];
+    if (l.tau == kInf) continue;
+    double walk = EquirectangularMeters(destination,
+                                        timetable_.GetStop(s).position) *
+                  options_.walk_detour_factor;
+    double arrival = l.tau + walk / options_.walk_speed_mps;
+    if (arrival < best_arrival) {
+      best_arrival = arrival;
+      best_stop = static_cast<int>(s.value());
+      best_egress_walk = walk;
+    }
+  }
+
+  Journey journey;
+  if (best_stop < 0) return journey;  // infeasible
+
+  // Backward reconstruction into legs (transit legs grouped per trip).
+  std::vector<JourneyLeg> rev;
+  int stop = best_stop;
+  std::size_t guard = conns.size() + timetable_.stops().size() + 4;
+  while (guard-- > 0) {
+    const Label& l = label[static_cast<std::size_t>(stop)];
+    if (l.via_connection >= 0) {
+      const Connection& last = conns[static_cast<std::size_t>(
+          l.via_connection)];
+      int board_ci = trip_board[last.trip.value()];
+      assert(board_ci >= 0);
+      const Connection& boarded =
+          conns[static_cast<std::size_t>(board_ci)];
+      const Label& at_board = label[boarded.from.value()];
+      JourneyLeg leg;
+      leg.mode = LegMode::kTransit;
+      leg.from = timetable_.GetStop(boarded.from).position;
+      leg.to = timetable_.GetStop(last.to).position;
+      leg.start_s = std::min(at_board.tau, boarded.departure_s);
+      leg.depart_s = boarded.departure_s;
+      leg.arrival_s = last.arrival_s;
+      leg.description = timetable_.GetRoute(last.route).name;
+      rev.push_back(leg);
+      stop = static_cast<int>(boarded.from.value());
+    } else if (l.via_transfer_from >= 0) {
+      JourneyLeg leg;
+      leg.mode = LegMode::kWalk;
+      leg.from = timetable_
+                     .GetStop(StopId(static_cast<StopId::underlying_type>(
+                         l.via_transfer_from)))
+                     .position;
+      leg.to = timetable_
+                   .GetStop(StopId(
+                       static_cast<StopId::underlying_type>(stop)))
+                   .position;
+      leg.arrival_s = l.tau;
+      leg.start_s = leg.depart_s =
+          l.tau - l.walk_m / options_.walk_speed_mps;
+      leg.walk_m = l.walk_m;
+      rev.push_back(leg);
+      stop = l.via_transfer_from;
+    } else {
+      // Origin access walk.
+      JourneyLeg leg;
+      leg.mode = LegMode::kWalk;
+      leg.from = origin;
+      leg.to = timetable_
+                   .GetStop(StopId(
+                       static_cast<StopId::underlying_type>(stop)))
+                   .position;
+      leg.arrival_s = l.tau;
+      leg.start_s = leg.depart_s = departure_s;
+      leg.walk_m = l.walk_m;
+      rev.push_back(leg);
+      break;
+    }
+  }
+
+  journey.legs.assign(rev.rbegin(), rev.rend());
+  // Egress walk.
+  JourneyLeg egress;
+  egress.mode = LegMode::kWalk;
+  egress.from = timetable_
+                    .GetStop(StopId(static_cast<StopId::underlying_type>(
+                        best_stop)))
+                    .position;
+  egress.to = destination;
+  egress.start_s = egress.depart_s =
+      label[static_cast<std::size_t>(best_stop)].tau;
+  egress.arrival_s = best_arrival;
+  egress.walk_m = best_egress_walk;
+  journey.legs.push_back(egress);
+  journey.feasible = true;
+  return journey;
+}
+
+}  // namespace xar

@@ -1,0 +1,50 @@
+#ifndef XAR_TRANSIT_CSA_H_
+#define XAR_TRANSIT_CSA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "transit/journey.h"
+#include "transit/timetable.h"
+
+namespace xar {
+
+/// Parameters of the Connection Scan query engine.
+struct CsaOptions {
+  double walk_speed_mps = 1.4;
+  double max_access_walk_m = 1200.0;  ///< origin/destination walk radius
+  double min_transfer_s = 60.0;       ///< buffer when changing vehicles
+  double walk_detour_factor = 1.25;   ///< straight-line -> street factor
+};
+
+/// Earliest-arrival journey planner over a Timetable using the Connection
+/// Scan Algorithm (Dibbelt et al. 2013): one linear sweep over the
+/// departure-sorted connection array per query, with foot access/egress and
+/// transfers. This is the reproduction's OpenTripPlanner substitute for
+/// public-transport legs.
+class ConnectionScanPlanner {
+ public:
+  explicit ConnectionScanPlanner(const Timetable& timetable,
+                                 CsaOptions options = {});
+
+  /// Earliest-arrival journey from `origin` to `destination` departing at or
+  /// after `departure_s`. Journey.feasible == false if no transit journey
+  /// exists (the caller may still fall back to walking).
+  Journey EarliestArrival(const LatLng& origin, const LatLng& destination,
+                          double departure_s) const;
+
+  const CsaOptions& options() const { return options_; }
+
+ private:
+  double WalkSeconds(double meters) const {
+    return meters * options_.walk_detour_factor / options_.walk_speed_mps;
+  }
+
+  const Timetable& timetable_;
+  CsaOptions options_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_TRANSIT_CSA_H_

@@ -1,0 +1,54 @@
+#ifndef XAR_TRANSIT_GTFS_H_
+#define XAR_TRANSIT_GTFS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "geo/latlng.h"
+
+namespace xar {
+
+/// Transit vehicle class, coarse GTFS route_type.
+enum class TransitMode { kSubway, kBus };
+
+/// A transit stop (GTFS stops.txt row).
+struct Stop {
+  StopId id;
+  std::string name;
+  LatLng position;
+};
+
+/// A transit line (GTFS routes.txt row) with its ordered stop sequence and
+/// inter-stop driving times. All trips of a route share the stop pattern.
+struct TransitRoute {
+  RouteId id;
+  std::string name;
+  TransitMode mode = TransitMode::kBus;
+  std::vector<StopId> stops;
+  /// travel_s[i] = scheduled seconds from stops[i] to stops[i+1].
+  std::vector<double> travel_s;
+  double dwell_s = 20.0;  ///< stop dwell time
+};
+
+/// One scheduled vehicle run of a route (GTFS trips.txt + stop_times.txt).
+struct TransitTrip {
+  TripId id;
+  RouteId route;
+  double start_time_s = 0.0;  ///< departure from the first stop
+};
+
+/// An elementary connection: one vehicle moving from one stop to the next
+/// (the unit the Connection Scan Algorithm processes).
+struct Connection {
+  StopId from;
+  StopId to;
+  double departure_s = 0.0;
+  double arrival_s = 0.0;
+  TripId trip;
+  RouteId route;
+};
+
+}  // namespace xar
+
+#endif  // XAR_TRANSIT_GTFS_H_

@@ -1,0 +1,64 @@
+#ifndef XAR_TRANSIT_JOURNEY_H_
+#define XAR_TRANSIT_JOURNEY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "geo/latlng.h"
+
+namespace xar {
+
+/// Mode of one leg of a journey / trip plan.
+enum class LegMode { kWalk, kTransit, kRideShare, kTaxi };
+
+/// One leg of a multi-modal journey. Walk legs carry the walking distance;
+/// transit legs carry the boarding wait; ride-share legs the matched ride.
+struct JourneyLeg {
+  LegMode mode = LegMode::kWalk;
+  LatLng from;
+  LatLng to;
+  double start_s = 0.0;    ///< leg start (includes waiting for transit)
+  double depart_s = 0.0;   ///< vehicle departure (== start_s for walks)
+  double arrival_s = 0.0;
+  double walk_m = 0.0;     ///< nonzero for walk legs
+  std::string description; ///< route name / ride id, for display
+};
+
+/// A complete door-to-door journey.
+struct Journey {
+  std::vector<JourneyLeg> legs;
+  bool feasible = false;
+
+  double DepartureS() const {
+    return legs.empty() ? 0.0 : legs.front().start_s;
+  }
+  double ArrivalS() const {
+    return legs.empty() ? 0.0 : legs.back().arrival_s;
+  }
+  double TravelTimeS() const { return ArrivalS() - DepartureS(); }
+
+  double WalkMeters() const {
+    double w = 0;
+    for (const JourneyLeg& l : legs) w += l.walk_m;
+    return w;
+  }
+  /// Total time spent waiting for vehicles.
+  double WaitTimeS() const {
+    double w = 0;
+    for (const JourneyLeg& l : legs) w += l.depart_s - l.start_s;
+    return w;
+  }
+  /// Number of vehicle boardings minus one (0 for a single-seat journey).
+  int Hops() const {
+    int boardings = 0;
+    for (const JourneyLeg& l : legs) {
+      if (l.mode != LegMode::kWalk) ++boardings;
+    }
+    return boardings > 0 ? boardings - 1 : 0;
+  }
+};
+
+}  // namespace xar
+
+#endif  // XAR_TRANSIT_JOURNEY_H_

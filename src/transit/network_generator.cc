@@ -1,0 +1,98 @@
+#include "transit/network_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace xar {
+namespace {
+
+/// Adds a line with stops along the straight segment a->b, plus the reverse
+/// direction, and schedules trips every `headway_s` across the service day.
+void AddLine(Timetable* tt, const std::string& name, TransitMode mode,
+             const LatLng& a, const LatLng& b, double stop_spacing_m,
+             double speed_mps, double headway_s,
+             const TransitNetworkOptions& opt, Rng& rng) {
+  double length = HaversineMeters(a, b);
+  std::size_t num_stops =
+      std::max<std::size_t>(2, static_cast<std::size_t>(
+                                   std::round(length / stop_spacing_m)) +
+                                   1);
+  std::vector<StopId> stops;
+  std::vector<double> travel;
+  stops.reserve(num_stops);
+  for (std::size_t i = 0; i < num_stops; ++i) {
+    double f = static_cast<double>(i) / static_cast<double>(num_stops - 1);
+    LatLng p{a.lat + f * (b.lat - a.lat), a.lng + f * (b.lng - a.lng)};
+    stops.push_back(
+        tt->AddStop(name + " #" + std::to_string(i + 1), p));
+    if (i > 0) {
+      double seg = length / static_cast<double>(num_stops - 1);
+      travel.push_back(seg / speed_mps);
+    }
+  }
+
+  for (int direction = 0; direction < 2; ++direction) {
+    TransitRoute route;
+    route.name = name + (direction == 0 ? " ->" : " <-");
+    route.mode = mode;
+    route.stops = stops;
+    route.travel_s = travel;
+    if (direction == 1) {
+      std::reverse(route.stops.begin(), route.stops.end());
+      std::reverse(route.travel_s.begin(), route.travel_s.end());
+    }
+    RouteId id = tt->AddRoute(std::move(route));
+    // Random phase so lines are not synchronized.
+    double phase = rng.Uniform(0.0, headway_s);
+    for (double t = opt.service_start_s + phase; t < opt.service_end_s;
+         t += headway_s) {
+      tt->AddTrip(id, t);
+    }
+  }
+}
+
+}  // namespace
+
+Timetable GenerateTransitNetwork(const BoundingBox& bounds,
+                                 const TransitNetworkOptions& opt) {
+  Timetable tt;
+  Rng rng(opt.seed);
+
+  // Subway trunks: evenly spaced north-south lines.
+  for (std::size_t i = 0; i < opt.subway_lines; ++i) {
+    double f = (static_cast<double>(i) + 1.0) /
+               (static_cast<double>(opt.subway_lines) + 1.0);
+    double lng = bounds.min_lng + f * (bounds.max_lng - bounds.min_lng);
+    AddLine(&tt, "Subway " + std::to_string(i + 1), TransitMode::kSubway,
+            LatLng{bounds.min_lat, lng}, LatLng{bounds.max_lat, lng},
+            opt.subway_stop_spacing_m, opt.subway_speed_mps,
+            opt.subway_headway_s, opt, rng);
+  }
+  if (opt.diagonal_subway) {
+    AddLine(&tt, "Subway X", TransitMode::kSubway,
+            LatLng{bounds.min_lat, bounds.min_lng},
+            LatLng{bounds.max_lat, bounds.max_lng},
+            opt.subway_stop_spacing_m, opt.subway_speed_mps,
+            opt.subway_headway_s, opt, rng);
+  }
+
+  // Bus corridors: evenly spaced east-west lines.
+  for (std::size_t i = 0; i < opt.bus_lines; ++i) {
+    double f = (static_cast<double>(i) + 1.0) /
+               (static_cast<double>(opt.bus_lines) + 1.0);
+    double lat = bounds.min_lat + f * (bounds.max_lat - bounds.min_lat);
+    AddLine(&tt, "Bus " + std::to_string(i + 1), TransitMode::kBus,
+            LatLng{lat, bounds.min_lng}, LatLng{lat, bounds.max_lng},
+            opt.bus_stop_spacing_m, opt.bus_speed_mps, opt.bus_headway_s,
+            opt, rng);
+  }
+
+  tt.Finalize();
+  return tt;
+}
+
+}  // namespace xar

@@ -1,0 +1,35 @@
+#ifndef XAR_TRANSIT_NETWORK_GENERATOR_H_
+#define XAR_TRANSIT_NETWORK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "geo/latlng.h"
+#include "transit/timetable.h"
+
+namespace xar {
+
+/// Parameters for the synthetic transit network (the reproduction's NY GTFS
+/// substitute, DESIGN.md §1): a few fast subway trunk lines plus a grid of
+/// slower bus lines, each running both directions all service day.
+struct TransitNetworkOptions {
+  std::size_t subway_lines = 3;       ///< north-south trunks (+1 diagonal)
+  std::size_t bus_lines = 6;          ///< east-west bus corridors
+  double subway_stop_spacing_m = 800.0;
+  double bus_stop_spacing_m = 400.0;
+  double subway_speed_mps = 14.0;     ///< ~50 km/h between stops
+  double bus_speed_mps = 5.5;         ///< ~20 km/h between stops
+  double subway_headway_s = 420.0;    ///< 7 minutes
+  double bus_headway_s = 780.0;       ///< 13 minutes
+  double service_start_s = 5 * 3600.0;
+  double service_end_s = 24 * 3600.0;
+  bool diagonal_subway = true;
+  std::uint64_t seed = 23;
+};
+
+/// Builds and finalizes a timetable covering `bounds`.
+Timetable GenerateTransitNetwork(const BoundingBox& bounds,
+                                 const TransitNetworkOptions& options);
+
+}  // namespace xar
+
+#endif  // XAR_TRANSIT_NETWORK_GENERATOR_H_

@@ -1,0 +1,95 @@
+#include "transit/timetable.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xar {
+
+StopId Timetable::AddStop(std::string name, const LatLng& position) {
+  assert(!finalized_);
+  StopId id(static_cast<StopId::underlying_type>(stops_.size()));
+  stops_.push_back(Stop{id, std::move(name), position});
+  return id;
+}
+
+RouteId Timetable::AddRoute(TransitRoute route) {
+  assert(!finalized_);
+  assert(route.stops.size() >= 2);
+  assert(route.travel_s.size() + 1 == route.stops.size());
+  route.id = RouteId(static_cast<RouteId::underlying_type>(routes_.size()));
+  routes_.push_back(std::move(route));
+  return routes_.back().id;
+}
+
+TripId Timetable::AddTrip(RouteId route, double start_time_s) {
+  assert(!finalized_);
+  TripId id(static_cast<TripId::underlying_type>(trips_.size()));
+  trips_.push_back(TransitTrip{id, route, start_time_s});
+  return id;
+}
+
+void Timetable::Finalize(double transfer_radius_m) {
+  assert(!finalized_);
+  // Expand every trip into elementary connections.
+  for (const TransitTrip& trip : trips_) {
+    const TransitRoute& route = routes_[trip.route.value()];
+    double t = trip.start_time_s;
+    for (std::size_t i = 0; i + 1 < route.stops.size(); ++i) {
+      Connection c;
+      c.from = route.stops[i];
+      c.to = route.stops[i + 1];
+      c.departure_s = t;
+      c.arrival_s = t + route.travel_s[i];
+      c.trip = trip.id;
+      c.route = route.id;
+      connections_.push_back(c);
+      t = c.arrival_s + route.dwell_s;
+    }
+  }
+  std::sort(connections_.begin(), connections_.end(),
+            [](const Connection& a, const Connection& b) {
+              return a.departure_s < b.departure_s;
+            });
+
+  // Foot transfers between nearby stops (O(n^2) is fine at city stop
+  // counts).
+  transfers_.assign(stops_.size(), {});
+  for (std::size_t a = 0; a < stops_.size(); ++a) {
+    for (std::size_t b = 0; b < stops_.size(); ++b) {
+      if (a == b) continue;
+      double d =
+          EquirectangularMeters(stops_[a].position, stops_[b].position);
+      if (d <= transfer_radius_m) {
+        transfers_[a].push_back(Transfer{stops_[a].id, stops_[b].id, d});
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+std::vector<StopId> Timetable::StopsNear(const LatLng& p,
+                                         double radius_m) const {
+  std::vector<StopId> out;
+  for (const Stop& s : stops_) {
+    if (EquirectangularMeters(p, s.position) <= radius_m) {
+      out.push_back(s.id);
+    }
+  }
+  return out;
+}
+
+std::size_t Timetable::MemoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += stops_.capacity() * sizeof(Stop);
+  bytes += routes_.capacity() * sizeof(TransitRoute);
+  for (const TransitRoute& r : routes_) {
+    bytes += r.stops.capacity() * sizeof(StopId) +
+             r.travel_s.capacity() * sizeof(double);
+  }
+  bytes += trips_.capacity() * sizeof(TransitTrip);
+  bytes += connections_.capacity() * sizeof(Connection);
+  for (const auto& t : transfers_) bytes += t.capacity() * sizeof(Transfer);
+  return bytes;
+}
+
+}  // namespace xar

@@ -1,0 +1,65 @@
+#ifndef XAR_TRANSIT_TIMETABLE_H_
+#define XAR_TRANSIT_TIMETABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "transit/gtfs.h"
+
+namespace xar {
+
+/// An in-memory transit timetable: stops, routes, trips and the flat
+/// departure-sorted connection array the Connection Scan Algorithm consumes,
+/// plus foot transfers between nearby stops.
+class Timetable {
+ public:
+  /// Foot transfer between two stops.
+  struct Transfer {
+    StopId from;
+    StopId to;
+    double walk_m = 0.0;
+  };
+
+  StopId AddStop(std::string name, const LatLng& position);
+  RouteId AddRoute(TransitRoute route);
+
+  /// Adds a vehicle run of `route` starting at `start_time_s`.
+  TripId AddTrip(RouteId route, double start_time_s);
+
+  /// Finalizes: expands trips into departure-sorted connections and builds
+  /// foot transfers between stops within `transfer_radius_m`. Call once
+  /// after all stops/routes/trips are added.
+  void Finalize(double transfer_radius_m = 250.0);
+
+  bool finalized() const { return finalized_; }
+  const std::vector<Stop>& stops() const { return stops_; }
+  const Stop& GetStop(StopId id) const { return stops_[id.value()]; }
+  const std::vector<TransitRoute>& routes() const { return routes_; }
+  const TransitRoute& GetRoute(RouteId id) const {
+    return routes_[id.value()];
+  }
+  const std::vector<TransitTrip>& trips() const { return trips_; }
+  const std::vector<Connection>& connections() const { return connections_; }
+  const std::vector<Transfer>& TransfersFrom(StopId stop) const {
+    return transfers_[stop.value()];
+  }
+
+  /// Stops within `radius_m` straight-line meters of `p`.
+  std::vector<StopId> StopsNear(const LatLng& p, double radius_m) const;
+
+  std::size_t MemoryFootprint() const;
+
+ private:
+  std::vector<Stop> stops_;
+  std::vector<TransitRoute> routes_;
+  std::vector<TransitTrip> trips_;
+  std::vector<Connection> connections_;
+  std::vector<std::vector<Transfer>> transfers_;  // indexed by stop
+  bool finalized_ = false;
+};
+
+}  // namespace xar
+
+#endif  // XAR_TRANSIT_TIMETABLE_H_

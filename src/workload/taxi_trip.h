@@ -1,0 +1,27 @@
+#ifndef XAR_WORKLOAD_TAXI_TRIP_H_
+#define XAR_WORKLOAD_TAXI_TRIP_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "geo/latlng.h"
+
+namespace xar {
+
+/// One taxi trip record: the reproduction's stand-in for a row of the NY
+/// taxi trip dataset (pickup time, pickup location, drop-off location).
+/// The simulation framework treats every trip as a ride-share request.
+struct TaxiTrip {
+  RequestId id;
+  double pickup_time_s = 0.0;  ///< seconds since midnight
+  LatLng pickup;
+  LatLng dropoff;
+};
+
+/// Returns the subset of `trips` with pickup time in [begin_s, end_s).
+std::vector<TaxiTrip> FilterByTimeWindow(const std::vector<TaxiTrip>& trips,
+                                         double begin_s, double end_s);
+
+}  // namespace xar
+
+#endif  // XAR_WORKLOAD_TAXI_TRIP_H_

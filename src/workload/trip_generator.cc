@@ -1,0 +1,144 @@
+#include "workload/trip_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace xar {
+
+std::vector<TaxiTrip> FilterByTimeWindow(const std::vector<TaxiTrip>& trips,
+                                         double begin_s, double end_s) {
+  std::vector<TaxiTrip> out;
+  for (const TaxiTrip& t : trips) {
+    if (t.pickup_time_s >= begin_s && t.pickup_time_s < end_s) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+const double* HourlyArrivalProfile() {
+  // Hand-shaped to the published NYC yellow-cab diurnal curve: overnight
+  // trough, morning peak 7-9, steady midday, evening peak 17-20, late tail.
+  static const double kRaw[24] = {
+      1.6, 1.0, 0.7, 0.5, 0.5, 0.9,  // 00-05
+      2.2, 4.6, 5.8, 5.2, 4.5, 4.6,  // 06-11
+      4.9, 4.8, 4.9, 4.6, 4.4, 5.4,  // 12-17
+      6.4, 6.6, 6.0, 5.6, 4.9, 3.0,  // 18-23
+  };
+  static double normalized[24];
+  static bool init = [] {
+    double sum = 0;
+    for (double w : kRaw) sum += w;
+    for (int i = 0; i < 24; ++i) normalized[i] = kRaw[i] / sum;
+    return true;
+  }();
+  (void)init;
+  return normalized;
+}
+
+namespace {
+
+struct Hotspot {
+  LatLng center;
+  double weight;
+};
+
+LatLng ClampToBounds(LatLng p, const BoundingBox& b) {
+  p.lat = std::clamp(p.lat, b.min_lat, b.max_lat);
+  p.lng = std::clamp(p.lng, b.min_lng, b.max_lng);
+  return p;
+}
+
+LatLng SamplePoint(const BoundingBox& bounds,
+                   const std::vector<Hotspot>& hotspots, double sigma_m,
+                   double background_fraction, Rng& rng) {
+  if (rng.Bernoulli(background_fraction)) {
+    return LatLng{rng.Uniform(bounds.min_lat, bounds.max_lat),
+                  rng.Uniform(bounds.min_lng, bounds.max_lng)};
+  }
+  std::vector<double> weights;
+  weights.reserve(hotspots.size());
+  for (const Hotspot& h : hotspots) weights.push_back(h.weight);
+  const Hotspot& h = hotspots[rng.Weighted(weights)];
+  LatLng p = OffsetMeters(h.center, rng.Normal(0.0, sigma_m),
+                          rng.Normal(0.0, sigma_m));
+  return ClampToBounds(p, bounds);
+}
+
+}  // namespace
+
+std::vector<TaxiTrip> GenerateTrips(const BoundingBox& bounds,
+                                    const WorkloadOptions& opt) {
+  assert(opt.num_hotspots >= 1);
+  Rng rng(opt.seed);
+
+  // Hotspot layout: a dominant CBD near the center, secondary centers spread
+  // around it with decaying weights.
+  std::vector<Hotspot> hotspots;
+  LatLng cbd = bounds.Center();
+  hotspots.push_back(Hotspot{cbd, 3.0});
+  double spread_w = bounds.WidthMeters() * 0.35;
+  double spread_h = bounds.HeightMeters() * 0.35;
+  for (std::size_t i = 1; i < opt.num_hotspots; ++i) {
+    LatLng c = ClampToBounds(
+        OffsetMeters(cbd, rng.Uniform(-spread_w, spread_w),
+                     rng.Uniform(-spread_h, spread_h)),
+        bounds);
+    hotspots.push_back(Hotspot{c, 1.0});
+  }
+
+  const double* profile = HourlyArrivalProfile();
+  std::vector<double> hour_weights(profile, profile + 24);
+
+  std::vector<TaxiTrip> trips;
+  trips.reserve(opt.num_trips);
+  for (std::size_t i = 0; i < opt.num_trips; ++i) {
+    TaxiTrip trip;
+    trip.id = RequestId(static_cast<RequestId::underlying_type>(i));
+    std::size_t hour = rng.Weighted(hour_weights);
+    trip.pickup_time_s =
+        static_cast<double>(hour) * 3600.0 + rng.Uniform(0.0, 3600.0);
+
+    // Commute bias: in the morning (<12h) the dropoff gravitates to the CBD;
+    // in the evening the pickup does.
+    bool morning = hour < 12;
+    bool biased = rng.Bernoulli(opt.commute_bias);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      LatLng a = SamplePoint(bounds, hotspots, opt.hotspot_sigma_m,
+                             opt.background_fraction, rng);
+      LatLng b;
+      if (biased) {
+        b = ClampToBounds(OffsetMeters(cbd, rng.Normal(0, opt.hotspot_sigma_m),
+                                       rng.Normal(0, opt.hotspot_sigma_m)),
+                          bounds);
+      } else {
+        b = SamplePoint(bounds, hotspots, opt.hotspot_sigma_m,
+                        opt.background_fraction, rng);
+      }
+      if (morning || !biased) {
+        trip.pickup = a;
+        trip.dropoff = b;
+      } else {
+        trip.pickup = b;  // evening: leave the CBD
+        trip.dropoff = a;
+      }
+      if (HaversineMeters(trip.pickup, trip.dropoff) >= opt.min_trip_m) break;
+    }
+    trips.push_back(trip);
+  }
+
+  std::sort(trips.begin(), trips.end(),
+            [](const TaxiTrip& a, const TaxiTrip& b) {
+              return a.pickup_time_s < b.pickup_time_s;
+            });
+  // Re-densify ids in time order so downstream logs read naturally.
+  for (std::size_t i = 0; i < trips.size(); ++i) {
+    trips[i].id = RequestId(static_cast<RequestId::underlying_type>(i));
+  }
+  return trips;
+}
+
+}  // namespace xar

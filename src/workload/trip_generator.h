@@ -1,0 +1,40 @@
+#ifndef XAR_WORKLOAD_TRIP_GENERATOR_H_
+#define XAR_WORKLOAD_TRIP_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "workload/taxi_trip.h"
+
+namespace xar {
+
+/// Parameters for the NYC-like synthetic trip workload (DESIGN.md §1).
+///
+/// Spatial model: a mixture of Gaussian hotspots (a dominant CBD plus
+/// secondary centers) over the city bounding box, plus a uniform background.
+/// Temporal model: hourly arrival weights with morning and evening rush
+/// peaks. Directionality: morning trips bias toward the CBD, evening trips
+/// away from it, mirroring commute asymmetry in the real data.
+struct WorkloadOptions {
+  std::size_t num_trips = 10000;
+  std::size_t num_hotspots = 5;     ///< including the CBD
+  double hotspot_sigma_m = 900.0;   ///< spatial spread of each hotspot
+  double background_fraction = 0.15;///< trips drawn uniformly over the box
+  double min_trip_m = 800.0;        ///< resample pairs closer than this
+  double commute_bias = 0.6;        ///< strength of the toward/away-CBD bias
+  std::uint64_t seed = 7;
+};
+
+/// Generates `options.num_trips` trips inside `bounds`, sorted by pickup
+/// time, with dense ids 0..n-1. Deterministic in the seed.
+std::vector<TaxiTrip> GenerateTrips(const BoundingBox& bounds,
+                                    const WorkloadOptions& options);
+
+/// The 24 hourly arrival weights used by GenerateTrips (exposed for tests
+/// and for plotting the workload shape). Sums to 1.
+const double* HourlyArrivalProfile();
+
+}  // namespace xar
+
+#endif  // XAR_WORKLOAD_TRIP_GENERATOR_H_

@@ -1,0 +1,67 @@
+#include "workload/trip_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xar {
+
+Result<std::vector<TaxiTrip>> LoadTripsFromCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+
+  std::vector<TaxiTrip> trips;
+  char buf[512];
+  std::size_t line_no = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++line_no;
+    if (buf[0] == '#' || buf[0] == '\n') continue;
+    double t, plat, plng, dlat, dlng;
+    int parsed = std::sscanf(buf, "%lf,%lf,%lf,%lf,%lf", &t, &plat, &plng,
+                             &dlat, &dlng);
+    if (parsed != 5) {
+      if (line_no == 1) continue;  // header
+      std::fclose(f);
+      return Status::InvalidArgument(path + ": malformed line " +
+                                     std::to_string(line_no));
+    }
+    if (t < 0 || plat < -90 || plat > 90 || dlat < -90 || dlat > 90 ||
+        plng < -180 || plng > 180 || dlng < -180 || dlng > 180) {
+      std::fclose(f);
+      return Status::InvalidArgument(path + ": out-of-range values, line " +
+                                     std::to_string(line_no));
+    }
+    TaxiTrip trip;
+    trip.pickup_time_s = t;
+    trip.pickup = LatLng{plat, plng};
+    trip.dropoff = LatLng{dlat, dlng};
+    trips.push_back(trip);
+  }
+  std::fclose(f);
+
+  std::sort(trips.begin(), trips.end(),
+            [](const TaxiTrip& a, const TaxiTrip& b) {
+              return a.pickup_time_s < b.pickup_time_s;
+            });
+  for (std::size_t i = 0; i < trips.size(); ++i) {
+    trips[i].id = RequestId(static_cast<RequestId::underlying_type>(i));
+  }
+  return trips;
+}
+
+Status WriteTripsCsv(const std::vector<TaxiTrip>& trips,
+                     const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot write " + path);
+  std::fprintf(f, "pickup_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng\n");
+  for (const TaxiTrip& t : trips) {
+    std::fprintf(f, "%.1f,%.7f,%.7f,%.7f,%.7f\n", t.pickup_time_s,
+                 t.pickup.lat, t.pickup.lng, t.dropoff.lat, t.dropoff.lng);
+  }
+  if (std::fclose(f) != 0) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+}  // namespace xar

@@ -1,0 +1,26 @@
+#ifndef XAR_WORKLOAD_TRIP_IO_H_
+#define XAR_WORKLOAD_TRIP_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "workload/taxi_trip.h"
+
+namespace xar {
+
+/// Loads a trip stream from a CSV with fields
+/// `pickup_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng`
+/// (the schema of the paper's NYC taxi extract, with the pickup time as
+/// seconds since midnight). Lines starting with `#` and a header line are
+/// skipped. Trips are returned sorted by pickup time with dense ids.
+Result<std::vector<TaxiTrip>> LoadTripsFromCsv(const std::string& path);
+
+/// Writes trips in the same format (for generating shareable workloads).
+Status WriteTripsCsv(const std::vector<TaxiTrip>& trips,
+                     const std::string& path);
+
+}  // namespace xar
+
+#endif  // XAR_WORKLOAD_TRIP_IO_H_

@@ -1,0 +1,73 @@
+#include "xar/cluster_ride_list.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xar {
+namespace {
+
+bool EtaLess(const PotentialRide& a, const PotentialRide& b) {
+  if (a.eta_s != b.eta_s) return a.eta_s < b.eta_s;
+  return a.ride < b.ride;
+}
+
+bool RideLess(const PotentialRide& a, const PotentialRide& b) {
+  return a.ride < b.ride;
+}
+
+}  // namespace
+
+void ClusterRideList::Upsert(RideId ride, double eta_s, double detour_m) {
+  PotentialRide entry{ride, eta_s, detour_m};
+  auto rit = std::lower_bound(by_ride_.begin(), by_ride_.end(), entry,
+                              RideLess);
+  if (rit != by_ride_.end() && rit->ride == ride) {
+    // Update in place: relocate the ETA-sorted copy.
+    PotentialRide old = *rit;
+    *rit = entry;
+    auto eit = std::lower_bound(by_eta_.begin(), by_eta_.end(), old, EtaLess);
+    assert(eit != by_eta_.end() && eit->ride == ride);
+    by_eta_.erase(eit);
+  } else {
+    by_ride_.insert(rit, entry);
+  }
+  by_eta_.insert(
+      std::lower_bound(by_eta_.begin(), by_eta_.end(), entry, EtaLess), entry);
+}
+
+bool ClusterRideList::Remove(RideId ride) {
+  PotentialRide probe{ride, 0.0, 0.0};
+  auto rit =
+      std::lower_bound(by_ride_.begin(), by_ride_.end(), probe, RideLess);
+  if (rit == by_ride_.end() || rit->ride != ride) return false;
+  PotentialRide old = *rit;
+  by_ride_.erase(rit);
+  auto eit = std::lower_bound(by_eta_.begin(), by_eta_.end(), old, EtaLess);
+  assert(eit != by_eta_.end() && eit->ride == ride);
+  by_eta_.erase(eit);
+  return true;
+}
+
+bool ClusterRideList::Contains(RideId ride) const {
+  return Find(ride) != nullptr;
+}
+
+const PotentialRide* ClusterRideList::Find(RideId ride) const {
+  PotentialRide probe{ride, 0.0, 0.0};
+  auto rit =
+      std::lower_bound(by_ride_.begin(), by_ride_.end(), probe, RideLess);
+  if (rit == by_ride_.end() || rit->ride != ride) return nullptr;
+  return &*rit;
+}
+
+std::span<const PotentialRide> ClusterRideList::EtaRange(double t_begin,
+                                                         double t_end) const {
+  PotentialRide lo{RideId(0), t_begin, 0.0};
+  auto first = std::lower_bound(by_eta_.begin(), by_eta_.end(), lo, EtaLess);
+  auto last = first;
+  while (last != by_eta_.end() && last->eta_s <= t_end) ++last;
+  return {by_eta_.data() + (first - by_eta_.begin()),
+          static_cast<std::size_t>(last - first)};
+}
+
+}  // namespace xar

@@ -1,0 +1,61 @@
+#ifndef XAR_XAR_CLUSTER_RIDE_LIST_H_
+#define XAR_XAR_CLUSTER_RIDE_LIST_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace xar {
+
+/// One entry of a cluster's potential-ride list: ride r is expected to be
+/// able to serve pickups in this cluster around time `eta_s`, at an
+/// estimated extra detour of `detour_m` (0 for pass-through clusters).
+struct PotentialRide {
+  RideId ride;
+  double eta_s = 0.0;
+  double detour_m = 0.0;
+};
+
+/// The paper's per-cluster potential-ride structure (Section VI): the same
+/// tuples maintained in two sorted orders — by non-decreasing ETA (for the
+/// logarithmic time-window probe of Search Step 1/2) and by ride id (for
+/// O(log n) point updates and membership checks).
+class ClusterRideList {
+ public:
+  /// Inserts or updates the entry for `ride`.
+  void Upsert(RideId ride, double eta_s, double detour_m);
+
+  /// Removes `ride` if present; returns whether it was present.
+  bool Remove(RideId ride);
+
+  bool Contains(RideId ride) const;
+
+  /// The entry for `ride`, or nullptr.
+  const PotentialRide* Find(RideId ride) const;
+
+  /// All entries with eta in [t_begin, t_end], by binary search on the
+  /// ETA-sorted list.
+  std::span<const PotentialRide> EtaRange(double t_begin, double t_end) const;
+
+  std::size_t size() const { return by_ride_.size(); }
+  bool empty() const { return by_ride_.empty(); }
+
+  /// Entries in ride-id order (for intersection-style traversals).
+  const std::vector<PotentialRide>& by_ride() const { return by_ride_; }
+
+  std::size_t MemoryFootprint() const {
+    return (by_eta_.capacity() + by_ride_.capacity()) *
+               sizeof(PotentialRide) +
+           sizeof(*this);
+  }
+
+ private:
+  std::vector<PotentialRide> by_eta_;   // sorted by (eta_s, ride)
+  std::vector<PotentialRide> by_ride_;  // sorted by ride
+};
+
+}  // namespace xar
+
+#endif  // XAR_XAR_CLUSTER_RIDE_LIST_H_

@@ -1,0 +1,62 @@
+#ifndef XAR_XAR_COMMAND_SERVER_H_
+#define XAR_XAR_COMMAND_SERVER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xar/xar_system.h"
+
+namespace xar {
+
+/// Line-oriented command front-end over a XarSystem — the protocol surface
+/// a mobile app / trip-planner gateway would speak. One request line in,
+/// one (possibly multi-line) response out; responses start with `OK` or
+/// `ERR`.
+///
+/// Commands (times in seconds-since-midnight, distances in meters):
+///   CREATE <slat> <slng> <dlat> <dlng> <depart> [seats] [detour_m]
+///   SEARCH <req_id> <slat> <slng> <dlat> <dlng> <t0> <t1> [walk_m] [k]
+///   BOOK <req_id> <ride_id>
+///   CANCELBOOKING <ride_id> <req_id>
+///   CANCELRIDE <ride_id>
+///   ADVANCE <now_s>
+///   RIDE <ride_id>
+///   STATS
+///   HELP
+///
+/// BOOK resolves the match from the most recent SEARCH for that request id
+/// (the look-then-book flow), so searches must precede bookings.
+class CommandServer {
+ public:
+  explicit CommandServer(XarSystem& system) : system_(system) {}
+
+  CommandServer(const CommandServer&) = delete;
+  CommandServer& operator=(const CommandServer&) = delete;
+
+  /// Executes one command line and returns the response text (no trailing
+  /// newline). Unknown/malformed commands yield an `ERR ...` response.
+  std::string Execute(const std::string& line);
+
+ private:
+  struct PendingSearch {
+    RideRequest request;
+    std::vector<RideMatch> matches;
+  };
+
+  std::string HandleCreate(const std::vector<std::string>& args);
+  std::string HandleSearch(const std::vector<std::string>& args);
+  std::string HandleBook(const std::vector<std::string>& args);
+  std::string HandleCancelBooking(const std::vector<std::string>& args);
+  std::string HandleCancelRide(const std::vector<std::string>& args);
+  std::string HandleAdvance(const std::vector<std::string>& args);
+  std::string HandleRide(const std::vector<std::string>& args);
+  std::string HandleStats();
+
+  XarSystem& system_;
+  std::unordered_map<RequestId, PendingSearch> pending_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_XAR_COMMAND_SERVER_H_

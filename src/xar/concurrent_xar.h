@@ -1,0 +1,104 @@
+#ifndef XAR_XAR_CONCURRENT_XAR_H_
+#define XAR_XAR_CONCURRENT_XAR_H_
+
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "xar/xar_system.h"
+
+namespace xar {
+
+/// Thread-safe facade over XarSystem with reader-writer semantics tuned to
+/// the paper's workload profile: searches (the overwhelming majority of
+/// operations at high look-to-book ratios) take a shared lock and run
+/// concurrently; create/book/track/cancel serialize on an exclusive lock.
+///
+/// The paper's prototype is single-threaded; this wrapper is the minimal
+/// deployment-grade concurrency story for a read-dominated service.
+class ConcurrentXarSystem {
+ public:
+  ConcurrentXarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
+                      const RegionIndex& region, DistanceOracle& oracle,
+                      XarOptions options = {})
+      : system_(graph, spatial, region, oracle, options) {}
+
+  ConcurrentXarSystem(const ConcurrentXarSystem&) = delete;
+  ConcurrentXarSystem& operator=(const ConcurrentXarSystem&) = delete;
+
+  // --- Read path (shared lock, concurrent) --------------------------------
+
+  std::vector<RideMatch> Search(const RideRequest& request) const {
+    std::shared_lock lock(mutex_);
+    return system_.Search(request);
+  }
+
+  std::vector<RideMatch> SearchTopK(const RideRequest& request,
+                                    std::size_t k) const {
+    std::shared_lock lock(mutex_);
+    return system_.SearchTopK(request, k);
+  }
+
+  std::size_t NumActiveRides() const {
+    std::shared_lock lock(mutex_);
+    return system_.NumActiveRides();
+  }
+
+  double Now() const {
+    std::shared_lock lock(mutex_);
+    return system_.Now();
+  }
+
+  /// Copies the ride state (a pointer would dangle once the lock drops).
+  Result<Ride> GetRide(RideId id) const {
+    std::shared_lock lock(mutex_);
+    const Ride* ride = system_.GetRide(id);
+    if (ride == nullptr) return Status::NotFound("unknown ride");
+    return *ride;
+  }
+
+  // --- Write path (exclusive lock) ----------------------------------------
+
+  Result<RideId> CreateRide(const RideOffer& offer) {
+    std::unique_lock lock(mutex_);
+    return system_.CreateRide(offer);
+  }
+
+  Result<BookingRecord> Book(RideId ride, const RideRequest& request,
+                             const RideMatch& match) {
+    std::unique_lock lock(mutex_);
+    return system_.Book(ride, request, match);
+  }
+
+  Status CancelBooking(RideId ride, RequestId request) {
+    std::unique_lock lock(mutex_);
+    return system_.CancelBooking(ride, request);
+  }
+
+  Status CancelRide(RideId ride) {
+    std::unique_lock lock(mutex_);
+    return system_.CancelRide(ride);
+  }
+
+  void AdvanceTime(double now_s) {
+    std::unique_lock lock(mutex_);
+    system_.AdvanceTime(now_s);
+  }
+
+  /// Convenience compound op: search, then book the least-walking match.
+  /// Runs under one exclusive lock so the match cannot go stale in between.
+  Result<BookingRecord> SearchAndBook(const RideRequest& request) {
+    std::unique_lock lock(mutex_);
+    std::vector<RideMatch> matches = system_.Search(request);
+    if (matches.empty()) return Status::NotFound("no feasible ride");
+    return system_.Book(matches.front().ride, request, matches.front());
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  XarSystem system_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_XAR_CONCURRENT_XAR_H_

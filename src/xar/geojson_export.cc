@@ -1,0 +1,113 @@
+#include "xar/geojson_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace xar {
+namespace {
+
+std::string Coord(const LatLng& p) {
+  char buf[64];
+  // GeoJSON is [lng, lat].
+  std::snprintf(buf, sizeof(buf), "[%.6f,%.6f]", p.lng, p.lat);
+  return buf;
+}
+
+std::string PointGeometry(const LatLng& p) {
+  return R"({"type":"Point","coordinates":)" + Coord(p) + "}";
+}
+
+std::string LineGeometry(const std::vector<LatLng>& points) {
+  std::string coords = "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) coords += ',';
+    coords += Coord(points[i]);
+  }
+  coords += ']';
+  return R"({"type":"LineString","coordinates":)" + coords + "}";
+}
+
+}  // namespace
+
+void GeoJsonWriter::AddFeature(const std::string& geometry,
+                               const std::string& properties) {
+  features_.push_back(R"({"type":"Feature","geometry":)" + geometry +
+                      R"(,"properties":)" + properties + "}");
+}
+
+void GeoJsonWriter::AddRoadNetwork(const RoadGraph& graph) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t u = 0; u < graph.NumNodes(); ++u) {
+    NodeId from(static_cast<NodeId::underlying_type>(u));
+    for (const RoadEdge& e : graph.OutEdges(from)) {
+      if (!e.drivable) continue;
+      std::uint64_t lo = std::min<std::uint64_t>(u, e.to.value());
+      std::uint64_t hi = std::max<std::uint64_t>(u, e.to.value());
+      if (!seen.insert((lo << 32) | hi).second) continue;
+      char props[96];
+      std::snprintf(props, sizeof(props),
+                    R"({"kind":"street","speed_mps":%.1f})",
+                    e.time_s > 0 ? e.length_m / e.time_s : 0.0);
+      AddFeature(LineGeometry({graph.PositionOf(from),
+                               graph.PositionOf(e.to)}),
+                 props);
+    }
+  }
+}
+
+void GeoJsonWriter::AddLandmarks(const RegionIndex& region) {
+  for (const Landmark& lm : region.landmarks()) {
+    char props[96];
+    std::snprintf(props, sizeof(props),
+                  R"({"kind":"landmark","id":%u,"cluster":%u})",
+                  lm.id.value(),
+                  region.ClusterOfLandmark(lm.id).value());
+    AddFeature(PointGeometry(lm.position), props);
+  }
+}
+
+void GeoJsonWriter::AddRide(const RoadGraph& graph, const Ride& ride) {
+  std::vector<LatLng> points;
+  points.reserve(ride.route.nodes.size());
+  for (NodeId n : ride.route.nodes) points.push_back(graph.PositionOf(n));
+  char props[96];
+  std::snprintf(props, sizeof(props),
+                R"({"kind":"ride","id":%u,"length_m":%.0f})",
+                ride.id.value(), ride.route.length_m);
+  AddFeature(LineGeometry(points), props);
+  for (const ViaPoint& vp : ride.via_points) {
+    char vp_props[128];
+    std::snprintf(vp_props, sizeof(vp_props),
+                  R"({"kind":"via_point","ride":%u,"pickup":%s,"eta_s":%.0f})",
+                  ride.id.value(), vp.is_pickup ? "true" : "false", vp.eta_s);
+    AddFeature(PointGeometry(graph.PositionOf(vp.node)), vp_props);
+  }
+}
+
+void GeoJsonWriter::AddPoint(const LatLng& position, const std::string& name,
+                             const std::string& kind) {
+  AddFeature(PointGeometry(position),
+             R"({"kind":")" + kind + R"(","name":")" + name + R"("})");
+}
+
+std::string GeoJsonWriter::ToString() const {
+  std::string out = R"({"type":"FeatureCollection","features":[)";
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += features_[i];
+  }
+  out += "]}";
+  return out;
+}
+
+Status GeoJsonWriter::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot write " + path);
+  std::string doc = ToString();
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok &= std::fclose(f) == 0;
+  return ok ? Status::OK() : Status::Internal("write failed");
+}
+
+}  // namespace xar

@@ -1,0 +1,50 @@
+#ifndef XAR_XAR_GEOJSON_EXPORT_H_
+#define XAR_XAR_GEOJSON_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "discretize/region_index.h"
+#include "graph/road_graph.h"
+#include "xar/ride.h"
+
+namespace xar {
+
+/// Accumulates map features and renders a GeoJSON FeatureCollection —
+/// the debugging/visualization companion: drop the output into any GeoJSON
+/// viewer to inspect the street network, the discretization and live rides.
+class GeoJsonWriter {
+ public:
+  /// Every drivable street segment as a LineString (one feature per arc
+  /// direction is redundant, so arcs are deduplicated by node pair).
+  void AddRoadNetwork(const RoadGraph& graph);
+
+  /// Every landmark as a Point with its id and cluster.
+  void AddLandmarks(const RegionIndex& region);
+
+  /// A ride's current route as a LineString plus via-points as Points.
+  void AddRide(const RoadGraph& graph, const Ride& ride);
+
+  /// An arbitrary labeled point.
+  void AddPoint(const LatLng& position, const std::string& name,
+                const std::string& kind);
+
+  std::size_t NumFeatures() const { return features_.size(); }
+
+  /// The FeatureCollection document.
+  std::string ToString() const;
+
+  /// Writes the document to `path`.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  void AddFeature(const std::string& geometry,
+                  const std::string& properties);
+
+  std::vector<std::string> features_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_XAR_GEOJSON_EXPORT_H_

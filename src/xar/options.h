@@ -1,0 +1,45 @@
+#ifndef XAR_XAR_OPTIONS_H_
+#define XAR_XAR_OPTIONS_H_
+
+#include <cstddef>
+
+namespace xar {
+
+/// Runtime knobs of the XAR matching engine.
+struct XarOptions {
+  /// Default maximum detour (meters) a driver accepts, when the offer does
+  /// not specify one. The paper's T-Share comparison uses ~4 km.
+  double default_detour_limit_m = 4000.0;
+
+  /// Default walking threshold (meters) for requests that do not set one.
+  double default_walk_limit_m = 1000.0;
+
+  /// Seats offered to co-riders when an offer does not specify (paper:
+  /// capacity 4 including the driver => 3 shareable seats).
+  int default_seats = 3;
+
+  /// Slack added on both sides of a request's departure window when probing
+  /// cluster ETA lists, absorbing ETA estimation error.
+  double eta_window_slack_s = 240.0;
+
+  /// Upper bound on the time a matched rider can remain on board; bounds the
+  /// destination-side ETA probe window (Step 2 of Search).
+  double max_onboard_s = 2700.0;
+
+  /// If nonzero, Search returns at most this many matches (top-k by least
+  /// walking). Zero = return all feasible matches.
+  std::size_t max_results = 0;
+
+  /// Booking-time schedule optimization (extension; see DESIGN.md §6):
+  /// when true, bookings on rides that have not yet departed re-order ALL
+  /// rider stops with a kinetic tree (Huang et al.) instead of splicing the
+  /// new pair into fixed segments. Produces shorter multi-rider routes but
+  /// forfeits the paper's <= 4 shortest-path bound per booking (the route
+  /// is rebuilt stop-to-stop). In-progress rides always use the paper's
+  /// fixed-segment splice.
+  bool kinetic_booking = false;
+};
+
+}  // namespace xar
+
+#endif  // XAR_XAR_OPTIONS_H_

@@ -1,0 +1,319 @@
+#include "xar/ride_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace xar {
+
+RideIndex::RideIndex(const RegionIndex& region, const RoadGraph& graph)
+    : region_(region), graph_(graph), lists_(region.NumClusters()) {}
+
+std::vector<PassThroughCluster> RideIndex::ComputePassThroughs(
+    const Ride& ride) const {
+  std::vector<PassThroughCluster> out;
+  if (ride.route.nodes.empty() || ride.via_points.size() < 2) return out;
+
+  double budget = ride.RemainingDetourBudget();
+  std::size_t m = region_.NumClusters();
+
+  for (std::size_t seg = 0; seg + 1 < ride.via_points.size(); ++seg) {
+    std::size_t begin = ride.via_route_index[seg];
+    std::size_t end = ride.via_route_index[seg + 1];
+    // Cluster of the segment's end via-point, for the detour triangle test.
+    ClusterId next_cluster = region_.ClusterOfPoint(
+        graph_.PositionOf(ride.via_points[seg + 1].node));
+
+    ClusterId prev = ClusterId::Invalid();
+    std::vector<bool> seen_in_segment(m, false);
+    for (std::size_t j = begin; j <= end && j < ride.route.nodes.size(); ++j) {
+      GridId grid =
+          region_.GridOfPoint(graph_.PositionOf(ride.route.nodes[j]));
+      ClusterId c = region_.ClusterOfGrid(grid);
+      if (!c.valid() || c == prev) continue;
+      prev = c;
+      if (seen_in_segment[c.value()]) continue;
+      seen_in_segment[c.value()] = true;
+
+      PassThroughCluster pt;
+      pt.cluster = c;
+      pt.landmark = region_.LandmarkOfGrid(grid);
+      pt.segment = seg;
+      pt.eta_s = ride.departure_time_s + ride.route_cum_time_s[j];
+
+      // Reachable clusters (paper Section VI): candidates within the detour
+      // budget of C, kept iff the round-trip detour via C' does not exceed
+      // the budget: d(C,C') + d(C',v_next) - d(C,v_next) <= d.
+      for (std::size_t other = 0; other < m; ++other) {
+        ClusterId cp(static_cast<ClusterId::underlying_type>(other));
+        if (cp == c) continue;
+        double d1 = region_.ClusterDistance(c, cp);
+        if (d1 > budget) continue;
+        double detour = d1;
+        if (next_cluster.valid()) {
+          double via = d1 + region_.ClusterDistance(cp, next_cluster) -
+                       region_.ClusterDistance(c, next_cluster);
+          detour = std::max(0.0, via);
+        }
+        if (detour > budget) continue;
+        pt.reachable.push_back(cp);
+        pt.reachable_detour_m.push_back(detour);
+      }
+      out.push_back(std::move(pt));
+    }
+  }
+  return out;
+}
+
+std::unordered_map<ClusterId, RideIndex::Support>
+RideIndex::AggregateSupports(const RideRegistration& reg) const {
+  std::unordered_map<ClusterId, Support> agg;
+  double speed = region_.nominal_speed_mps();
+  auto offer = [&](ClusterId c, double eta, double detour) {
+    auto [it, inserted] = agg.emplace(c, Support{eta, detour});
+    if (!inserted) {
+      it->second.eta_s = std::min(it->second.eta_s, eta);
+      it->second.detour_m = std::min(it->second.detour_m, detour);
+    }
+  };
+  for (const PassThroughCluster& pt : reg.pass_throughs) {
+    if (pt.crossed) continue;
+    offer(pt.cluster, pt.eta_s, 0.0);
+    for (std::size_t i = 0; i < pt.reachable.size(); ++i) {
+      double travel =
+          region_.ClusterDistance(pt.cluster, pt.reachable[i]) / speed;
+      offer(pt.reachable[i], pt.eta_s + travel, pt.reachable_detour_m[i]);
+    }
+  }
+  return agg;
+}
+
+void RideIndex::RegisterRide(const Ride& ride) {
+  assert(registrations_.find(ride.id) == registrations_.end());
+  RideRegistration reg;
+  reg.pass_throughs = ComputePassThroughs(ride);
+
+  std::unordered_map<ClusterId, Support> agg = AggregateSupports(reg);
+  reg.registered_clusters.reserve(agg.size());
+  for (const auto& [cluster, support] : agg) {
+    lists_[cluster.value()].Upsert(ride.id, support.eta_s, support.detour_m);
+    reg.registered_clusters.push_back(cluster);
+  }
+  std::sort(reg.registered_clusters.begin(), reg.registered_clusters.end());
+  registrations_[ride.id] = std::move(reg);
+}
+
+void RideIndex::UnregisterRide(RideId ride) {
+  auto it = registrations_.find(ride);
+  if (it == registrations_.end()) return;
+  for (ClusterId c : it->second.registered_clusters) {
+    lists_[c.value()].Remove(ride);
+  }
+  registrations_.erase(it);
+}
+
+void RideIndex::ReregisterRide(const Ride& ride) {
+  UnregisterRide(ride.id);
+  RegisterRide(ride);
+}
+
+std::size_t RideIndex::AdvanceRide(const Ride& ride, double now_s) {
+  auto it = registrations_.find(ride.id);
+  if (it == registrations_.end()) return 0;
+  RideRegistration& reg = it->second;
+
+  // Step 1: mark newly crossed pass-throughs and collect the clusters they
+  // were supporting (themselves + their reachable sets) as obsolete
+  // candidates.
+  std::vector<ClusterId> affected;
+  bool any_crossed = false;
+  for (PassThroughCluster& pt : reg.pass_throughs) {
+    if (pt.crossed || pt.eta_s >= now_s) continue;
+    pt.crossed = true;
+    any_crossed = true;
+    affected.push_back(pt.cluster);
+    affected.insert(affected.end(), pt.reachable.begin(), pt.reachable.end());
+  }
+  if (!any_crossed) return 0;
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  // Step 2: a candidate stays only if some valid pass-through still reaches
+  // it; otherwise the ride is evicted from that cluster's potential list.
+  std::unordered_map<ClusterId, Support> agg = AggregateSupports(reg);
+  std::size_t evicted = 0;
+  std::vector<ClusterId> still_registered;
+  still_registered.reserve(reg.registered_clusters.size());
+  for (ClusterId c : reg.registered_clusters) {
+    auto support = agg.find(c);
+    if (support == agg.end()) {
+      if (lists_[c.value()].Remove(ride.id)) ++evicted;
+      continue;
+    }
+    still_registered.push_back(c);
+    // Refresh ETA/detour if this cluster lost its best supporting
+    // pass-through.
+    if (std::binary_search(affected.begin(), affected.end(), c)) {
+      lists_[c.value()].Upsert(ride.id, support->second.eta_s,
+                               support->second.detour_m);
+    }
+  }
+  reg.registered_clusters = std::move(still_registered);
+
+  // Step 3 (remove crossed pass-throughs) is represented by the `crossed`
+  // flag; physically erase them to keep the registration compact.
+  std::erase_if(reg.pass_throughs,
+                [](const PassThroughCluster& pt) { return pt.crossed; });
+  return evicted;
+}
+
+const RideRegistration* RideIndex::RegistrationOf(RideId ride) const {
+  auto it = registrations_.find(ride);
+  return it == registrations_.end() ? nullptr : &it->second;
+}
+
+double RideIndex::NextEventTime(RideId ride) const {
+  const RideRegistration* reg = RegistrationOf(ride);
+  double next = std::numeric_limits<double>::infinity();
+  if (reg == nullptr) return next;
+  for (const PassThroughCluster& pt : reg->pass_throughs) {
+    if (!pt.crossed) next = std::min(next, pt.eta_s);
+  }
+  return next;
+}
+
+const PassThroughCluster* RideIndex::BestSupport(RideId ride,
+                                                 ClusterId cluster) const {
+  const RideRegistration* reg = RegistrationOf(ride);
+  if (reg == nullptr) return nullptr;
+  // Pick the support with the smallest detour contribution (ETA breaks
+  // ties) so that booking inserts where the search-time estimate assumed.
+  const PassThroughCluster* best = nullptr;
+  double best_detour = std::numeric_limits<double>::infinity();
+  for (const PassThroughCluster& pt : reg->pass_throughs) {
+    if (pt.crossed) continue;
+    double detour = std::numeric_limits<double>::infinity();
+    if (pt.cluster == cluster) {
+      detour = 0.0;
+    } else {
+      auto it = std::find(pt.reachable.begin(), pt.reachable.end(), cluster);
+      if (it != pt.reachable.end()) {
+        detour = pt.reachable_detour_m[static_cast<std::size_t>(
+            it - pt.reachable.begin())];
+      }
+    }
+    if (detour == std::numeric_limits<double>::infinity()) continue;
+    if (best == nullptr || detour < best_detour ||
+        (detour == best_detour && pt.eta_s < best->eta_s)) {
+      best = &pt;
+      best_detour = detour;
+    }
+  }
+  return best;
+}
+
+bool RideIndex::ChooseInsertionSegments(const Ride& ride,
+                                        ClusterId source_cluster,
+                                        LandmarkId pickup_landmark,
+                                        ClusterId dest_cluster,
+                                        LandmarkId dropoff_landmark,
+                                        std::size_t* seg_src,
+                                        std::size_t* seg_dst,
+                                        double* joint_estimate_m) const {
+  const RideRegistration* reg = RegistrationOf(ride.id);
+  if (reg == nullptr) return false;
+  const DistanceMatrix& lm = region_.landmark_metric();
+
+  auto supports = [](const PassThroughCluster& pt, ClusterId c) {
+    return pt.cluster == c ||
+           std::find(pt.reachable.begin(), pt.reachable.end(), c) !=
+               pt.reachable.end();
+  };
+  // Landmark of the via-point ending segment `seg` (invalid when the
+  // via-point's grid carries no landmark).
+  auto via_landmark = [&](std::size_t seg) {
+    return region_.LandmarkOfGrid(region_.GridOfPoint(
+        graph_.PositionOf(ride.via_points[seg + 1].node)));
+  };
+  // Landmark-metric distance with a cluster-level fallback when either
+  // landmark is unknown.
+  auto dist = [&](LandmarkId a, LandmarkId b, ClusterId ca, ClusterId cb) {
+    if (a.valid() && b.valid()) return lm.At(a.value(), b.value());
+    if (ca.valid() && cb.valid()) return region_.ClusterDistance(ca, cb);
+    return 0.0;
+  };
+  auto cluster_of = [&](LandmarkId l) {
+    return l.valid() ? region_.ClusterOfLandmark(l) : ClusterId::Invalid();
+  };
+
+  double best = std::numeric_limits<double>::infinity();
+  for (const PassThroughCluster& ps : reg->pass_throughs) {
+    if (ps.crossed || !supports(ps, source_cluster)) continue;
+    LandmarkId next_s = via_landmark(ps.segment);
+    for (const PassThroughCluster& pd : reg->pass_throughs) {
+      if (pd.crossed || pd.segment < ps.segment) continue;
+      if (!supports(pd, dest_cluster)) continue;
+      double est;
+      if (ps.segment == pd.segment) {
+        // Sequential same-segment insertion: at -> pickup -> dropoff -> next.
+        est = dist(ps.landmark, pickup_landmark, ps.cluster, source_cluster) +
+              dist(pickup_landmark, dropoff_landmark, source_cluster,
+                   dest_cluster);
+        if (next_s.valid() || cluster_of(next_s).valid()) {
+          est += dist(dropoff_landmark, next_s, dest_cluster,
+                      cluster_of(next_s)) -
+                 dist(ps.landmark, next_s, ps.cluster, cluster_of(next_s));
+        }
+        est = std::max(0.0, est);
+      } else {
+        LandmarkId next_d = via_landmark(pd.segment);
+        double est_src =
+            dist(ps.landmark, pickup_landmark, ps.cluster, source_cluster);
+        if (next_s.valid()) {
+          est_src = std::max(
+              0.0, est_src +
+                       dist(pickup_landmark, next_s, source_cluster,
+                            cluster_of(next_s)) -
+                       dist(ps.landmark, next_s, ps.cluster,
+                            cluster_of(next_s)));
+        }
+        double est_dst =
+            dist(pd.landmark, dropoff_landmark, pd.cluster, dest_cluster);
+        if (next_d.valid()) {
+          est_dst = std::max(
+              0.0, est_dst +
+                       dist(dropoff_landmark, next_d, dest_cluster,
+                            cluster_of(next_d)) -
+                       dist(pd.landmark, next_d, pd.cluster,
+                            cluster_of(next_d)));
+        }
+        est = est_src + est_dst;
+      }
+      if (est < best) {
+        best = est;
+        *seg_src = ps.segment;
+        *seg_dst = pd.segment;
+      }
+    }
+  }
+  if (best == std::numeric_limits<double>::infinity()) return false;
+  *joint_estimate_m = best;
+  return true;
+}
+
+std::size_t RideIndex::MemoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  for (const ClusterRideList& list : lists_) bytes += list.MemoryFootprint();
+  for (const auto& [id, reg] : registrations_) {
+    bytes += sizeof(id) + sizeof(reg);
+    for (const PassThroughCluster& pt : reg.pass_throughs) {
+      bytes += sizeof(pt) + pt.reachable.capacity() * sizeof(ClusterId) +
+               pt.reachable_detour_m.capacity() * sizeof(double);
+    }
+    bytes += reg.registered_clusters.capacity() * sizeof(ClusterId);
+  }
+  return bytes;
+}
+
+}  // namespace xar

@@ -1,0 +1,123 @@
+#ifndef XAR_XAR_RIDE_INDEX_H_
+#define XAR_XAR_RIDE_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "discretize/region_index.h"
+#include "graph/road_graph.h"
+#include "xar/cluster_ride_list.h"
+#include "xar/ride.h"
+
+namespace xar {
+
+/// A ride's association with one pass-through cluster (paper Section VI):
+/// the cluster a route segment drives through, its ETA, and the clusters
+/// reachable from it within the ride's remaining detour budget.
+struct PassThroughCluster {
+  ClusterId cluster;
+  LandmarkId landmark;      ///< landmark of the grid where the route entered
+  double eta_s = 0.0;
+  std::size_t segment = 0;  ///< which via-point segment produced it
+  bool crossed = false;     ///< tracking: the ride has already passed it
+  /// Reachable clusters (paper's detour test d_CC' + d_C'v - d_Cv <= d)
+  /// and their cluster-level detour estimates, parallel arrays.
+  std::vector<ClusterId> reachable;
+  std::vector<double> reachable_detour_m;
+};
+
+/// Everything the index knows about one registered ride.
+struct RideRegistration {
+  std::vector<PassThroughCluster> pass_throughs;
+  /// Every cluster this ride currently appears under (sorted, unique).
+  std::vector<ClusterId> registered_clusters;
+};
+
+/// The XAR in-memory ride index: per-cluster potential-ride lists plus the
+/// per-ride cluster associations needed to keep them valid as rides move
+/// (tracking) and change shape (booking). This is the structure whose size
+/// Fig. 3c reports and whose probes make Search shortest-path-free.
+class RideIndex {
+ public:
+  explicit RideIndex(const RegionIndex& region, const RoadGraph& graph);
+
+  /// Computes `ride`'s pass-through clusters (from its current route and
+  /// via-points) and their reachable clusters (within the remaining detour
+  /// budget), then registers the ride under all of them. The ride must not
+  /// already be registered.
+  void RegisterRide(const Ride& ride);
+
+  /// Removes the ride from every cluster list. No-op if absent.
+  void UnregisterRide(RideId ride);
+
+  /// Re-derives all associations after a booking changed the ride's route,
+  /// via-points or detour budget.
+  void ReregisterRide(const Ride& ride);
+
+  /// Tracking (paper Section VIII-A): marks pass-through clusters with
+  /// eta < now as crossed, and evicts the ride from clusters no longer
+  /// supported by any valid pass-through. Returns the number of clusters the
+  /// ride was evicted from.
+  std::size_t AdvanceRide(const Ride& ride, double now_s);
+
+  /// The potential-ride list of a cluster.
+  const ClusterRideList& ListOf(ClusterId c) const {
+    return lists_[c.value()];
+  }
+
+  const RideRegistration* RegistrationOf(RideId ride) const;
+
+  /// Earliest ETA among the ride's uncrossed pass-through clusters — the
+  /// next moment tracking has work to do for this ride. +inf if none.
+  double NextEventTime(RideId ride) const;
+
+  /// The uncrossed pass-through of `ride` that supports `cluster` (as
+  /// itself or as a reachable cluster) at the lowest detour estimate.
+  /// Returns nullptr if unsupported.
+  const PassThroughCluster* BestSupport(RideId ride, ClusterId cluster) const;
+
+  /// Picks the pickup/drop-off insertion segments for a booking *jointly*,
+  /// minimizing the estimate of the composed detour (the two independent
+  /// per-side estimates are not additive when both points land on the same
+  /// segment). Candidate supports are found at cluster level; the estimate
+  /// itself is computed on the precomputed *landmark* metric (the paper's
+  /// in-memory landmark distances) using the concrete pickup/drop-off
+  /// landmarks, which is what keeps the Fig. 3a approximation tight.
+  /// Requires seg_src <= seg_dst. Returns false when no valid support pair
+  /// exists (stale match). No shortest paths are computed.
+  bool ChooseInsertionSegments(const Ride& ride, ClusterId source_cluster,
+                               LandmarkId pickup_landmark,
+                               ClusterId dest_cluster,
+                               LandmarkId dropoff_landmark,
+                               std::size_t* seg_src, std::size_t* seg_dst,
+                               double* joint_estimate_m) const;
+
+  std::size_t NumRegisteredRides() const { return registrations_.size(); }
+
+  /// Bytes held by all cluster lists and registrations (Fig. 3c).
+  std::size_t MemoryFootprint() const;
+
+ private:
+  struct Support {
+    double eta_s;
+    double detour_m;
+  };
+
+  /// Min-aggregated (eta, detour) of `ride` for each cluster it touches,
+  /// over uncrossed pass-throughs.
+  std::unordered_map<ClusterId, Support> AggregateSupports(
+      const RideRegistration& reg) const;
+
+  std::vector<PassThroughCluster> ComputePassThroughs(const Ride& ride) const;
+
+  const RegionIndex& region_;
+  const RoadGraph& graph_;
+  std::vector<ClusterRideList> lists_;  // one per cluster
+  std::unordered_map<RideId, RideRegistration> registrations_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_XAR_RIDE_INDEX_H_

@@ -1,0 +1,36 @@
+#include "xar/route_utils.h"
+
+#include <cassert>
+#include <limits>
+
+namespace xar {
+
+void BuildCumulativeProfiles(const RoadGraph& graph,
+                             const std::vector<NodeId>& nodes,
+                             std::vector<double>* cum_time_s,
+                             std::vector<double>* cum_dist_m) {
+  cum_time_s->assign(nodes.size(), 0.0);
+  cum_dist_m->assign(nodes.size(), 0.0);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const RoadEdge* best = nullptr;
+    for (const RoadEdge& e : graph.OutEdges(nodes[i])) {
+      if (!e.drivable || e.to != nodes[i + 1]) continue;
+      if (best == nullptr || e.length_m < best->length_m) best = &e;
+    }
+    assert(best != nullptr && "route hop is not a drivable edge");
+    (*cum_time_s)[i + 1] = (*cum_time_s)[i] + best->time_s;
+    (*cum_dist_m)[i + 1] = (*cum_dist_m)[i] + best->length_m;
+  }
+}
+
+void AppendPathNodes(std::vector<NodeId>* route,
+                     const std::vector<NodeId>& piece) {
+  std::size_t start = 0;
+  if (!route->empty() && !piece.empty() && route->back() == piece.front()) {
+    start = 1;
+  }
+  route->insert(route->end(), piece.begin() + static_cast<std::ptrdiff_t>(start),
+                piece.end());
+}
+
+}  // namespace xar

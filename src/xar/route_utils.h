@@ -1,0 +1,28 @@
+#ifndef XAR_XAR_ROUTE_UTILS_H_
+#define XAR_XAR_ROUTE_UTILS_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "graph/path.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// Fills cumulative driving time/distance profiles along `nodes`:
+/// cum_time_s[i] / cum_dist_m[i] is the total time/distance from nodes[0] to
+/// nodes[i] taking, at each hop, the best drivable edge between consecutive
+/// nodes. Every consecutive pair must be connected by a drivable edge.
+void BuildCumulativeProfiles(const RoadGraph& graph,
+                             const std::vector<NodeId>& nodes,
+                             std::vector<double>* cum_time_s,
+                             std::vector<double>* cum_dist_m);
+
+/// Appends `piece` to `route`, dropping the duplicated junction node when
+/// `piece` starts where `route` currently ends.
+void AppendPathNodes(std::vector<NodeId>* route,
+                     const std::vector<NodeId>& piece);
+
+}  // namespace xar
+
+#endif  // XAR_XAR_ROUTE_UTILS_H_

@@ -1,0 +1,612 @@
+#include "xar/xar_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "schedule/kinetic_tree.h"
+#include "xar/route_utils.h"
+
+namespace xar {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+XarSystem::XarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
+                     const RegionIndex& region, DistanceOracle& oracle,
+                     XarOptions options)
+    : graph_(graph),
+      spatial_(spatial),
+      region_(region),
+      oracle_(oracle),
+      options_(options),
+      index_(region, graph) {}
+
+Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
+  NodeId src = spatial_.NearestNode(offer.source);
+  NodeId dst = spatial_.NearestNode(offer.destination);
+  if (src == dst) {
+    return Status::InvalidArgument("ride source and destination coincide");
+  }
+  Path route = oracle_.DriveRoute(src, dst);
+  if (!route.Found()) {
+    return Status::NotFound("no drivable route between offer endpoints");
+  }
+
+  Ride ride;
+  ride.id = RideId(static_cast<RideId::underlying_type>(rides_.size()));
+  ride.source = src;
+  ride.destination = dst;
+  ride.departure_time_s = offer.departure_time_s;
+  ride.seats_total =
+      offer.seats >= 0 ? offer.seats : options_.default_seats;
+  ride.seats_available = ride.seats_total;
+  ride.detour_limit_m = offer.detour_limit_m >= 0
+                            ? offer.detour_limit_m
+                            : options_.default_detour_limit_m;
+  ride.route = std::move(route);
+  BuildCumulativeProfiles(graph_, ride.route.nodes, &ride.route_cum_time_s,
+                          &ride.route_cum_dist_m);
+
+  ViaPoint start{src, offer.departure_time_s, RequestId::Invalid(), false};
+  ViaPoint end{dst, offer.departure_time_s + ride.route_cum_time_s.back(),
+               RequestId::Invalid(), false};
+  ride.via_points = {start, end};
+  ride.via_route_index = {0, ride.route.nodes.size() - 1};
+
+  rides_.push_back(std::move(ride));
+  ++active_rides_;
+  const Ride& stored = rides_.back();
+  index_.RegisterRide(stored);
+  ScheduleNextEvent(stored);
+  return stored.id;
+}
+
+void XarSystem::CollectSideCandidates(
+    const LatLng& location, double walk_limit_m, double eta_begin,
+    double eta_end,
+    std::vector<std::pair<RideId, SideCandidate>>* out) const {
+  GridId grid = region_.GridOfPoint(location);
+  // Walkable clusters are sorted by walking distance: scan the prefix within
+  // the request's threshold (paper: linear traversal of the sorted list).
+  for (const WalkableCluster& wc : region_.WalkableClustersOf(grid)) {
+    if (wc.walk_m > walk_limit_m) break;
+    const ClusterRideList& list = index_.ListOf(wc.cluster);
+    for (const PotentialRide& pr : list.EtaRange(eta_begin, eta_end)) {
+      out->emplace_back(pr.ride, SideCandidate{wc.walk_m, pr.eta_s,
+                                               pr.detour_m, wc.cluster,
+                                               wc.nearest_landmark});
+    }
+  }
+  // Keep, per ride, the candidate with the least walking (ties: earlier ETA)
+  // — the list is small; sort + unique keeps it allocation-light.
+  std::sort(out->begin(), out->end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    if (a.second.walk_m != b.second.walk_m)
+      return a.second.walk_m < b.second.walk_m;
+    return a.second.eta_s < b.second.eta_s;
+  });
+  out->erase(std::unique(out->begin(), out->end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first;
+                         }),
+             out->end());
+}
+
+std::vector<RideMatch> XarSystem::Search(const RideRequest& request) const {
+  return SearchTopK(request, options_.max_results);
+}
+
+std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
+                                             std::size_t k) const {
+  double walk_limit = request.walk_limit_m >= 0 ? request.walk_limit_m
+                                                : options_.default_walk_limit_m;
+
+  // Step 1: candidate rides around the source, keyed by pickup-cluster ETA
+  // inside the departure window.
+  std::vector<std::pair<RideId, SideCandidate>> source_side;
+  CollectSideCandidates(request.source, walk_limit,
+                        request.earliest_departure_s -
+                            options_.eta_window_slack_s,
+                        request.latest_departure_s +
+                            options_.eta_window_slack_s,
+                        &source_side);
+
+  // Step 2: candidate rides around the destination; the drop-off may happen
+  // any time between the window start and the onboard bound.
+  std::vector<std::pair<RideId, SideCandidate>> dest_side;
+  CollectSideCandidates(request.destination, walk_limit,
+                        request.earliest_departure_s,
+                        request.latest_departure_s + options_.max_onboard_s,
+                        &dest_side);
+
+  // Intersection R' = R1 ∩ R2 on sorted ride ids, then the final walking &
+  // detour threshold checks (paper Section VII).
+  std::vector<RideMatch> matches;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < source_side.size() && j < dest_side.size()) {
+    if (source_side[i].first < dest_side[j].first) {
+      ++i;
+    } else if (dest_side[j].first < source_side[i].first) {
+      ++j;
+    } else {
+      const SideCandidate& s = source_side[i].second;
+      const SideCandidate& d = dest_side[j].second;
+      RideId ride_id = source_side[i].first;
+      ++i;
+      ++j;
+      const Ride& ride = rides_[ride_id.value()];
+      if (!ride.active || ride.seats_available < request.seats) continue;
+      // The ride must reach the pickup cluster before the drop-off cluster,
+      // and they must differ (same-cluster trips are below system
+      // resolution).
+      if (s.cluster == d.cluster || s.eta_s > d.eta_s) continue;
+      if (s.walk_m + d.walk_m > walk_limit) continue;
+      // Combined detour check (paper Section VII, final step) with the
+      // joint cluster-level estimate — pure index lookups, no shortest
+      // paths.
+      std::size_t seg_s = 0;
+      std::size_t seg_d = 0;
+      double joint_detour = 0.0;
+      if (!index_.ChooseInsertionSegments(ride, s.cluster, s.landmark,
+                                          d.cluster, d.landmark, &seg_s,
+                                          &seg_d, &joint_detour)) {
+        continue;
+      }
+      if (joint_detour > ride.RemainingDetourBudget()) continue;
+
+      RideMatch m;
+      m.ride = ride_id;
+      m.walk_source_m = s.walk_m;
+      m.walk_dest_m = d.walk_m;
+      m.eta_source_s = s.eta_s;
+      m.eta_dest_s = d.eta_s;
+      m.detour_estimate_m = joint_detour;
+      m.source_cluster = s.cluster;
+      m.dest_cluster = d.cluster;
+      m.pickup_landmark = s.landmark;
+      m.dropoff_landmark = d.landmark;
+      matches.push_back(m);
+    }
+  }
+
+  std::sort(matches.begin(), matches.end(),
+            [](const RideMatch& a, const RideMatch& b) {
+              if (a.TotalWalkM() != b.TotalWalkM())
+                return a.TotalWalkM() < b.TotalWalkM();
+              return a.ride < b.ride;
+            });
+  if (k > 0 && matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+Result<BookingRecord> XarSystem::Book(RideId ride_id,
+                                      const RideRequest& request,
+                                      const RideMatch& match) {
+  if (ride_id.value() >= rides_.size()) {
+    return Status::NotFound("unknown ride");
+  }
+  Ride& ride = MutableRide(ride_id);
+  if (!ride.active) return Status::FailedPrecondition("ride already finished");
+  if (ride.seats_available < request.seats) {
+    return Status::ResourceExhausted("no seats left on ride");
+  }
+
+  // Locate the insertion segments from the index's support records — this
+  // uses only precomputed cluster information, no shortest paths. The pair
+  // is chosen jointly so that same-segment insertions price the full
+  // src->dst traversal.
+  std::size_t s = 0;
+  std::size_t d = 0;
+  double joint_estimate = 0.0;
+  if (!index_.ChooseInsertionSegments(ride, match.source_cluster,
+                                      match.pickup_landmark,
+                                      match.dest_cluster,
+                                      match.dropoff_landmark, &s, &d,
+                                      &joint_estimate)) {
+    return Status::FailedPrecondition("match is stale: cluster support gone");
+  }
+
+  NodeId pickup = region_.GetLandmark(match.pickup_landmark).node;
+  NodeId dropoff = region_.GetLandmark(match.dropoff_landmark).node;
+
+  if (options_.kinetic_booking &&
+      clock_.Now() <= ride.departure_time_s) {
+    return BookKinetic(ride, request, match, pickup, dropoff);
+  }
+
+  double old_length = ride.route_cum_dist_m.back();
+  double budget_before = ride.RemainingDetourBudget();
+
+  // Splice the route (paper Section VIII-B): the only shortest-path
+  // computations of the booking path, at most four.
+  std::size_t sp_count = 0;
+  auto sp = [&](NodeId a, NodeId b) -> Path {
+    ++sp_count;
+    return oracle_.DriveRoute(a, b);
+  };
+
+  std::vector<NodeId> new_nodes;
+  std::vector<ViaPoint> new_vias;
+  std::vector<std::size_t> new_via_idx;
+
+  auto copy_route_span = [&](std::size_t from_idx, std::size_t to_idx) {
+    for (std::size_t r = from_idx; r <= to_idx; ++r) {
+      if (!new_nodes.empty() && new_nodes.back() == ride.route.nodes[r])
+        continue;
+      new_nodes.push_back(ride.route.nodes[r]);
+    }
+  };
+
+  ViaPoint pickup_via{pickup, 0.0, request.id, true};
+  ViaPoint dropoff_via{dropoff, 0.0, request.id, false};
+
+  bool ok = true;
+  auto splice_leg = [&](NodeId from, NodeId to) {
+    if (from == to) return;  // nothing to add
+    Path leg = sp(from, to);
+    if (!leg.Found()) {
+      ok = false;
+      return;
+    }
+    AppendPathNodes(&new_nodes, leg.nodes);
+  };
+
+  if (s == d) {
+    // v_s -> pickup -> dropoff -> v_{s+1}; 3 shortest paths.
+    copy_route_span(0, ride.via_route_index[s]);
+    // Via list: all vias up to s (prefix indices unchanged), then pickup and
+    // dropoff, then the rest.
+    for (std::size_t v = 0; v <= s; ++v) {
+      new_vias.push_back(ride.via_points[v]);
+      new_via_idx.push_back(ride.via_route_index[v]);
+    }
+    splice_leg(ride.via_points[s].node, pickup);
+    new_vias.push_back(pickup_via);
+    new_via_idx.push_back(new_nodes.size() - 1);
+    splice_leg(pickup, dropoff);
+    new_vias.push_back(dropoff_via);
+    new_via_idx.push_back(new_nodes.size() - 1);
+    splice_leg(dropoff, ride.via_points[s + 1].node);
+    std::size_t resume = new_nodes.size() - 1;
+    copy_route_span(ride.via_route_index[s + 1], ride.route.nodes.size() - 1);
+    for (std::size_t v = s + 1; v < ride.via_points.size(); ++v) {
+      new_vias.push_back(ride.via_points[v]);
+      new_via_idx.push_back(resume + (ride.via_route_index[v] -
+                                      ride.via_route_index[s + 1]));
+    }
+  } else {
+    // v_s -> pickup -> v_{s+1} ... v_d -> dropoff -> v_{d+1}; 4 paths.
+    for (std::size_t v = 0; v <= s; ++v) {
+      new_vias.push_back(ride.via_points[v]);
+    }
+    copy_route_span(0, ride.via_route_index[s]);
+    for (std::size_t v = 0; v <= s; ++v) {
+      new_via_idx.push_back(ride.via_route_index[v]);
+    }
+    splice_leg(ride.via_points[s].node, pickup);
+    new_vias.push_back(pickup_via);
+    new_via_idx.push_back(new_nodes.size() - 1);
+    splice_leg(pickup, ride.via_points[s + 1].node);
+
+    // Middle untouched portion: vias s+1 .. d, route up to via d.
+    std::size_t anchor = new_nodes.size() - 1;
+    copy_route_span(ride.via_route_index[s + 1], ride.via_route_index[d]);
+    for (std::size_t v = s + 1; v <= d; ++v) {
+      new_vias.push_back(ride.via_points[v]);
+      new_via_idx.push_back(anchor + (ride.via_route_index[v] -
+                                      ride.via_route_index[s + 1]));
+    }
+    splice_leg(ride.via_points[d].node, dropoff);
+    new_vias.push_back(dropoff_via);
+    new_via_idx.push_back(new_nodes.size() - 1);
+    splice_leg(dropoff, ride.via_points[d + 1].node);
+
+    std::size_t resume = new_nodes.size() - 1;
+    copy_route_span(ride.via_route_index[d + 1], ride.route.nodes.size() - 1);
+    for (std::size_t v = d + 1; v < ride.via_points.size(); ++v) {
+      new_vias.push_back(ride.via_points[v]);
+      new_via_idx.push_back(resume + (ride.via_route_index[v] -
+                                      ride.via_route_index[d + 1]));
+    }
+  }
+
+  if (!ok) {
+    return Status::Internal("booking splice found an unreachable leg");
+  }
+  assert(sp_count <= 4);
+
+  // Commit the new shape.
+  ride.route.nodes = std::move(new_nodes);
+  BuildCumulativeProfiles(graph_, ride.route.nodes, &ride.route_cum_time_s,
+                          &ride.route_cum_dist_m);
+  ride.route.length_m = ride.route_cum_dist_m.back();
+  ride.route.time_s = ride.route_cum_time_s.back();
+  ride.via_points = std::move(new_vias);
+  ride.via_route_index = std::move(new_via_idx);
+  for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
+    ride.via_points[v].eta_s =
+        ride.departure_time_s + ride.route_cum_time_s[ride.via_route_index[v]];
+  }
+
+  double actual_detour = ride.route_cum_dist_m.back() - old_length;
+  ride.detour_used_m += std::max(0.0, actual_detour);
+  ride.seats_available -= request.seats;
+
+  index_.ReregisterRide(ride);
+  index_.AdvanceRide(ride, clock_.Now());  // do not resurrect passed clusters
+  ScheduleNextEvent(ride);
+
+  BookingRecord record;
+  record.request = request.id;
+  record.ride = ride_id;
+  record.seats = request.seats;
+  record.pickup_node = pickup;
+  record.dropoff_node = dropoff;
+  record.actual_detour_m = std::max(0.0, actual_detour);
+  record.estimated_detour_m = match.detour_estimate_m;
+  record.budget_before_m = budget_before;
+  record.walk_m = match.TotalWalkM();
+  record.shortest_path_computations = sp_count;
+  for (const ViaPoint& vp : ride.via_points) {
+    if (vp.request == request.id) {
+      (vp.is_pickup ? record.pickup_eta_s : record.dropoff_eta_s) = vp.eta_s;
+    }
+  }
+  bookings_.push_back(record);
+  return record;
+}
+
+Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
+                                             const RideRequest& request,
+                                             const RideMatch& match,
+                                             NodeId pickup, NodeId dropoff) {
+  // Collect every rider's stop pair (existing co-riders + the new rider);
+  // the driver's own source stays first and destination last.
+  std::vector<std::pair<ScheduleStop, ScheduleStop>> riders;
+  for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
+    const ViaPoint& vp = ride.via_points[v];
+    if (!vp.request.valid() || !vp.is_pickup) continue;
+    ScheduleStop p{vp.node, vp.request, true, kInf};
+    const ViaPoint* drop = nullptr;
+    for (const ViaPoint& other : ride.via_points) {
+      if (other.request == vp.request && !other.is_pickup) drop = &other;
+    }
+    assert(drop != nullptr);
+    ScheduleStop d{drop->node, vp.request, false, kInf};
+    riders.emplace_back(p, d);
+  }
+  riders.emplace_back(ScheduleStop{pickup, request.id, true, kInf},
+                      ScheduleStop{dropoff, request.id, false, kInf});
+
+  // Completion-time-optimal ordering over all rider stops. ETA estimates in
+  // the tree use driving time; budget/seat feasibility is checked below on
+  // the exact rebuilt route.
+  KineticTree tree(ride.source, ride.departure_time_s, ride.seats_total,
+                   oracle_);
+  for (const auto& [p, d] : riders) {
+    if (!tree.Insert(p, d)) {
+      return Status::NotFound("no feasible stop ordering for this rider");
+    }
+  }
+  Schedule schedule = tree.BestSchedule();
+
+  // Rebuild the route: source -> stops in schedule order -> destination.
+  std::vector<NodeId> order = {ride.source};
+  for (const ScheduleStop& stop : schedule.stops) order.push_back(stop.node);
+  order.push_back(ride.destination);
+
+  std::size_t sp_count = 0;
+  std::vector<NodeId> new_nodes = {order.front()};
+  std::vector<std::size_t> stop_route_idx = {0};
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] != new_nodes.back()) {
+      ++sp_count;
+      Path leg = oracle_.DriveRoute(new_nodes.back(), order[i]);
+      if (!leg.Found()) {
+        return Status::Internal("kinetic booking re-route failed");
+      }
+      AppendPathNodes(&new_nodes, leg.nodes);
+    }
+    stop_route_idx.push_back(new_nodes.size() - 1);
+  }
+
+  double base_length = oracle_.DriveDistance(ride.source, ride.destination);
+  double budget_before = ride.RemainingDetourBudget();
+  double old_total = ride.route_cum_dist_m.back();
+
+  ride.route.nodes = std::move(new_nodes);
+  BuildCumulativeProfiles(graph_, ride.route.nodes, &ride.route_cum_time_s,
+                          &ride.route_cum_dist_m);
+  ride.route.length_m = ride.route_cum_dist_m.back();
+  ride.route.time_s = ride.route_cum_time_s.back();
+
+  // Via-points: source, all rider stops in the optimized order, destination.
+  std::vector<ViaPoint> vias;
+  vias.push_back(
+      ViaPoint{ride.source, ride.departure_time_s, RequestId::Invalid(),
+               false});
+  std::vector<std::size_t> via_idx = {0};
+  for (std::size_t i = 0; i < schedule.stops.size(); ++i) {
+    const ScheduleStop& stop = schedule.stops[i];
+    vias.push_back(ViaPoint{stop.node, 0.0, stop.request, stop.is_pickup});
+    via_idx.push_back(stop_route_idx[i + 1]);
+  }
+  vias.push_back(ViaPoint{ride.destination, 0.0, RequestId::Invalid(), false});
+  via_idx.push_back(ride.route.nodes.size() - 1);
+  ride.via_points = std::move(vias);
+  ride.via_route_index = std::move(via_idx);
+  for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
+    ride.via_points[v].eta_s =
+        ride.departure_time_s + ride.route_cum_time_s[ride.via_route_index[v]];
+  }
+
+  // Detour accounting is global in this mode: everything beyond the
+  // driver's own shortest path is shared detour.
+  ride.detour_used_m = std::max(0.0, ride.route.length_m - base_length);
+  ride.seats_available -= request.seats;
+
+  index_.ReregisterRide(ride);
+  index_.AdvanceRide(ride, clock_.Now());
+  ScheduleNextEvent(ride);
+
+  BookingRecord record;
+  record.request = request.id;
+  record.ride = ride.id;
+  record.seats = request.seats;
+  record.pickup_node = pickup;
+  record.dropoff_node = dropoff;
+  record.actual_detour_m = std::max(0.0, ride.route.length_m - old_total);
+  record.estimated_detour_m = match.detour_estimate_m;
+  record.budget_before_m = budget_before;
+  record.walk_m = match.TotalWalkM();
+  record.shortest_path_computations = sp_count;
+  for (const ViaPoint& vp : ride.via_points) {
+    if (vp.request == request.id) {
+      (vp.is_pickup ? record.pickup_eta_s : record.dropoff_eta_s) = vp.eta_s;
+    }
+  }
+  bookings_.push_back(record);
+  return record;
+}
+
+Status XarSystem::CancelBooking(RideId ride_id, RequestId request) {
+  if (ride_id.value() >= rides_.size()) {
+    return Status::NotFound("unknown ride");
+  }
+  Ride& ride = MutableRide(ride_id);
+  if (!ride.active) {
+    return Status::FailedPrecondition("ride already finished");
+  }
+  // Locate the rider's via-points.
+  std::size_t pickup_idx = ride.via_points.size();
+  for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
+    if (ride.via_points[v].request == request &&
+        ride.via_points[v].is_pickup) {
+      pickup_idx = v;
+      break;
+    }
+  }
+  if (pickup_idx == ride.via_points.size()) {
+    return Status::NotFound("no such booking on this ride");
+  }
+  if (ride.via_points[pickup_idx].eta_s <= clock_.Now()) {
+    return Status::FailedPrecondition("rider already picked up");
+  }
+
+  // Remaining via-points, in order, without this rider's pair.
+  std::vector<ViaPoint> kept;
+  for (const ViaPoint& vp : ride.via_points) {
+    if (vp.request != request) kept.push_back(vp);
+  }
+
+  // Re-route through the kept via-points (back-end shortest paths).
+  std::vector<NodeId> new_nodes;
+  std::vector<std::size_t> new_via_idx;
+  for (std::size_t v = 0; v < kept.size(); ++v) {
+    if (v == 0) {
+      new_nodes.push_back(kept[0].node);
+    } else if (kept[v].node != new_nodes.back()) {
+      Path leg = oracle_.DriveRoute(new_nodes.back(), kept[v].node);
+      if (!leg.Found()) {
+        return Status::Internal("cancellation re-route failed");
+      }
+      AppendPathNodes(&new_nodes, leg.nodes);
+    }
+    new_via_idx.push_back(new_nodes.size() - 1);
+  }
+
+  double old_length = ride.route_cum_dist_m.back();
+  ride.route.nodes = std::move(new_nodes);
+  BuildCumulativeProfiles(graph_, ride.route.nodes, &ride.route_cum_time_s,
+                          &ride.route_cum_dist_m);
+  ride.route.length_m = ride.route_cum_dist_m.back();
+  ride.route.time_s = ride.route_cum_time_s.back();
+  ride.via_points = std::move(kept);
+  ride.via_route_index = std::move(new_via_idx);
+  for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
+    ride.via_points[v].eta_s =
+        ride.departure_time_s + ride.route_cum_time_s[ride.via_route_index[v]];
+  }
+
+  // Refund the freed detour budget and the seat(s).
+  double freed = std::max(0.0, old_length - ride.route.length_m);
+  ride.detour_used_m = std::max(0.0, ride.detour_used_m - freed);
+  int seats = 1;
+  for (auto it = bookings_.begin(); it != bookings_.end(); ++it) {
+    if (it->ride == ride_id && it->request == request) {
+      seats = it->seats;
+      bookings_.erase(it);
+      break;
+    }
+  }
+  ride.seats_available =
+      std::min(ride.seats_total, ride.seats_available + seats);
+
+  index_.ReregisterRide(ride);
+  index_.AdvanceRide(ride, clock_.Now());  // do not resurrect passed clusters
+  ScheduleNextEvent(ride);
+  return Status::OK();
+}
+
+Status XarSystem::CancelRide(RideId ride_id) {
+  if (ride_id.value() >= rides_.size()) {
+    return Status::NotFound("unknown ride");
+  }
+  Ride& ride = MutableRide(ride_id);
+  if (ride.active) FinishRide(ride);
+  return Status::OK();
+}
+
+void XarSystem::AdvanceTime(double now_s) {
+  clock_.AdvanceTo(now_s);
+  while (!events_.empty() && events_.top().first < now_s) {
+    auto [when, ride_id] = events_.top();
+    events_.pop();
+    Ride& ride = MutableRide(ride_id);
+    if (!ride.active) continue;
+    if (ride.ArrivalTimeS() <= now_s) {
+      FinishRide(ride);
+      continue;
+    }
+    index_.AdvanceRide(ride, now_s);
+    ScheduleNextEvent(ride);
+  }
+}
+
+void XarSystem::FinishRide(Ride& ride) {
+  if (!ride.active) return;
+  ride.active = false;
+  --active_rides_;
+  index_.UnregisterRide(ride.id);
+}
+
+void XarSystem::ScheduleNextEvent(const Ride& ride) {
+  double next = std::min(index_.NextEventTime(ride.id), ride.ArrivalTimeS());
+  if (next < kInf) events_.emplace(next, ride.id);
+}
+
+const Ride* XarSystem::GetRide(RideId id) const {
+  if (id.value() >= rides_.size()) return nullptr;
+  return &rides_[id.value()];
+}
+
+std::size_t XarSystem::MemoryFootprint() const {
+  std::size_t bytes = sizeof(*this) + index_.MemoryFootprint();
+  for (const Ride& r : rides_) {
+    bytes += sizeof(r);
+    bytes += r.route.nodes.capacity() * sizeof(NodeId);
+    bytes += (r.route_cum_time_s.capacity() + r.route_cum_dist_m.capacity()) *
+             sizeof(double);
+    bytes += r.via_points.capacity() * sizeof(ViaPoint);
+    bytes += r.via_route_index.capacity() * sizeof(std::size_t);
+  }
+  bytes += bookings_.capacity() * sizeof(BookingRecord);
+  return bytes;
+}
+
+}  // namespace xar

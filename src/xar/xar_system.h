@@ -1,0 +1,140 @@
+#ifndef XAR_XAR_XAR_SYSTEM_H_
+#define XAR_XAR_XAR_SYSTEM_H_
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "discretize/region_index.h"
+#include "graph/oracle.h"
+#include "graph/road_graph.h"
+#include "graph/spatial_index.h"
+#include "xar/options.h"
+#include "xar/ride.h"
+#include "xar/ride_index.h"
+
+namespace xar {
+
+/// The XAR run-time unit (paper Fig. 1): ride creation, shortest-path-free
+/// search, booking with at most four shortest-path computations, and
+/// tracking against a virtual clock.
+///
+/// Typical lifecycle:
+///   XarSystem xar(graph, spatial, region, oracle);
+///   RideId r = *xar.CreateRide(offer);
+///   auto matches = xar.Search(request);          // no shortest paths
+///   auto booking = xar.Book(matches[0].ride, request, matches[0]);
+///   xar.AdvanceTime(now);                        // tracking
+class XarSystem {
+ public:
+  XarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
+            const RegionIndex& region, DistanceOracle& oracle,
+            XarOptions options = {});
+
+  XarSystem(const XarSystem&) = delete;
+  XarSystem& operator=(const XarSystem&) = delete;
+
+  // --- Operations (paper O1/O2/O3) ---------------------------------------
+
+  /// O2: registers a new ride offer. Computes the driver's shortest route
+  /// (the only permitted shortest-path use outside booking) and indexes the
+  /// ride's pass-through/reachable clusters.
+  Result<RideId> CreateRide(const RideOffer& offer);
+
+  /// O1: retrieves feasible matches for `request` by pure index probes —
+  /// walkable-cluster lists, per-cluster ETA ranges, candidate-set
+  /// intersection, then walking/detour threshold checks. Never computes a
+  /// shortest path. Results sorted by least total walking.
+  std::vector<RideMatch> Search(const RideRequest& request) const;
+
+  /// As Search, but with an explicit top-k override (0 = all).
+  std::vector<RideMatch> SearchTopK(const RideRequest& request,
+                                    std::size_t k) const;
+
+  /// Books `match` on `ride`: inserts pickup/drop-off via-points, splices
+  /// the route using <= 4 shortest-path computations (paper Section VIII-B),
+  /// charges the actual detour against the driver's budget, and refreshes
+  /// the ride's index entries.
+  Result<BookingRecord> Book(RideId ride, const RideRequest& request,
+                             const RideMatch& match);
+
+  /// Cancels a previously confirmed booking: removes the rider's via-points,
+  /// re-routes the ride through its remaining via-points (shortest paths,
+  /// back-end), restores the seat and detour budget, and refreshes the index.
+  /// Fails if the ride has already passed the pickup point.
+  Status CancelBooking(RideId ride, RequestId request);
+
+  /// Cancels a whole ride offer: evicts it from every cluster list. Existing
+  /// co-rider bookings on it are dropped (the caller is responsible for
+  /// re-matching them). Idempotent on already-finished rides.
+  Status CancelRide(RideId ride);
+
+  /// O3 (tracking): advances the virtual clock, retiring finished rides and
+  /// evicting obsolete cluster associations of in-progress ones.
+  void AdvanceTime(double now_s);
+
+  // --- Introspection -------------------------------------------------------
+
+  double Now() const { return clock_.Now(); }
+  const Ride* GetRide(RideId id) const;
+  std::size_t NumRides() const { return rides_.size(); }
+  std::size_t NumActiveRides() const { return active_rides_; }
+  const RideIndex& ride_index() const { return index_; }
+  const RegionIndex& region() const { return region_; }
+  const XarOptions& options() const { return options_; }
+  const std::vector<BookingRecord>& bookings() const { return bookings_; }
+
+  /// Bytes held by the ride index plus ride state (Fig. 3c numerator; add
+  /// region().MemoryFootprint() for the full in-memory structure).
+  std::size_t MemoryFootprint() const;
+
+ private:
+  struct SideCandidate {
+    double walk_m;
+    double eta_s;
+    double detour_m;
+    ClusterId cluster;
+    LandmarkId landmark;
+  };
+
+  /// Step 1/2 of Search: per-ride best candidate from one endpoint.
+  void CollectSideCandidates(
+      const LatLng& location, double walk_limit_m, double eta_begin,
+      double eta_end,
+      std::vector<std::pair<RideId, SideCandidate>>* out) const;
+
+  Ride& MutableRide(RideId id) { return rides_[id.value()]; }
+  void FinishRide(Ride& ride);
+  void ScheduleNextEvent(const Ride& ride);
+
+  /// Kinetic-booking path (XarOptions::kinetic_booking): re-orders all rider
+  /// stops of a not-yet-departed ride with a kinetic tree and rebuilds the
+  /// route stop-to-stop. Returns NotFound if no feasible ordering exists.
+  Result<BookingRecord> BookKinetic(Ride& ride, const RideRequest& request,
+                                    const RideMatch& match, NodeId pickup,
+                                    NodeId dropoff);
+
+  const RoadGraph& graph_;
+  const SpatialNodeIndex& spatial_;
+  const RegionIndex& region_;
+  DistanceOracle& oracle_;
+  XarOptions options_;
+
+  std::vector<Ride> rides_;  // indexed by RideId
+  RideIndex index_;
+  std::vector<BookingRecord> bookings_;
+  VirtualClock clock_;
+  std::size_t active_rides_ = 0;
+
+  // Tracking wake-up queue: (event time, ride). Entries may be stale; they
+  // are validated on pop.
+  using Event = std::pair<double, RideId>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_XAR_XAR_SYSTEM_H_

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "xar/cluster_ride_list.h"
+
+namespace xar {
+namespace {
+
+TEST(ClusterRideListTest, UpsertInsertsAndFinds) {
+  ClusterRideList list;
+  list.Upsert(RideId(5), 100.0, 50.0);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.Contains(RideId(5)));
+  EXPECT_FALSE(list.Contains(RideId(6)));
+  const PotentialRide* pr = list.Find(RideId(5));
+  ASSERT_NE(pr, nullptr);
+  EXPECT_DOUBLE_EQ(pr->eta_s, 100.0);
+  EXPECT_DOUBLE_EQ(pr->detour_m, 50.0);
+}
+
+TEST(ClusterRideListTest, UpsertUpdatesInPlace) {
+  ClusterRideList list;
+  list.Upsert(RideId(5), 100.0, 0.0);
+  list.Upsert(RideId(5), 300.0, 70.0);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_DOUBLE_EQ(list.Find(RideId(5))->eta_s, 300.0);
+  // The old ETA-sorted copy is gone.
+  EXPECT_TRUE(list.EtaRange(50, 150).empty());
+  EXPECT_EQ(list.EtaRange(250, 350).size(), 1u);
+}
+
+TEST(ClusterRideListTest, RemoveReportsPresence) {
+  ClusterRideList list;
+  list.Upsert(RideId(1), 10.0, 0.0);
+  EXPECT_TRUE(list.Remove(RideId(1)));
+  EXPECT_FALSE(list.Remove(RideId(1)));
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(ClusterRideListTest, EtaRangeBoundsInclusive) {
+  ClusterRideList list;
+  list.Upsert(RideId(1), 10.0, 0.0);
+  list.Upsert(RideId(2), 20.0, 0.0);
+  list.Upsert(RideId(3), 30.0, 0.0);
+  EXPECT_EQ(list.EtaRange(10.0, 30.0).size(), 3u);
+  EXPECT_EQ(list.EtaRange(10.1, 29.9).size(), 1u);
+  EXPECT_EQ(list.EtaRange(31.0, 99.0).size(), 0u);
+  EXPECT_EQ(list.EtaRange(0.0, 9.0).size(), 0u);
+}
+
+TEST(ClusterRideListTest, EtaRangeOnEmptyList) {
+  ClusterRideList list;
+  EXPECT_TRUE(list.EtaRange(0, 100).empty());
+}
+
+TEST(ClusterRideListTest, DuplicateEtasAllReturned) {
+  ClusterRideList list;
+  for (std::uint32_t i = 0; i < 5; ++i) list.Upsert(RideId(i), 42.0, 0.0);
+  EXPECT_EQ(list.EtaRange(42.0, 42.0).size(), 5u);
+}
+
+/// Property: after a random interleaving of upserts and removes, both sorted
+/// views agree with a reference map, and every ETA probe matches a brute
+/// force scan.
+class ClusterRideListPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterRideListPropertyTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  ClusterRideList list;
+  std::map<RideId, std::pair<double, double>> model;
+
+  for (int op = 0; op < 2000; ++op) {
+    RideId ride(static_cast<RideId::underlying_type>(rng.NextIndex(200)));
+    if (rng.Bernoulli(0.7)) {
+      double eta = rng.Uniform(0, 86400);
+      double detour = rng.Uniform(0, 4000);
+      list.Upsert(ride, eta, detour);
+      model[ride] = {eta, detour};
+    } else {
+      bool present = model.count(ride) > 0;
+      EXPECT_EQ(list.Remove(ride), present);
+      model.erase(ride);
+    }
+  }
+
+  EXPECT_EQ(list.size(), model.size());
+  // by_ride view is sorted and complete.
+  const std::vector<PotentialRide>& by_ride = list.by_ride();
+  ASSERT_EQ(by_ride.size(), model.size());
+  auto it = model.begin();
+  for (const PotentialRide& pr : by_ride) {
+    EXPECT_EQ(pr.ride, it->first);
+    EXPECT_DOUBLE_EQ(pr.eta_s, it->second.first);
+    EXPECT_DOUBLE_EQ(pr.detour_m, it->second.second);
+    ++it;
+  }
+  // Random ETA probes match brute force counts.
+  for (int probe = 0; probe < 50; ++probe) {
+    double lo = rng.Uniform(0, 86400);
+    double hi = lo + rng.Uniform(0, 7200);
+    std::size_t brute = 0;
+    for (const auto& [ride, entry] : model) {
+      if (entry.first >= lo && entry.first <= hi) ++brute;
+    }
+    std::span<const PotentialRide> got = list.EtaRange(lo, hi);
+    EXPECT_EQ(got.size(), brute);
+    double prev = lo;
+    for (const PotentialRide& pr : got) {
+      EXPECT_GE(pr.eta_s, prev - 1e-12);
+      EXPECT_LE(pr.eta_s, hi);
+      prev = pr.eta_s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterRideListPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ClusterRideListTest, MemoryFootprintGrows) {
+  ClusterRideList list;
+  std::size_t empty = list.MemoryFootprint();
+  for (std::uint32_t i = 0; i < 100; ++i) list.Upsert(RideId(i), i, 0.0);
+  EXPECT_GT(list.MemoryFootprint(), empty);
+}
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,117 @@
+#include "xar/command_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tests/test_helpers.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+using testing::TestCity;
+
+class CommandServerTest : public ::testing::Test {
+ protected:
+  CommandServerTest()
+      : city_(SharedCity()),
+        xar_(city_.graph, *city_.spatial, *city_.region, *city_.oracle),
+        server_(xar_) {}
+
+  /// Formats a lat/lng pair at box fractions (fy, fx) as two tokens.
+  std::string At(double fy, double fx) const {
+    const BoundingBox& b = city_.graph.bounds();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f %.6f",
+                  b.min_lat + fy * (b.max_lat - b.min_lat),
+                  b.min_lng + fx * (b.max_lng - b.min_lng));
+    return buf;
+  }
+
+  TestCity& city_;
+  XarSystem xar_;
+  CommandServer server_;
+};
+
+TEST_F(CommandServerTest, CreateSearchBookFlow) {
+  std::string created =
+      server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28800");
+  ASSERT_EQ(created.rfind("OK RIDE ", 0), 0u) << created;
+
+  std::string found = server_.Execute("SEARCH 7 " + At(0.35, 0.35) + " " +
+                                      At(0.7, 0.7) + " 28800 30600");
+  ASSERT_EQ(found.rfind("OK MATCHES ", 0), 0u) << found;
+  ASSERT_NE(found.find("MATCH ride=0"), std::string::npos) << found;
+
+  std::string booked = server_.Execute("BOOK 7 0");
+  ASSERT_EQ(booked.rfind("OK BOOKED ride=0", 0), 0u) << booked;
+  EXPECT_EQ(xar_.bookings().size(), 1u);
+
+  std::string ride = server_.Execute("RIDE 0");
+  EXPECT_NE(ride.find("seats=2/3"), std::string::npos) << ride;
+  EXPECT_NE(ride.find("via_points=4"), std::string::npos) << ride;
+}
+
+TEST_F(CommandServerTest, BookWithoutSearchFails) {
+  server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28800");
+  std::string r = server_.Execute("BOOK 42 0");
+  EXPECT_EQ(r.rfind("ERR", 0), 0u);
+}
+
+TEST_F(CommandServerTest, BookConsumesThePendingSearch) {
+  server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28800");
+  server_.Execute("SEARCH 7 " + At(0.35, 0.35) + " " + At(0.7, 0.7) +
+                  " 28800 30600");
+  ASSERT_EQ(server_.Execute("BOOK 7 0").rfind("OK", 0), 0u);
+  // Second booking against the same stale search must be rejected.
+  EXPECT_EQ(server_.Execute("BOOK 7 0").rfind("ERR", 0), 0u);
+}
+
+TEST_F(CommandServerTest, CancelCommands) {
+  server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28800");
+  server_.Execute("SEARCH 9 " + At(0.35, 0.35) + " " + At(0.7, 0.7) +
+                  " 28800 30600");
+  ASSERT_EQ(server_.Execute("BOOK 9 0").rfind("OK", 0), 0u);
+  EXPECT_EQ(server_.Execute("CANCELBOOKING 0 9"), "OK CANCELLED");
+  EXPECT_EQ(server_.Execute("CANCELBOOKING 0 9").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server_.Execute("CANCELRIDE 0"), "OK CANCELLED");
+  std::string ride = server_.Execute("RIDE 0");
+  EXPECT_NE(ride.find("active=0"), std::string::npos);
+}
+
+TEST_F(CommandServerTest, AdvanceAndStats) {
+  EXPECT_EQ(server_.Execute("ADVANCE 30000"), "OK NOW 30000");
+  std::string stats = server_.Execute("STATS");
+  EXPECT_EQ(stats.rfind("OK STATS", 0), 0u);
+  EXPECT_NE(stats.find("now=30000"), std::string::npos);
+}
+
+TEST_F(CommandServerTest, SearchRespectsOptionalWalkAndK) {
+  server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28800");
+  // A one-meter walk limit kills all matches.
+  std::string strict = server_.Execute("SEARCH 1 " + At(0.35, 0.35) + " " +
+                                       At(0.7, 0.7) + " 28800 30600 1");
+  EXPECT_EQ(strict, "OK MATCHES 0");
+  // k = 1 truncates.
+  for (int i = 0; i < 3; ++i) {
+    server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28860");
+  }
+  std::string topk = server_.Execute("SEARCH 2 " + At(0.35, 0.35) + " " +
+                                     At(0.7, 0.7) + " 28800 30600 1000 1");
+  EXPECT_EQ(topk.rfind("OK MATCHES 1", 0), 0u) << topk;
+}
+
+TEST_F(CommandServerTest, MalformedInputsAreErrors) {
+  EXPECT_EQ(server_.Execute("").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server_.Execute("NONSENSE 1 2").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server_.Execute("CREATE 1 2 3").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server_.Execute("CREATE a b c d e").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server_.Execute("SEARCH x 1 2 3 4 5 6").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server_.Execute("RIDE 12345").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server_.Execute("ADVANCE soon").rfind("ERR", 0), 0u);
+  EXPECT_EQ(server_.Execute("HELP").rfind("OK COMMANDS", 0), 0u);
+}
+
+}  // namespace
+}  // namespace xar

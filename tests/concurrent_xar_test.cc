@@ -1,0 +1,185 @@
+#include "xar/concurrent_xar.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tests/test_helpers.h"
+#include "workload/trip_generator.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+using testing::TestCity;
+
+class ConcurrentXarTest : public ::testing::Test {
+ protected:
+  ConcurrentXarTest()
+      : city_(SharedCity()),
+        oracle_(city_.graph),
+        xar_(city_.graph, *city_.spatial, *city_.region, oracle_) {}
+
+  std::vector<TaxiTrip> Trips(std::size_t n, std::uint64_t seed) {
+    WorkloadOptions opt;
+    opt.num_trips = n;
+    opt.seed = seed;
+    return GenerateTrips(city_.graph.bounds(), opt);
+  }
+
+  RideRequest ToRequest(const TaxiTrip& t) const {
+    RideRequest req;
+    req.id = t.id;
+    req.source = t.pickup;
+    req.destination = t.dropoff;
+    req.earliest_departure_s = t.pickup_time_s;
+    req.latest_departure_s = t.pickup_time_s + 900;
+    return req;
+  }
+
+  TestCity& city_;
+  GraphOracle oracle_;
+  ConcurrentXarSystem xar_;
+};
+
+TEST_F(ConcurrentXarTest, SingleThreadedSemanticsMatchPlainSystem) {
+  GraphOracle plain_oracle(city_.graph);
+  XarSystem plain(city_.graph, *city_.spatial, *city_.region, plain_oracle);
+  for (const TaxiTrip& t : Trips(120, 70)) {
+    RideOffer offer;
+    offer.source = t.pickup;
+    offer.destination = t.dropoff;
+    offer.departure_time_s = t.pickup_time_s;
+    Result<RideId> a = xar_.CreateRide(offer);
+    Result<RideId> b = plain.CreateRide(offer);
+    ASSERT_EQ(a.ok(), b.ok());
+  }
+  for (const TaxiTrip& t : Trips(60, 71)) {
+    RideRequest req = ToRequest(t);
+    std::vector<RideMatch> a = xar_.Search(req);
+    std::vector<RideMatch> b = plain.Search(req);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].ride, b[i].ride);
+  }
+}
+
+TEST_F(ConcurrentXarTest, GetRideCopiesState) {
+  RideOffer offer;
+  const BoundingBox& b = city_.graph.bounds();
+  offer.source = {b.min_lat + 0.2 * (b.max_lat - b.min_lat),
+                  b.min_lng + 0.2 * (b.max_lng - b.min_lng)};
+  offer.destination = {b.min_lat + 0.8 * (b.max_lat - b.min_lat),
+                       b.min_lng + 0.8 * (b.max_lng - b.min_lng)};
+  offer.departure_time_s = 8 * 3600;
+  Result<RideId> ride = xar_.CreateRide(offer);
+  ASSERT_TRUE(ride.ok());
+  Result<Ride> copy = xar_.GetRide(*ride);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->id, *ride);
+  EXPECT_FALSE(xar_.GetRide(RideId(9999)).ok());
+}
+
+TEST_F(ConcurrentXarTest, ParallelSearchersWithConcurrentWriters) {
+  // Load initial supply.
+  std::vector<TaxiTrip> supply = Trips(400, 72);
+  for (const TaxiTrip& t : supply) {
+    RideOffer offer;
+    offer.source = t.pickup;
+    offer.destination = t.dropoff;
+    offer.departure_time_s = t.pickup_time_s;
+    (void)xar_.CreateRide(offer);
+  }
+
+  std::atomic<std::size_t> searches{0};
+  std::atomic<std::size_t> matches{0};
+  std::atomic<std::size_t> bookings{0};
+
+  // Finite work per thread: shared_mutex gives no fairness guarantee, so a
+  // run-until-stopped reader loop can starve the writer on a single core.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<TaxiTrip> probes =
+          Trips(250, 73 + static_cast<std::uint64_t>(r));
+      for (const TaxiTrip& t : probes) {
+        std::vector<RideMatch> found = xar_.Search(ToRequest(t));
+        searches.fetch_add(1, std::memory_order_relaxed);
+        matches.fetch_add(found.size(), std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    std::vector<TaxiTrip> stream = Trips(150, 80);
+    for (const TaxiTrip& t : stream) {
+      Result<BookingRecord> booked = xar_.SearchAndBook(ToRequest(t));
+      if (booked.ok()) {
+        bookings.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        RideOffer offer;
+        offer.source = t.pickup;
+        offer.destination = t.dropoff;
+        offer.departure_time_s = t.pickup_time_s;
+        (void)xar_.CreateRide(offer);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  writer.join();
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_GT(searches.load(), 0u);
+  EXPECT_GT(bookings.load(), 0u);
+  // The system is intact after concurrent traffic: a fresh search works and
+  // every booking kept the invariants.
+  std::vector<TaxiTrip> post = Trips(50, 90);
+  for (const TaxiTrip& t : post) {
+    for (const RideMatch& m : xar_.Search(ToRequest(t))) {
+      Result<Ride> ride = xar_.GetRide(m.ride);
+      ASSERT_TRUE(ride.ok());
+      EXPECT_TRUE(ride->active);
+      EXPECT_GE(ride->seats_available, 1);
+    }
+  }
+}
+
+TEST_F(ConcurrentXarTest, SearchAndBookIsAtomic) {
+  // One ride with one seat, many threads racing SearchAndBook: exactly one
+  // can win for each seat; no double-booking.
+  RideOffer offer;
+  const BoundingBox& b = city_.graph.bounds();
+  offer.source = {b.min_lat + 0.1 * (b.max_lat - b.min_lat),
+                  b.min_lng + 0.1 * (b.max_lng - b.min_lng)};
+  offer.destination = {b.min_lat + 0.9 * (b.max_lat - b.min_lat),
+                       b.min_lng + 0.9 * (b.max_lng - b.min_lng)};
+  offer.departure_time_s = 8 * 3600;
+  offer.seats = 1;
+  ASSERT_TRUE(xar_.CreateRide(offer).ok());
+
+  RideRequest base;
+  base.source = {b.min_lat + 0.35 * (b.max_lat - b.min_lat),
+                 b.min_lng + 0.35 * (b.max_lng - b.min_lng)};
+  base.destination = {b.min_lat + 0.7 * (b.max_lat - b.min_lat),
+                      b.min_lng + 0.7 * (b.max_lng - b.min_lng)};
+  base.earliest_departure_s = 8 * 3600;
+  base.latest_departure_s = 8 * 3600 + 1800;
+
+  std::atomic<int> wins{0};
+  std::vector<std::thread> riders;
+  for (int r = 0; r < 6; ++r) {
+    riders.emplace_back([&, r] {
+      RideRequest req = base;
+      req.id = RequestId(static_cast<RequestId::underlying_type>(100 + r));
+      if (xar_.SearchAndBook(req).ok()) wins.fetch_add(1);
+    });
+  }
+  for (std::thread& th : riders) th.join();
+  EXPECT_EQ(wins.load(), 1);
+}
+
+}  // namespace
+}  // namespace xar

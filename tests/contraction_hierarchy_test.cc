@@ -1,0 +1,121 @@
+#include "graph/contraction_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "graph/dijkstra.h"
+#include "graph/generator.h"
+
+namespace xar {
+namespace {
+
+/// CH must be exact for any node order / witness limit — verified against
+/// Dijkstra across seeds and metrics.
+class ChCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Metric>> {};
+
+TEST_P(ChCorrectnessTest, MatchesDijkstra) {
+  auto [seed, metric] = GetParam();
+  CityOptions opt;
+  opt.rows = 9;
+  opt.cols = 9;
+  opt.seed = seed;
+  RoadGraph g = GenerateCity(opt);
+  ContractionHierarchy ch(g, metric);
+  DijkstraEngine dijkstra(g);
+  Rng rng(seed + 1);
+  for (int i = 0; i < 60; ++i) {
+    NodeId a(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    NodeId b(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    EXPECT_NEAR(ch.Distance(a, b), dijkstra.Distance(a, b, metric), 1e-6)
+        << a.value() << "->" << b.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMetrics, ChCorrectnessTest,
+    ::testing::Combine(::testing::Values(51, 52, 53),
+                       ::testing::Values(Metric::kDriveDistance,
+                                         Metric::kDriveTime)));
+
+TEST(ContractionHierarchyTest, TightWitnessLimitStaysExact) {
+  CityOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  opt.seed = 54;
+  RoadGraph g = GenerateCity(opt);
+  ChOptions cheap;
+  cheap.witness_search_limit = 2;  // nearly no witness search: many shortcuts
+  ContractionHierarchy lazy(g, Metric::kDriveDistance, cheap);
+  ContractionHierarchy thorough(g, Metric::kDriveDistance, {});
+  EXPECT_GE(lazy.NumShortcuts(), thorough.NumShortcuts());
+  DijkstraEngine dijkstra(g);
+  Rng rng(55);
+  for (int i = 0; i < 40; ++i) {
+    NodeId a(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    NodeId b(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    double expect = dijkstra.Distance(a, b, Metric::kDriveDistance);
+    EXPECT_NEAR(lazy.Distance(a, b), expect, 1e-6);
+    EXPECT_NEAR(thorough.Distance(a, b), expect, 1e-6);
+  }
+}
+
+TEST(ContractionHierarchyTest, SettlesFewerNodesThanDijkstra) {
+  CityOptions opt;
+  opt.rows = 18;
+  opt.cols = 18;
+  opt.seed = 56;
+  RoadGraph g = GenerateCity(opt);
+  ContractionHierarchy ch(g);
+  DijkstraEngine dijkstra(g);
+  Rng rng(57);
+  std::size_t ch_settled = 0, dijkstra_settled = 0;
+  for (int i = 0; i < 50; ++i) {
+    NodeId a(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    NodeId b(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    ch.Distance(a, b);
+    dijkstra.Distance(a, b, Metric::kDriveDistance);
+    ch_settled += ch.last_settled_count();
+    dijkstra_settled += dijkstra.last_settled_count();
+  }
+  EXPECT_LT(ch_settled, dijkstra_settled);
+}
+
+TEST(ContractionHierarchyTest, RanksAreAPermutation) {
+  CityOptions opt;
+  opt.rows = 7;
+  opt.cols = 7;
+  opt.seed = 58;
+  RoadGraph g = GenerateCity(opt);
+  ContractionHierarchy ch(g);
+  std::vector<bool> seen(g.NumNodes(), false);
+  for (std::size_t v = 0; v < g.NumNodes(); ++v) {
+    std::size_t r =
+        ch.RankOf(NodeId(static_cast<NodeId::underlying_type>(v)));
+    ASSERT_LT(r, g.NumNodes());
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(ContractionHierarchyTest, TrivialQueries) {
+  CityOptions opt;
+  opt.rows = 6;
+  opt.cols = 6;
+  opt.seed = 59;
+  RoadGraph g = GenerateCity(opt);
+  ContractionHierarchy ch(g);
+  EXPECT_DOUBLE_EQ(ch.Distance(NodeId(5), NodeId(5)), 0.0);
+  EXPECT_GT(ch.MemoryFootprint(), 0u);
+}
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "discretize/distance_matrix.h"
+#include "discretize/exact_cluster.h"
+#include "discretize/greedy_search.h"
+#include "discretize/kcenter.h"
+#include "discretize/landmark_extractor.h"
+#include "discretize/region_index.h"
+#include "graph/dijkstra.h"
+#include "graph/generator.h"
+#include "tests/test_helpers.h"
+
+namespace xar {
+namespace {
+
+/// A random metric from points in the plane (euclidean => proper metric).
+DistanceMatrix RandomPointMetric(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LatLng> points;
+  LatLng origin{40.70, -74.00};
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(OffsetMeters(origin, rng.Uniform(0, 8000),
+                                  rng.Uniform(0, 8000)));
+  }
+  return DistanceMatrix::FromPoints(points);
+}
+
+// --- DistanceMatrix -----------------------------------------------------------
+
+TEST(DistanceMatrixTest, FromPointsSymmetricZeroDiagonal) {
+  DistanceMatrix m = RandomPointMetric(20, 1);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.At(i, i), 0.0);
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m.At(i, j), m.At(j, i));
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, FromPointsSatisfiesTriangleInequality) {
+  DistanceMatrix m = RandomPointMetric(15, 2);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      for (std::size_t k = 0; k < m.size(); ++k) {
+        EXPECT_LE(m.At(i, j), m.At(i, k) + m.At(k, j) + 1e-6);
+      }
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, FromGraphSymmetrizedAndDominatesDirected) {
+  CityOptions opt;
+  opt.rows = 7;
+  opt.cols = 7;
+  opt.seed = 3;
+  RoadGraph g = GenerateCity(opt);
+  SpatialNodeIndex spatial(g);
+  LandmarkExtractionOptions lopt;
+  lopt.num_candidates = 60;
+  std::vector<Landmark> landmarks = ExtractLandmarks(g, spatial, lopt);
+  ASSERT_GE(landmarks.size(), 5u);
+  DistanceMatrix m = DistanceMatrix::FromGraph(g, landmarks);
+  DijkstraEngine engine(g);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m.At(i, j), m.At(j, i));
+      // Symmetrization takes the max of the two directed distances.
+      double dij = engine.Distance(landmarks[i].node, landmarks[j].node,
+                                   Metric::kDriveDistance);
+      EXPECT_GE(m.At(i, j) + 1e-9, dij);
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, FromValuesAndMaxValue) {
+  DistanceMatrix m = DistanceMatrix::FromValues(2, {0, 5, 5, 0});
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxValue(), 5.0);
+  EXPECT_GT(m.MemoryFootprint(), 0u);
+}
+
+// --- Gonzalez GREEDY ------------------------------------------------------------
+
+TEST(KCenterTest, SingleCenterCoversAll) {
+  DistanceMatrix m = RandomPointMetric(30, 4);
+  KCenterResult r = GreedyKCenter(m, 1);
+  EXPECT_EQ(r.centers.size(), 1u);
+  double max_d = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    max_d = std::max(max_d, m.At(r.centers[0], i));
+  }
+  EXPECT_DOUBLE_EQ(r.radius, max_d);
+}
+
+TEST(KCenterTest, AssignmentIsNearestCenter) {
+  DistanceMatrix m = RandomPointMetric(40, 5);
+  KCenterResult r = GreedyKCenter(m, 6);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    double assigned = m.At(i, r.centers[r.assignment[i]]);
+    for (std::size_t c = 0; c < r.centers.size(); ++c) {
+      EXPECT_LE(assigned, m.At(i, r.centers[c]) + 1e-9);
+    }
+    EXPECT_LE(assigned, r.radius + 1e-9);
+  }
+}
+
+TEST(KCenterTest, KEqualsNGivesZeroRadius) {
+  DistanceMatrix m = RandomPointMetric(12, 6);
+  EXPECT_DOUBLE_EQ(GreedyKCenter(m, 12).radius, 0.0);
+}
+
+/// Gonzalez 1985: greedy radius <= 2x the optimal radius. Verified against
+/// exhaustive optimum on small instances, across seeds and k.
+class GreedyTwoApproxTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(GreedyTwoApproxTest, WithinTwiceOptimal) {
+  auto [seed, k] = GetParam();
+  DistanceMatrix m = RandomPointMetric(11, seed);
+  double greedy = GreedyKCenter(m, k).radius;
+  double optimal = ExactKCenterRadius(m, k);
+  EXPECT_LE(greedy, 2.0 * optimal + 1e-9);
+  EXPECT_GE(greedy + 1e-9, optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, GreedyTwoApproxTest,
+    ::testing::Combine(::testing::Values(10, 11, 12, 13, 14, 15),
+                       ::testing::Values(2, 3, 4)));
+
+TEST(KCenterTest, SweepMatchesIndividualRuns) {
+  DistanceMatrix m = RandomPointMetric(25, 7);
+  std::vector<double> sweep = GreedyRadiusSweep(m);
+  ASSERT_EQ(sweep.size(), m.size());
+  for (std::size_t k = 1; k <= m.size(); k += 4) {
+    EXPECT_DOUBLE_EQ(sweep[k - 1], GreedyKCenter(m, k).radius);
+  }
+  // Radius is non-increasing in k (monotonicity the binary search relies on).
+  for (std::size_t k = 1; k < sweep.size(); ++k) {
+    EXPECT_LE(sweep[k], sweep[k - 1] + 1e-12);
+  }
+}
+
+// --- GREEDYSEARCH bicriteria (Theorem 6) --------------------------------------
+
+/// k_alg <= k_opt(delta) and realized diameter <= 4*delta, verified against
+/// the exact CLUSTERMINIMIZATION optimum on small instances.
+class BicriteriaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BicriteriaTest, TheoremSixHolds) {
+  DistanceMatrix m = RandomPointMetric(12, GetParam());
+  // Pick delta so the instance is non-trivial (several clusters needed).
+  double delta = m.MaxValue() / 4.0;
+  GreedySearchResult result = GreedySearchClustering(m, delta);
+  std::size_t k_opt = ExactClusterMinimization(m, delta);
+
+  EXPECT_LE(result.k_alg, k_opt) << "bicriteria cluster count violated";
+  double diameter = MeasureDiameter(m, result.clustering);
+  EXPECT_LE(diameter, 4.0 * delta + 1e-9) << "4*delta diameter violated";
+
+  // Structural sanity: every landmark in exactly one cluster.
+  std::vector<int> seen(m.size(), 0);
+  for (const auto& members : result.clustering.clusters) {
+    EXPECT_FALSE(members.empty());
+    for (LandmarkId lm : members) ++seen[lm.value()];
+  }
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(seen[i], 1);
+    ClusterId c = result.clustering.cluster_of[i];
+    const auto& members = result.clustering.clusters[c.value()];
+    EXPECT_NE(std::find(members.begin(), members.end(),
+                        LandmarkId(static_cast<LandmarkId::underlying_type>(i))),
+              members.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BicriteriaTest,
+                         ::testing::Values(20, 21, 22, 23, 24, 25, 26, 27));
+
+TEST(GreedySearchTest, ProbeCountLogarithmic) {
+  DistanceMatrix m = RandomPointMetric(64, 30);
+  GreedySearchResult r = GreedySearchClustering(m, m.MaxValue() / 6);
+  EXPECT_LE(r.probes.size(),
+            static_cast<std::size_t>(std::ceil(std::log2(64))) + 1);
+  EXPECT_GE(r.probes.size(), 1u);
+}
+
+TEST(GreedySearchTest, HugeDeltaGivesOneCluster) {
+  DistanceMatrix m = RandomPointMetric(20, 31);
+  GreedySearchResult r = GreedySearchClustering(m, m.MaxValue() * 2);
+  EXPECT_EQ(r.k_alg, 1u);
+  EXPECT_EQ(r.clustering.NumClusters(), 1u);
+}
+
+TEST(GreedySearchTest, TinyDeltaGivesManyClusters) {
+  DistanceMatrix m = RandomPointMetric(20, 32);
+  GreedySearchResult r = GreedySearchClustering(m, 1.0);  // 1 meter
+  EXPECT_EQ(r.k_alg, 20u);
+}
+
+// --- Exact CLUSTERMINIMIZATION ---------------------------------------------------
+
+TEST(ExactClusterTest, KnownInstances) {
+  // Three points on a line at 0, 10, 20 (as a 1-D metric).
+  DistanceMatrix line =
+      DistanceMatrix::FromValues(3, {0, 10, 20, 10, 0, 10, 20, 10, 0});
+  EXPECT_EQ(ExactClusterMinimization(line, 25), 1u);
+  EXPECT_EQ(ExactClusterMinimization(line, 10), 2u);
+  EXPECT_EQ(ExactClusterMinimization(line, 5), 3u);
+}
+
+TEST(ExactClusterTest, EmptyAndSingleton) {
+  EXPECT_EQ(ExactClusterMinimization(DistanceMatrix::FromValues(0, {}), 1.0),
+            0u);
+  EXPECT_EQ(ExactClusterMinimization(DistanceMatrix::FromValues(1, {0}), 1.0),
+            1u);
+}
+
+// --- Landmark extraction -----------------------------------------------------------
+
+TEST(LandmarkExtractorTest, MinSeparationRespected) {
+  testing::TestCity& city = testing::SharedCity();
+  LandmarkExtractionOptions opt;
+  opt.num_candidates = 300;
+  opt.min_separation_f_m = 300.0;
+  std::vector<Landmark> landmarks =
+      ExtractLandmarks(city.graph, *city.spatial, opt);
+  ASSERT_GE(landmarks.size(), 3u);
+  for (std::size_t i = 0; i < landmarks.size(); ++i) {
+    EXPECT_EQ(landmarks[i].id.value(), i);
+    for (std::size_t j = i + 1; j < landmarks.size(); ++j) {
+      EXPECT_GE(EquirectangularMeters(landmarks[i].position,
+                                      landmarks[j].position),
+                opt.min_separation_f_m - 1.0);
+    }
+  }
+}
+
+TEST(LandmarkExtractorTest, SnappedToNearestNode) {
+  testing::TestCity& city = testing::SharedCity();
+  LandmarkExtractionOptions opt;
+  opt.num_candidates = 100;
+  for (const Landmark& lm : ExtractLandmarks(city.graph, *city.spatial, opt)) {
+    EXPECT_EQ(lm.node, city.spatial->NearestNode(lm.position));
+  }
+}
+
+// --- RegionIndex invariants -----------------------------------------------------------
+
+class RegionIndexTest : public ::testing::Test {
+ protected:
+  const RegionIndex& region() { return *testing::SharedCity().region; }
+  const RoadGraph& graph() { return testing::SharedCity().graph; }
+};
+
+TEST_F(RegionIndexTest, GridLandmarkWithinDelta) {
+  const RegionIndex& r = region();
+  double Delta = r.options().max_drive_to_landmark_m;
+  std::size_t assigned = 0;
+  for (std::size_t g = 0; g < r.grid().CellCount(); ++g) {
+    GridId grid(static_cast<GridId::underlying_type>(g));
+    if (!r.LandmarkOfGrid(grid).valid()) continue;
+    ++assigned;
+    EXPECT_LE(r.DriveToLandmarkOfGrid(grid), Delta + 1e-9);
+  }
+  EXPECT_GT(assigned, r.grid().CellCount() / 4);
+}
+
+TEST_F(RegionIndexTest, WalkableListsSortedAndBounded) {
+  const RegionIndex& r = region();
+  double W = r.options().max_walk_m;
+  for (std::size_t g = 0; g < r.grid().CellCount(); ++g) {
+    GridId grid(static_cast<GridId::underlying_type>(g));
+    double prev = 0;
+    for (const WalkableCluster& wc : r.WalkableClustersOf(grid)) {
+      EXPECT_LE(wc.walk_m, W + 1e-9);
+      EXPECT_GE(wc.walk_m, prev - 1e-9);
+      prev = wc.walk_m;
+      ASSERT_TRUE(wc.cluster.valid());
+      ASSERT_TRUE(wc.nearest_landmark.valid());
+      // The recorded landmark really is in the recorded cluster.
+      EXPECT_EQ(r.ClusterOfLandmark(wc.nearest_landmark), wc.cluster);
+    }
+  }
+}
+
+TEST_F(RegionIndexTest, ClusterDistancesConsistent) {
+  const RegionIndex& r = region();
+  std::size_t m = r.NumClusters();
+  for (std::size_t a = 0; a < m; ++a) {
+    ClusterId ca(static_cast<ClusterId::underlying_type>(a));
+    EXPECT_DOUBLE_EQ(r.ClusterDistance(ca, ca), 0.0);
+    for (std::size_t b = a + 1; b < m; ++b) {
+      ClusterId cb(static_cast<ClusterId::underlying_type>(b));
+      EXPECT_DOUBLE_EQ(r.ClusterDistance(ca, cb), r.ClusterDistance(cb, ca));
+      // Cluster distance == min landmark-pair distance.
+      double min_pair = std::numeric_limits<double>::infinity();
+      for (LandmarkId la : r.LandmarksInCluster(ca)) {
+        for (LandmarkId lb : r.LandmarksInCluster(cb)) {
+          min_pair = std::min(
+              min_pair, r.landmark_metric().At(la.value(), lb.value()));
+        }
+      }
+      EXPECT_DOUBLE_EQ(r.ClusterDistance(ca, cb), min_pair);
+    }
+  }
+}
+
+TEST_F(RegionIndexTest, IntraClusterDiameterWithinEpsilon) {
+  const RegionIndex& r = region();
+  for (std::size_t c = 0; c < r.NumClusters(); ++c) {
+    const auto& members =
+        r.LandmarksInCluster(ClusterId(static_cast<ClusterId::underlying_type>(c)));
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        EXPECT_LE(
+            r.landmark_metric().At(members[i].value(), members[j].value()),
+            r.epsilon() + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(RegionIndexTest, PointResolutionChainConsistent) {
+  const RegionIndex& r = region();
+  Rng rng(40);
+  const BoundingBox& b = graph().bounds();
+  for (int i = 0; i < 200; ++i) {
+    LatLng p{rng.Uniform(b.min_lat, b.max_lat),
+             rng.Uniform(b.min_lng, b.max_lng)};
+    GridId g = r.GridOfPoint(p);
+    LandmarkId lm = r.LandmarkOfGrid(g);
+    ClusterId c = r.ClusterOfGrid(g);
+    if (lm.valid()) {
+      EXPECT_EQ(c, r.ClusterOfLandmark(lm));
+      EXPECT_EQ(r.ClusterOfPoint(p), c);
+    } else {
+      EXPECT_FALSE(c.valid());
+    }
+  }
+}
+
+TEST_F(RegionIndexTest, NominalSpeedPlausible) {
+  EXPECT_GT(region().nominal_speed_mps(), 4.0);
+  EXPECT_LT(region().nominal_speed_mps(), 25.0);
+}
+
+TEST_F(RegionIndexTest, MemoryFootprintCountsTables) {
+  EXPECT_GT(region().MemoryFootprint(),
+            region().landmark_metric().MemoryFootprint());
+}
+
+}  // namespace
+}  // namespace xar

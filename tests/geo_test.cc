@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+#include "geo/latlng.h"
+
+namespace xar {
+namespace {
+
+// NYC-ish reference box used across the geo tests.
+BoundingBox TestBox() { return BoundingBox{40.70, -74.02, 40.78, -73.93}; }
+
+TEST(LatLngTest, HaversineKnownValues) {
+  // One degree of latitude is ~111.2 km.
+  EXPECT_NEAR(HaversineMeters({40.0, -74.0}, {41.0, -74.0}), 111195, 100);
+  // Zero distance.
+  EXPECT_DOUBLE_EQ(HaversineMeters({40.7, -74.0}, {40.7, -74.0}), 0.0);
+  // Symmetric.
+  LatLng a{40.71, -74.00}, b{40.75, -73.95};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(LatLngTest, EquirectangularMatchesHaversineAtCityScale) {
+  Rng rng(1);
+  BoundingBox box = TestBox();
+  for (int i = 0; i < 200; ++i) {
+    LatLng a{rng.Uniform(box.min_lat, box.max_lat),
+             rng.Uniform(box.min_lng, box.max_lng)};
+    LatLng b{rng.Uniform(box.min_lat, box.max_lat),
+             rng.Uniform(box.min_lng, box.max_lng)};
+    double h = HaversineMeters(a, b);
+    double e = EquirectangularMeters(a, b);
+    EXPECT_NEAR(e, h, std::max(1.0, h * 0.001));
+  }
+}
+
+TEST(LatLngTest, OffsetMetersRoundTrips) {
+  LatLng origin{40.73, -73.98};
+  LatLng moved = OffsetMeters(origin, 500.0, -300.0);
+  EXPECT_NEAR(HaversineMeters(origin, moved),
+              std::sqrt(500.0 * 500 + 300.0 * 300), 2.0);
+  LatLng back = OffsetMeters(moved, -500.0, 300.0);
+  EXPECT_NEAR(HaversineMeters(origin, back), 0.0, 1.0);
+}
+
+TEST(LatLngTest, MetersPerDegree) {
+  EXPECT_NEAR(MetersPerDegreeLat(), 111195, 50);
+  // Longitude degrees shrink with latitude.
+  EXPECT_LT(MetersPerDegreeLng(60.0), MetersPerDegreeLng(10.0));
+  EXPECT_NEAR(MetersPerDegreeLng(0.0), MetersPerDegreeLat(), 1.0);
+}
+
+TEST(BoundingBoxTest, ContainsAndExtend) {
+  BoundingBox box = TestBox();
+  EXPECT_TRUE(box.Contains({40.74, -73.98}));
+  EXPECT_FALSE(box.Contains({40.60, -73.98}));
+  box.Extend({40.60, -73.98});
+  EXPECT_TRUE(box.Contains({40.60, -73.98}));
+}
+
+TEST(BoundingBoxTest, FromCenterAndSize) {
+  LatLng center{40.74, -73.98};
+  BoundingBox box = BoundingBox::FromCenterAndSize(center, 2000.0, 1000.0);
+  EXPECT_NEAR(box.WidthMeters(), 2000.0, 5.0);
+  EXPECT_NEAR(box.HeightMeters(), 1000.0, 5.0);
+  EXPECT_NEAR(box.Center().lat, center.lat, 1e-9);
+  EXPECT_NEAR(box.Center().lng, center.lng, 1e-9);
+}
+
+// --- GridSpec ---------------------------------------------------------------
+
+TEST(GridSpecTest, DimensionsCoverBounds) {
+  GridSpec grid(TestBox(), 100.0);
+  EXPECT_GE(static_cast<double>(grid.rows()) * 100.0,
+            TestBox().HeightMeters() - 1);
+  EXPECT_GE(static_cast<double>(grid.cols()) * 100.0,
+            TestBox().WidthMeters() - 1);
+  EXPECT_EQ(grid.CellCount(), grid.rows() * grid.cols());
+}
+
+TEST(GridSpecTest, PointMapsToUniqueCellContainingIt) {
+  GridSpec grid(TestBox(), 100.0);
+  Rng rng(2);
+  BoundingBox box = TestBox();
+  for (int i = 0; i < 500; ++i) {
+    LatLng p{rng.Uniform(box.min_lat, box.max_lat),
+             rng.Uniform(box.min_lng, box.max_lng)};
+    GridId g = grid.GridOf(p);
+    ASSERT_LT(g.value(), grid.CellCount());
+    // The centroid of the mapped cell is within one cell diagonal.
+    EXPECT_LT(HaversineMeters(p, grid.CentroidOf(g)), 100.0 * 0.71 + 2.0);
+  }
+}
+
+TEST(GridSpecTest, CentroidMapsBackToSameCell) {
+  GridSpec grid(TestBox(), 150.0);
+  for (std::size_t i = 0; i < grid.CellCount(); i += 7) {
+    GridId g(static_cast<GridId::underlying_type>(i));
+    EXPECT_EQ(grid.GridOf(grid.CentroidOf(g)), g);
+  }
+}
+
+TEST(GridSpecTest, OutOfBoundsClampsToEdge) {
+  GridSpec grid(TestBox(), 100.0);
+  GridId g = grid.GridOf({0.0, -120.0});  // far south-west of the box
+  EXPECT_LT(g.value(), grid.CellCount());
+  EXPECT_EQ(grid.RowOf(g), 0u);
+  EXPECT_EQ(grid.ColOf(g), 0u);
+  GridId h = grid.GridOf({80.0, 0.0});  // far north-east
+  EXPECT_EQ(grid.RowOf(h), grid.rows() - 1);
+  EXPECT_EQ(grid.ColOf(h), grid.cols() - 1);
+}
+
+TEST(GridSpecTest, RingSizes) {
+  GridSpec grid(TestBox(), 100.0);
+  // Use a center far from the boundary.
+  GridId center = grid.At(grid.rows() / 2, grid.cols() / 2);
+  EXPECT_EQ(grid.Ring(center, 0).size(), 1u);
+  EXPECT_EQ(grid.Ring(center, 1).size(), 8u);
+  EXPECT_EQ(grid.Ring(center, 2).size(), 16u);
+  EXPECT_EQ(grid.Neighborhood(center, 2).size(), 25u);
+}
+
+TEST(GridSpecTest, RingClipsAtBoundary) {
+  GridSpec grid(TestBox(), 100.0);
+  GridId corner = grid.At(0, 0);
+  EXPECT_EQ(grid.Ring(corner, 1).size(), 3u);
+  EXPECT_EQ(grid.Neighborhood(corner, 1).size(), 4u);
+}
+
+TEST(GridSpecTest, RingsPartitionNeighborhood) {
+  GridSpec grid(TestBox(), 200.0);
+  GridId center = grid.At(grid.rows() / 2, grid.cols() / 2);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r <= 3; ++r) total += grid.Ring(center, r).size();
+  EXPECT_EQ(total, grid.Neighborhood(center, 3).size());
+}
+
+TEST(GridSpecTest, RowColRoundTrip) {
+  GridSpec grid(TestBox(), 100.0);
+  for (std::size_t r = 0; r < grid.rows(); r += 11) {
+    for (std::size_t c = 0; c < grid.cols(); c += 13) {
+      GridId g = grid.At(r, c);
+      EXPECT_EQ(grid.RowOf(g), r);
+      EXPECT_EQ(grid.ColOf(g), c);
+    }
+  }
+}
+
+/// Property sweep: neighboring points map to the same or adjacent cells.
+class GridAdjacencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridAdjacencyTest, NearbyPointsMapToNearbyCells) {
+  double cell_m = GetParam();
+  GridSpec grid(TestBox(), cell_m);
+  Rng rng(3);
+  BoundingBox box = TestBox();
+  for (int i = 0; i < 200; ++i) {
+    LatLng p{rng.Uniform(box.min_lat, box.max_lat),
+             rng.Uniform(box.min_lng, box.max_lng)};
+    LatLng q = OffsetMeters(p, rng.Uniform(-cell_m, cell_m) * 0.4,
+                            rng.Uniform(-cell_m, cell_m) * 0.4);
+    if (!box.Contains(q)) continue;
+    GridId gp = grid.GridOf(p);
+    GridId gq = grid.GridOf(q);
+    std::size_t dr = grid.RowOf(gp) > grid.RowOf(gq)
+                         ? grid.RowOf(gp) - grid.RowOf(gq)
+                         : grid.RowOf(gq) - grid.RowOf(gp);
+    std::size_t dc = grid.ColOf(gp) > grid.ColOf(gq)
+                         ? grid.ColOf(gp) - grid.ColOf(gq)
+                         : grid.ColOf(gq) - grid.ColOf(gp);
+    EXPECT_LE(dr, 1u);
+    EXPECT_LE(dc, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, GridAdjacencyTest,
+                         ::testing::Values(50.0, 100.0, 250.0, 1000.0));
+
+}  // namespace
+}  // namespace xar

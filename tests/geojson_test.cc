@@ -1,0 +1,114 @@
+#include "xar/geojson_export.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_helpers.h"
+#include "xar/xar_system.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(GeoJsonTest, EmptyCollectionIsValidSkeleton) {
+  GeoJsonWriter writer;
+  EXPECT_EQ(writer.ToString(),
+            R"({"type":"FeatureCollection","features":[]})");
+  EXPECT_EQ(writer.NumFeatures(), 0u);
+}
+
+TEST(GeoJsonTest, PointFeature) {
+  GeoJsonWriter writer;
+  writer.AddPoint({40.75, -73.98}, "pickup", "marker");
+  std::string doc = writer.ToString();
+  EXPECT_NE(doc.find(R"("type":"Point")"), std::string::npos);
+  // GeoJSON order is [lng, lat].
+  EXPECT_NE(doc.find("[-73.980000,40.750000]"), std::string::npos);
+  EXPECT_NE(doc.find(R"("name":"pickup")"), std::string::npos);
+}
+
+TEST(GeoJsonTest, RoadNetworkDeduplicatesTwoWayStreets) {
+  GeoJsonWriter writer;
+  const RoadGraph& graph = SharedCity().graph;
+  writer.AddRoadNetwork(graph);
+  // Dedup by unordered node pair: strictly fewer features than arcs but at
+  // least half the drivable arcs.
+  std::size_t drivable = 0;
+  for (std::size_t u = 0; u < graph.NumNodes(); ++u) {
+    for (const RoadEdge& e :
+         graph.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
+      if (e.drivable) ++drivable;
+    }
+  }
+  EXPECT_LE(writer.NumFeatures(), drivable);
+  EXPECT_GE(writer.NumFeatures(), drivable / 2);
+}
+
+TEST(GeoJsonTest, LandmarksCarryClusterProperties) {
+  GeoJsonWriter writer;
+  writer.AddLandmarks(*SharedCity().region);
+  EXPECT_EQ(writer.NumFeatures(), SharedCity().region->landmarks().size());
+  std::string doc = writer.ToString();
+  EXPECT_EQ(CountOccurrences(doc, R"("kind":"landmark")"),
+            writer.NumFeatures());
+  EXPECT_EQ(CountOccurrences(doc, R"("cluster":)"), writer.NumFeatures());
+}
+
+TEST(GeoJsonTest, RideExportsRouteAndViaPoints) {
+  auto& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  XarSystem xar(city.graph, *city.spatial, *city.region, oracle);
+  const BoundingBox& b = city.graph.bounds();
+  RideOffer offer;
+  offer.source = {b.min_lat + 0.2 * (b.max_lat - b.min_lat),
+                  b.min_lng + 0.2 * (b.max_lng - b.min_lng)};
+  offer.destination = {b.min_lat + 0.8 * (b.max_lat - b.min_lat),
+                       b.min_lng + 0.8 * (b.max_lng - b.min_lng)};
+  offer.departure_time_s = 8 * 3600;
+  Result<RideId> ride = xar.CreateRide(offer);
+  ASSERT_TRUE(ride.ok());
+
+  GeoJsonWriter writer;
+  writer.AddRide(city.graph, *xar.GetRide(*ride));
+  // One LineString + two via-points.
+  EXPECT_EQ(writer.NumFeatures(), 3u);
+  std::string doc = writer.ToString();
+  EXPECT_EQ(CountOccurrences(doc, R"("kind":"via_point")"), 2u);
+  EXPECT_NE(doc.find(R"("type":"LineString")"), std::string::npos);
+}
+
+TEST(GeoJsonTest, BracesBalance) {
+  GeoJsonWriter writer;
+  writer.AddRoadNetwork(SharedCity().graph);
+  writer.AddLandmarks(*SharedCity().region);
+  std::string doc = writer.ToString();
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+            std::count(doc.begin(), doc.end(), ']'));
+}
+
+TEST(GeoJsonTest, WriteToDisk) {
+  GeoJsonWriter writer;
+  writer.AddPoint({40.7, -74.0}, "x", "marker");
+  std::string path = std::string(::testing::TempDir()) + "/map.geojson";
+  ASSERT_TRUE(writer.WriteTo(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,93 @@
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xar {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(BinaryIoTest, RoundTripsPodsVectorsAndStrings) {
+  std::string path = TempPath("io_roundtrip.bin");
+  {
+    BinaryWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.Write(std::uint32_t{0xDEADBEEF});
+    writer.Write(3.14159);
+    writer.WriteVector(std::vector<std::uint16_t>{1, 2, 3, 4, 5});
+    writer.WriteVector(std::vector<double>{});
+    writer.WriteString("xhare-a-ride");
+    writer.WriteString("");
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  std::uint32_t magic = 0;
+  double pi = 0;
+  reader.Read(&magic);
+  reader.Read(&pi);
+  EXPECT_EQ(magic, 0xDEADBEEF);
+  EXPECT_DOUBLE_EQ(pi, 3.14159);
+  std::vector<std::uint16_t> shorts;
+  reader.ReadVector(&shorts);
+  EXPECT_EQ(shorts, (std::vector<std::uint16_t>{1, 2, 3, 4, 5}));
+  std::vector<double> empty;
+  reader.ReadVector(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::string s, blank;
+  reader.ReadString(&s);
+  reader.ReadString(&blank);
+  EXPECT_EQ(s, "xhare-a-ride");
+  EXPECT_TRUE(blank.empty());
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(BinaryIoTest, ReadingPastEndSetsError) {
+  std::string path = TempPath("io_short.bin");
+  {
+    BinaryWriter writer(path);
+    writer.Write(std::uint8_t{1});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  std::uint64_t big = 0;
+  reader.Read(&big);  // 8 bytes from a 1-byte file
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BinaryIoTest, CorruptVectorLengthRejected) {
+  std::string path = TempPath("io_huge.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU64(1ULL << 40);  // absurd element count
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  std::vector<double> values;
+  reader.ReadVector(&values);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(values.empty());
+}
+
+TEST(BinaryIoTest, MissingFileReportsNotOk) {
+  BinaryReader reader(TempPath("io_absent.bin"));
+  EXPECT_FALSE(reader.ok());
+  std::uint32_t v = 0;
+  reader.Read(&v);  // safe no-op
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BinaryIoTest, UnwritablePathFailsOnClose) {
+  BinaryWriter writer("/nonexistent_dir/file.bin");
+  EXPECT_FALSE(writer.ok());
+  writer.Write(1);  // safe no-op
+  EXPECT_FALSE(writer.Close().ok());
+}
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,168 @@
+// Tests for the kinetic-booking extension (XarOptions::kinetic_booking):
+// pre-departure bookings re-order all rider stops optimally instead of
+// splicing into fixed segments.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.h"
+#include "xar/xar_system.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+using testing::TestCity;
+
+class KineticBookingTest : public ::testing::Test {
+ protected:
+  KineticBookingTest() : city_(SharedCity()) {}
+
+  XarOptions KineticOptions() {
+    XarOptions opt;
+    opt.kinetic_booking = true;
+    return opt;
+  }
+
+  LatLng Frac(double fy, double fx) const {
+    const BoundingBox& b = city_.graph.bounds();
+    return {b.min_lat + fy * (b.max_lat - b.min_lat),
+            b.min_lng + fx * (b.max_lng - b.min_lng)};
+  }
+
+  RideId CreateDiagonal(XarSystem& xar, double t) {
+    RideOffer offer;
+    offer.source = Frac(0.05, 0.05);
+    offer.destination = Frac(0.95, 0.95);
+    offer.departure_time_s = t;
+    offer.detour_limit_m = 8000;
+    Result<RideId> ride = xar.CreateRide(offer);
+    EXPECT_TRUE(ride.ok());
+    return *ride;
+  }
+
+  Result<BookingRecord> BookRider(XarSystem& xar, RequestId id, double fy0,
+                                  double fx0, double fy1, double fx1,
+                                  double t) {
+    RideRequest req;
+    req.id = id;
+    req.source = Frac(fy0, fx0);
+    req.destination = Frac(fy1, fx1);
+    req.earliest_departure_s = t;
+    req.latest_departure_s = t + 2400;
+    std::vector<RideMatch> matches = xar.Search(req);
+    if (matches.empty()) return Status::NotFound("no match");
+    return xar.Book(matches.front().ride, req, matches.front());
+  }
+
+  void ExpectConsistent(XarSystem& xar, RideId id) {
+    const Ride* r = xar.GetRide(id);
+    ASSERT_NE(r, nullptr);
+    ASSERT_EQ(r->via_points.size(), r->via_route_index.size());
+    EXPECT_EQ(r->via_points.front().node, r->source);
+    EXPECT_EQ(r->via_points.back().node, r->destination);
+    for (std::size_t v = 0; v < r->via_points.size(); ++v) {
+      EXPECT_EQ(r->route.nodes[r->via_route_index[v]], r->via_points[v].node);
+      if (v > 0) {
+        EXPECT_LE(r->via_route_index[v - 1], r->via_route_index[v]);
+      }
+    }
+    // Pickup precedes drop-off for every rider, capacity never exceeded.
+    int onboard = 0;
+    std::vector<bool> picked(1 << 16, false);
+    for (const ViaPoint& vp : r->via_points) {
+      if (!vp.request.valid()) continue;
+      if (vp.is_pickup) {
+        ++onboard;
+        picked[vp.request.value()] = true;
+      } else {
+        EXPECT_TRUE(picked[vp.request.value()]);
+        --onboard;
+      }
+      EXPECT_LE(onboard, r->seats_total);
+      EXPECT_GE(onboard, 0);
+    }
+  }
+
+  TestCity& city_;
+};
+
+TEST_F(KineticBookingTest, SingleRiderBookingWorks) {
+  GraphOracle oracle(city_.graph);
+  XarSystem xar(city_.graph, *city_.spatial, *city_.region, oracle,
+                KineticOptions());
+  RideId ride = CreateDiagonal(xar, 8 * 3600);
+  Result<BookingRecord> booking =
+      BookRider(xar, RequestId(1), 0.3, 0.3, 0.7, 0.7, 8 * 3600);
+  ASSERT_TRUE(booking.ok()) << booking.status().ToString();
+  EXPECT_LE(booking->pickup_eta_s, booking->dropoff_eta_s);
+  ExpectConsistent(xar, ride);
+}
+
+TEST_F(KineticBookingTest, NeverLongerThanFixedOrderSplice) {
+  // Same three riders booked on both a standard and a kinetic system: the
+  // kinetic route can only be shorter or equal (it optimizes the ordering).
+  GraphOracle o1(city_.graph);
+  GraphOracle o2(city_.graph);
+  XarSystem standard(city_.graph, *city_.spatial, *city_.region, o1);
+  XarSystem kinetic(city_.graph, *city_.spatial, *city_.region, o2,
+                    KineticOptions());
+  RideId rs = CreateDiagonal(standard, 8 * 3600);
+  RideId rk = CreateDiagonal(kinetic, 8 * 3600);
+
+  const double spots[3][4] = {{0.25, 0.25, 0.55, 0.55},
+                              {0.6, 0.6, 0.9, 0.9},
+                              {0.35, 0.35, 0.75, 0.75}};
+  int shared = 0;
+  for (int r = 0; r < 3; ++r) {
+    RequestId id(static_cast<RequestId::underlying_type>(r + 1));
+    Result<BookingRecord> a = BookRider(standard, id, spots[r][0],
+                                        spots[r][1], spots[r][2],
+                                        spots[r][3], 8 * 3600);
+    Result<BookingRecord> b = BookRider(kinetic, id, spots[r][0], spots[r][1],
+                                        spots[r][2], spots[r][3], 8 * 3600);
+    if (a.ok() && b.ok() && a->ride == rs && b->ride == rk) ++shared;
+  }
+  ASSERT_GE(shared, 2);
+  EXPECT_LE(kinetic.GetRide(rk)->route.length_m,
+            standard.GetRide(rs)->route.length_m + 1e-6);
+  ExpectConsistent(kinetic, rk);
+  ExpectConsistent(standard, rs);
+}
+
+TEST_F(KineticBookingTest, FallsBackToSpliceAfterDeparture) {
+  GraphOracle oracle(city_.graph);
+  XarSystem xar(city_.graph, *city_.spatial, *city_.region, oracle,
+                KineticOptions());
+  RideId ride = CreateDiagonal(xar, 8 * 3600);
+  const Ride* r = xar.GetRide(ride);
+  double mid = r->departure_time_s + r->route.time_s * 0.3;
+  xar.AdvanceTime(mid);
+  Result<BookingRecord> booking =
+      BookRider(xar, RequestId(1), 0.6, 0.6, 0.85, 0.85, mid);
+  if (booking.ok() && booking->ride == ride) {
+    // The in-flight path keeps the paper's <= 4 shortest-path bound.
+    EXPECT_LE(booking->shortest_path_computations, 4u);
+    ExpectConsistent(xar, ride);
+  }
+}
+
+TEST_F(KineticBookingTest, SearchStillFindsKineticallyBookedRides) {
+  GraphOracle oracle(city_.graph);
+  XarSystem xar(city_.graph, *city_.spatial, *city_.region, oracle,
+                KineticOptions());
+  RideId ride = CreateDiagonal(xar, 8 * 3600);
+  ASSERT_TRUE(
+      BookRider(xar, RequestId(1), 0.3, 0.3, 0.7, 0.7, 8 * 3600).ok());
+  // The index was refreshed with the optimized route; a second rider can
+  // still find and book it.
+  Result<BookingRecord> second =
+      BookRider(xar, RequestId(2), 0.4, 0.4, 0.8, 0.8, 8 * 3600);
+  if (second.ok() && second->ride == ride) {
+    ExpectConsistent(xar, ride);
+    EXPECT_EQ(xar.GetRide(ride)->seats_available,
+              xar.GetRide(ride)->seats_total - 2);
+  }
+}
+
+}  // namespace
+}  // namespace xar

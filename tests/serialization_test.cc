@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "discretize/region_index.h"
+#include "graph/serialization.h"
+#include "tests/test_helpers.h"
+#include "xar/xar_system.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+using testing::TestCity;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphSerializationTest, RoundTripPreservesStructure) {
+  const RoadGraph& original = SharedCity().graph;
+  std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(SaveRoadGraph(original, path).ok());
+
+  Result<RoadGraph> loaded = LoadRoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->NumNodes(), original.NumNodes());
+  ASSERT_EQ(loaded->NumEdges(), original.NumEdges());
+  EXPECT_DOUBLE_EQ(loaded->MaxSpeedMps(), original.MaxSpeedMps());
+  for (std::size_t u = 0; u < original.NumNodes(); ++u) {
+    NodeId n(static_cast<NodeId::underlying_type>(u));
+    EXPECT_EQ(loaded->PositionOf(n), original.PositionOf(n));
+    auto a = original.OutEdges(n);
+    auto b = loaded->OutEdges(n);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t e = 0; e < a.size(); ++e) {
+      EXPECT_EQ(a[e].to, b[e].to);
+      EXPECT_DOUBLE_EQ(a[e].length_m, b[e].length_m);
+      EXPECT_NEAR(a[e].time_s, b[e].time_s, 1e-9);
+      EXPECT_EQ(a[e].drivable, b[e].drivable);
+      EXPECT_EQ(a[e].walkable, b[e].walkable);
+    }
+  }
+}
+
+TEST(GraphSerializationTest, RejectsMissingAndGarbageFiles) {
+  EXPECT_FALSE(LoadRoadGraph(TempPath("does_not_exist.bin")).ok());
+  std::string path = TempPath("garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a graph", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadRoadGraph(path).ok());
+}
+
+TEST(RegionSerializationTest, RoundTripPreservesIndex) {
+  const RegionIndex& original = *SharedCity().region;
+  std::string path = TempPath("region.bin");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  Result<RegionIndex> loaded = RegionIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->NumClusters(), original.NumClusters());
+  EXPECT_EQ(loaded->landmarks().size(), original.landmarks().size());
+  EXPECT_DOUBLE_EQ(loaded->epsilon(), original.epsilon());
+  EXPECT_DOUBLE_EQ(loaded->nominal_speed_mps(), original.nominal_speed_mps());
+  EXPECT_EQ(loaded->grid().CellCount(), original.grid().CellCount());
+
+  // Spot-check the derived tables grid by grid.
+  for (std::size_t g = 0; g < original.grid().CellCount(); g += 17) {
+    GridId grid(static_cast<GridId::underlying_type>(g));
+    EXPECT_EQ(loaded->NodeOfGrid(grid), original.NodeOfGrid(grid));
+    EXPECT_EQ(loaded->LandmarkOfGrid(grid), original.LandmarkOfGrid(grid));
+    auto a = original.WalkableClustersOf(grid);
+    auto b = loaded->WalkableClustersOf(grid);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].cluster, b[i].cluster);
+      EXPECT_DOUBLE_EQ(a[i].walk_m, b[i].walk_m);
+      EXPECT_EQ(a[i].nearest_landmark, b[i].nearest_landmark);
+    }
+  }
+  for (std::size_t a = 0; a < original.NumClusters(); ++a) {
+    for (std::size_t b = 0; b < original.NumClusters(); b += 3) {
+      ClusterId ca(static_cast<ClusterId::underlying_type>(a));
+      ClusterId cb(static_cast<ClusterId::underlying_type>(b));
+      EXPECT_DOUBLE_EQ(loaded->ClusterDistance(ca, cb),
+                       original.ClusterDistance(ca, cb));
+    }
+  }
+}
+
+TEST(RegionSerializationTest, LoadedIndexDrivesTheRuntime) {
+  TestCity& city = SharedCity();
+  std::string path = TempPath("region_runtime.bin");
+  ASSERT_TRUE(city.region->Save(path).ok());
+  Result<RegionIndex> loaded = RegionIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+
+  // A XarSystem built on the loaded index behaves identically on a
+  // create/search/book round.
+  GraphOracle oracle_a(city.graph);
+  GraphOracle oracle_b(city.graph);
+  XarSystem original(city.graph, *city.spatial, *city.region, oracle_a);
+  XarSystem restored(city.graph, *city.spatial, *loaded, oracle_b);
+
+  const BoundingBox& b = city.graph.bounds();
+  RideOffer offer;
+  offer.source = {b.min_lat + 0.1 * (b.max_lat - b.min_lat),
+                  b.min_lng + 0.1 * (b.max_lng - b.min_lng)};
+  offer.destination = {b.min_lat + 0.9 * (b.max_lat - b.min_lat),
+                       b.min_lng + 0.9 * (b.max_lng - b.min_lng)};
+  offer.departure_time_s = 8 * 3600;
+  ASSERT_TRUE(original.CreateRide(offer).ok());
+  ASSERT_TRUE(restored.CreateRide(offer).ok());
+
+  RideRequest req;
+  req.id = RequestId(1);
+  req.source = {b.min_lat + 0.35 * (b.max_lat - b.min_lat),
+                b.min_lng + 0.35 * (b.max_lng - b.min_lng)};
+  req.destination = {b.min_lat + 0.7 * (b.max_lat - b.min_lat),
+                     b.min_lng + 0.7 * (b.max_lng - b.min_lng)};
+  req.earliest_departure_s = 8 * 3600;
+  req.latest_departure_s = 8 * 3600 + 1800;
+
+  std::vector<RideMatch> ma = original.Search(req);
+  std::vector<RideMatch> mb = restored.Search(req);
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_EQ(ma[i].ride, mb[i].ride);
+    EXPECT_DOUBLE_EQ(ma[i].TotalWalkM(), mb[i].TotalWalkM());
+    EXPECT_DOUBLE_EQ(ma[i].detour_estimate_m, mb[i].detour_estimate_m);
+  }
+}
+
+TEST(RegionSerializationTest, RejectsGraphSnapshotAsRegion) {
+  std::string path = TempPath("mixed.bin");
+  ASSERT_TRUE(SaveRoadGraph(SharedCity().graph, path).ok());
+  EXPECT_FALSE(RegionIndex::Load(path).ok());
+}
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "mmtp/trip_planner.h"
+#include "sim/modes.h"
+#include "sim/simulator.h"
+#include "tests/test_helpers.h"
+#include "transit/network_generator.h"
+#include "workload/trip_generator.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+using testing::TestCity;
+
+std::vector<TaxiTrip> MakeTrips(TestCity& city, std::size_t n,
+                                std::uint64_t seed = 55) {
+  WorkloadOptions opt;
+  opt.num_trips = n;
+  opt.seed = seed;
+  return GenerateTrips(city.graph.bounds(), opt);
+}
+
+TEST(SimulatorTest, ConservationOfRequests) {
+  TestCity& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  XarSystem xar(city.graph, *city.spatial, *city.region, oracle);
+  std::vector<TaxiTrip> trips = MakeTrips(city, 1500);
+  SimResult r = SimulateRideSharing(xar, trips);
+  EXPECT_EQ(r.requests, trips.size());
+  EXPECT_EQ(r.matched + r.rides_created + r.metrics.requests_unserved,
+            r.requests);
+  EXPECT_EQ(r.bookings.size(), r.matched);
+  EXPECT_EQ(r.metrics.cars_used, r.rides_created);
+  EXPECT_GT(r.matched, 0u);
+  EXPECT_EQ(r.search_ms.count(), r.requests);
+}
+
+TEST(SimulatorTest, BookingsRespectInvariants) {
+  TestCity& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  XarSystem xar(city.graph, *city.spatial, *city.region, oracle);
+  SimResult r = SimulateRideSharing(xar, MakeTrips(city, 1500));
+  for (const BookingRecord& b : r.bookings) {
+    EXPECT_LE(b.pickup_eta_s, b.dropoff_eta_s + 1e-6);
+    EXPECT_LE(b.shortest_path_computations, 4u);
+    EXPECT_GE(b.actual_detour_m, 0.0);
+    EXPECT_LE(b.walk_m, xar.options().default_walk_limit_m + 1e-6);
+  }
+}
+
+TEST(SimulatorTest, LookToBookReducesBookings) {
+  TestCity& city = SharedCity();
+  std::vector<TaxiTrip> trips = MakeTrips(city, 1200);
+
+  GraphOracle o1(city.graph);
+  XarSystem always(city.graph, *city.spatial, *city.region, o1);
+  SimOptions book_all;
+  book_all.look_to_book = 1;
+  SimResult all = SimulateRideSharing(always, trips, book_all);
+
+  GraphOracle o2(city.graph);
+  XarSystem rarely(city.graph, *city.spatial, *city.region, o2);
+  SimOptions book_tenth;
+  book_tenth.look_to_book = 10;
+  SimResult tenth = SimulateRideSharing(rarely, trips, book_tenth);
+
+  EXPECT_GT(all.matched, tenth.matched);
+}
+
+TEST(SimulatorTest, WalkLimitZeroMatchesNothing) {
+  TestCity& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  XarSystem xar(city.graph, *city.spatial, *city.region, oracle);
+  SimOptions opt;
+  opt.walk_limit_m = 0.0;
+  SimResult r = SimulateRideSharing(xar, MakeTrips(city, 400), opt);
+  EXPECT_EQ(r.matched, 0u);
+  EXPECT_EQ(r.rides_created + r.metrics.requests_unserved, r.requests);
+}
+
+class ModesTest : public ::testing::Test {
+ protected:
+  ModesTest()
+      : city_(SharedCity()),
+        timetable_(GenerateTransitNetwork(city_.graph.bounds(), {})),
+        planner_(timetable_),
+        trips_(MakeTrips(city_, 1200)) {}
+
+  TestCity& city_;
+  Timetable timetable_;
+  TripPlanner planner_;
+  std::vector<TaxiTrip> trips_;
+};
+
+TEST_F(ModesTest, TaxiModeOneCarPerServedTrip) {
+  GraphOracle oracle(city_.graph);
+  ModeMetrics taxi = EvaluateTaxiMode(*city_.spatial, oracle, trips_);
+  EXPECT_EQ(taxi.requests_served + taxi.requests_unserved, trips_.size());
+  EXPECT_EQ(taxi.cars_used, taxi.requests_served);
+  EXPECT_DOUBLE_EQ(taxi.walk_s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(taxi.wait_s.mean(), 0.0);
+}
+
+TEST_F(ModesTest, PublicTransportUsesNoCars) {
+  ModeMetrics pt = EvaluatePublicTransportMode(planner_, trips_);
+  EXPECT_EQ(pt.cars_used, 0u);
+  EXPECT_GT(pt.requests_served, trips_.size() * 9 / 10);
+  EXPECT_GT(pt.walk_s.mean(), 0.0);
+}
+
+TEST_F(ModesTest, RideShareSavesCarsVsTaxi) {
+  GraphOracle taxi_oracle(city_.graph);
+  ModeMetrics taxi = EvaluateTaxiMode(*city_.spatial, taxi_oracle, trips_);
+  GraphOracle rs_oracle(city_.graph);
+  XarSystem xar(city_.graph, *city_.spatial, *city_.region, rs_oracle);
+  ModeMetrics rs = EvaluateRideShareMode(xar, trips_);
+  EXPECT_LT(rs.cars_used, taxi.cars_used);
+  // And taxi is at least as fast on average (Fig. 6 ordering).
+  EXPECT_LE(taxi.travel_s.mean(), rs.travel_s.mean());
+}
+
+TEST_F(ModesTest, RideSharePlusTransitSavesCarsVsRideShare) {
+  GraphOracle rs_oracle(city_.graph);
+  XarSystem rs_xar(city_.graph, *city_.spatial, *city_.region, rs_oracle);
+  ModeMetrics rs = EvaluateRideShareMode(rs_xar, trips_);
+
+  GraphOracle rspt_oracle(city_.graph);
+  XarSystem rspt_xar(city_.graph, *city_.spatial, *city_.region, rspt_oracle);
+  ModeMetrics rspt =
+      EvaluateRideSharePlusTransitMode(planner_, rspt_xar, trips_);
+
+  EXPECT_LT(rspt.cars_used, rs.cars_used);
+  EXPECT_EQ(rspt.requests_served + rspt.requests_unserved, trips_.size());
+}
+
+TEST_F(ModesTest, RideSharePlusTransitImprovesWalkOverPT) {
+  ModeMetrics pt = EvaluatePublicTransportMode(planner_, trips_);
+  GraphOracle oracle(city_.graph);
+  XarSystem xar(city_.graph, *city_.spatial, *city_.region, oracle);
+  ModeMetrics rspt = EvaluateRideSharePlusTransitMode(planner_, xar, trips_);
+  EXPECT_LT(rspt.walk_s.mean(), pt.walk_s.mean());
+  EXPECT_LT(rspt.travel_s.mean(), pt.travel_s.mean());
+}
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,78 @@
+// Scale stress: a large request stream through the full stack with
+// continuous tracking — catches index-consistency decay, unbounded memory
+// growth and event-queue pathologies that small tests cannot.
+
+#include <gtest/gtest.h>
+
+#include "discretize/region_index.h"
+#include "graph/generator.h"
+#include "graph/oracle.h"
+#include "graph/spatial_index.h"
+#include "sim/simulator.h"
+#include "workload/trip_generator.h"
+#include "xar/xar_system.h"
+
+namespace xar {
+namespace {
+
+TEST(StressTest, ThirtyThousandRequestsThroughTheFullStack) {
+  CityOptions copt;
+  copt.rows = 24;
+  copt.cols = 24;
+  copt.seed = 77;
+  RoadGraph graph = GenerateCity(copt);
+  SpatialNodeIndex spatial(graph);
+  DiscretizationOptions dopt;
+  dopt.landmarks.num_candidates = 450;
+  RegionIndex region = RegionIndex::Build(graph, spatial, dopt);
+  GraphOracle oracle(graph);
+  XarSystem xar(graph, spatial, region, oracle);
+
+  WorkloadOptions wopt;
+  wopt.num_trips = 30000;
+  wopt.seed = 78;
+  std::vector<TaxiTrip> trips = GenerateTrips(graph.bounds(), wopt);
+
+  SimResult result = SimulateRideSharing(xar, trips);
+
+  // Conservation and sane volumes.
+  EXPECT_EQ(result.requests, 30000u);
+  EXPECT_EQ(result.matched + result.rides_created +
+                result.metrics.requests_unserved,
+            result.requests);
+  EXPECT_GT(result.matched, result.requests / 4);
+
+  // Every single booking respected the contract.
+  double bound = 4 * region.epsilon() +
+                 2 * region.options().max_drive_to_landmark_m;
+  for (const BookingRecord& b : result.bookings) {
+    ASSERT_LE(b.shortest_path_computations, 4u);
+    ASSERT_LE(b.walk_m, xar.options().default_walk_limit_m + 1e-6);
+    ASSERT_LE(b.actual_detour_m - b.budget_before_m, bound + 1e-6);
+    ASSERT_LE(b.pickup_eta_s, b.dropoff_eta_s + 1e-6);
+  }
+
+  // After a full day, tracking must have retired the vast majority of
+  // rides: the day's final requests arrive near midnight while morning
+  // rides finished hours earlier.
+  EXPECT_LT(xar.NumActiveRides(), xar.NumRides() / 4);
+
+  // Every cluster list entry still maps to an active, registered ride.
+  const RideIndex& index = xar.ride_index();
+  for (std::size_t c = 0; c < region.NumClusters(); ++c) {
+    for (const PotentialRide& pr :
+         index.ListOf(ClusterId(static_cast<ClusterId::underlying_type>(c)))
+             .by_ride()) {
+      const Ride* ride = xar.GetRide(pr.ride);
+      ASSERT_NE(ride, nullptr);
+      ASSERT_TRUE(ride->active);
+      ASSERT_NE(index.RegistrationOf(pr.ride), nullptr);
+    }
+  }
+
+  // Search latency stays in the sub-millisecond regime at full load.
+  EXPECT_LT(result.search_ms.Percentile(50), 5.0);
+}
+
+}  // namespace
+}  // namespace xar

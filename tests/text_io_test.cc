@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "graph/dijkstra.h"
+#include "graph/text_io.h"
+#include "tests/test_helpers.h"
+#include "workload/trip_generator.h"
+#include "workload/trip_io.h"
+
+namespace xar {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const char* content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs(content, f);
+  std::fclose(f);
+}
+
+TEST(GraphCsvTest, LoadsSmallNetwork) {
+  std::string nodes = TempPath("nodes.csv");
+  std::string edges = TempPath("edges.csv");
+  WriteFile(nodes.c_str(),
+            "id,lat,lng\n"
+            "# a comment\n"
+            "100,40.7000,-74.0000\n"
+            "200,40.7090,-74.0000\n"
+            "300,40.7090,-73.9880\n");
+  WriteFile(edges.c_str(),
+            "from,to,length_m,speed_mps,oneway,walkable\n"
+            "100,200,-1,10,0,1\n"   // two-way, geometric length (~1 km)
+            "200,300,1500,15,1,1\n");  // one-way with explicit length
+  Result<RoadGraph> graph = LoadGraphFromCsv(nodes, edges);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->NumNodes(), 3u);
+  // two-way (2 arcs) + one-way (drive arc + walk-back arc) = 4 arcs.
+  EXPECT_EQ(graph->NumEdges(), 4u);
+
+  DijkstraEngine engine(*graph);
+  EXPECT_NEAR(engine.Distance(NodeId(0), NodeId(1), Metric::kDriveDistance),
+              1001, 15);
+  EXPECT_NEAR(engine.Distance(NodeId(1), NodeId(2), Metric::kDriveDistance),
+              1500, 1e-9);
+  // One-way: driving back 2->1 is impossible, walking is fine.
+  EXPECT_EQ(engine.Distance(NodeId(2), NodeId(1), Metric::kDriveDistance),
+            std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(engine.Distance(NodeId(2), NodeId(1), Metric::kWalkDistance),
+              1500, 1e-9);
+}
+
+TEST(GraphCsvTest, RoundTripPreservesDistances) {
+  const RoadGraph& original = testing::SharedCity().graph;
+  std::string nodes = TempPath("rt_nodes.csv");
+  std::string edges = TempPath("rt_edges.csv");
+  ASSERT_TRUE(WriteGraphCsv(original, nodes, edges).ok());
+  Result<RoadGraph> loaded = LoadGraphFromCsv(nodes, edges);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->NumNodes(), original.NumNodes());
+
+  DijkstraEngine orig_engine(original);
+  DijkstraEngine load_engine(*loaded);
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    NodeId a(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(original.NumNodes())));
+    NodeId b(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(original.NumNodes())));
+    for (Metric m : {Metric::kDriveDistance, Metric::kWalkDistance}) {
+      EXPECT_NEAR(orig_engine.Distance(a, b, m),
+                  load_engine.Distance(a, b, m), 0.05);
+    }
+  }
+}
+
+TEST(GraphCsvTest, RejectsBadInput) {
+  std::string nodes = TempPath("bad_nodes.csv");
+  std::string edges = TempPath("bad_edges.csv");
+
+  EXPECT_FALSE(LoadGraphFromCsv(TempPath("missing.csv"), edges).ok());
+
+  WriteFile(nodes.c_str(), "id,lat,lng\n1,40.7,-74.0\n1,40.8,-74.0\n");
+  WriteFile(edges.c_str(), "from,to,length_m,speed_mps,oneway,walkable\n");
+  EXPECT_EQ(LoadGraphFromCsv(nodes, edges).status().code(),
+            StatusCode::kInvalidArgument);  // duplicate id
+
+  WriteFile(nodes.c_str(), "id,lat,lng\n1,140.7,-74.0\n");
+  EXPECT_FALSE(LoadGraphFromCsv(nodes, edges).ok());  // bad latitude
+
+  WriteFile(nodes.c_str(), "id,lat,lng\n1,40.7,-74.0\n2,40.71,-74.0\n");
+  WriteFile(edges.c_str(),
+            "from,to,length_m,speed_mps,oneway,walkable\n1,99,100,10,0,1\n");
+  EXPECT_FALSE(LoadGraphFromCsv(nodes, edges).ok());  // unknown endpoint
+
+  WriteFile(edges.c_str(),
+            "from,to,length_m,speed_mps,oneway,walkable\n1,2,100,0,0,1\n");
+  EXPECT_FALSE(LoadGraphFromCsv(nodes, edges).ok());  // zero speed
+}
+
+TEST(TripCsvTest, RoundTrip) {
+  WorkloadOptions opt;
+  opt.num_trips = 200;
+  std::vector<TaxiTrip> trips =
+      GenerateTrips(BoundingBox{40.70, -74.02, 40.78, -73.93}, opt);
+  std::string path = TempPath("trips.csv");
+  ASSERT_TRUE(WriteTripsCsv(trips, path).ok());
+
+  Result<std::vector<TaxiTrip>> loaded = LoadTripsFromCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), trips.size());
+  for (std::size_t i = 0; i < trips.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id.value(), i);
+    EXPECT_NEAR((*loaded)[i].pickup_time_s, trips[i].pickup_time_s, 0.11);
+    EXPECT_NEAR((*loaded)[i].pickup.lat, trips[i].pickup.lat, 1e-6);
+    EXPECT_NEAR((*loaded)[i].dropoff.lng, trips[i].dropoff.lng, 1e-6);
+  }
+}
+
+TEST(TripCsvTest, SortsUnorderedInput) {
+  std::string path = TempPath("unordered_trips.csv");
+  WriteFile(path.c_str(),
+            "pickup_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng\n"
+            "3000,40.72,-74.0,40.75,-73.95\n"
+            "1000,40.71,-74.0,40.74,-73.96\n"
+            "2000,40.73,-74.0,40.76,-73.97\n");
+  Result<std::vector<TaxiTrip>> trips = LoadTripsFromCsv(path);
+  ASSERT_TRUE(trips.ok());
+  ASSERT_EQ(trips->size(), 3u);
+  EXPECT_DOUBLE_EQ((*trips)[0].pickup_time_s, 1000);
+  EXPECT_DOUBLE_EQ((*trips)[1].pickup_time_s, 2000);
+  EXPECT_DOUBLE_EQ((*trips)[2].pickup_time_s, 3000);
+}
+
+TEST(TripCsvTest, RejectsMalformedRows) {
+  std::string path = TempPath("bad_trips.csv");
+  WriteFile(path.c_str(), "header\n1000,40.71\n");
+  EXPECT_FALSE(LoadTripsFromCsv(path).ok());
+  WriteFile(path.c_str(), "header\n-5,40.71,-74.0,40.74,-73.96\n");
+  EXPECT_FALSE(LoadTripsFromCsv(path).ok());
+  EXPECT_FALSE(LoadTripsFromCsv(TempPath("no_such_trips.csv")).ok());
+}
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,174 @@
+#include "tshare/tshare_system.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+using testing::TestCity;
+
+class TShareTest : public ::testing::Test {
+ protected:
+  TShareTest()
+      : city_(SharedCity()),
+        tshare_(city_.graph, *city_.spatial, *city_.oracle) {}
+
+  RideOffer DiagonalOffer(double t = 8 * 3600.0) const {
+    const BoundingBox& b = city_.graph.bounds();
+    RideOffer offer;
+    offer.source = {b.min_lat + 0.1 * (b.max_lat - b.min_lat),
+                    b.min_lng + 0.1 * (b.max_lng - b.min_lng)};
+    offer.destination = {b.min_lat + 0.9 * (b.max_lat - b.min_lat),
+                         b.min_lng + 0.9 * (b.max_lng - b.min_lng)};
+    offer.departure_time_s = t;
+    return offer;
+  }
+
+  RideRequest MidRequest(double t = 8 * 3600.0) const {
+    const BoundingBox& b = city_.graph.bounds();
+    RideRequest req;
+    req.id = RequestId(1);
+    req.source = {b.min_lat + 0.35 * (b.max_lat - b.min_lat),
+                  b.min_lng + 0.35 * (b.max_lng - b.min_lng)};
+    req.destination = {b.min_lat + 0.7 * (b.max_lat - b.min_lat),
+                       b.min_lng + 0.7 * (b.max_lng - b.min_lng)};
+    req.earliest_departure_s = t;
+    req.latest_departure_s = t + 1800;
+    return req;
+  }
+
+  TestCity& city_;
+  TShareSystem tshare_;
+};
+
+TEST_F(TShareTest, CreateRideSucceeds) {
+  Result<RideId> ride = tshare_.CreateRide(DiagonalOffer());
+  ASSERT_TRUE(ride.ok());
+  const Ride* r = tshare_.GetRide(*ride);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->active);
+  EXPECT_EQ(tshare_.NumActiveRides(), 1u);
+}
+
+TEST_F(TShareTest, SearchFindsCompatibleTaxi) {
+  Result<RideId> ride = tshare_.CreateRide(DiagonalOffer());
+  ASSERT_TRUE(ride.ok());
+  std::vector<TShareMatch> matches = tshare_.Search(MidRequest());
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches.front().ride, *ride);
+  EXPECT_GE(matches.front().detour_m, 0.0);
+  EXPECT_LE(matches.front().detour_m,
+            tshare_.GetRide(*ride)->detour_limit_m + 1e-9);
+}
+
+TEST_F(TShareTest, SearchDetourIsExact) {
+  Result<RideId> ride = tshare_.CreateRide(DiagonalOffer());
+  ASSERT_TRUE(ride.ok());
+  RideRequest req = MidRequest();
+  std::vector<TShareMatch> matches = tshare_.Search(req);
+  ASSERT_FALSE(matches.empty());
+  const TShareMatch& m = matches.front();
+  // Booking the match must increase the route length by (nearly) exactly
+  // the detour the search computed: T-Share verifies with real distances.
+  double before = tshare_.GetRide(*ride)->route.length_m;
+  Result<BookingRecord> booking = tshare_.Book(m.ride, req, m);
+  ASSERT_TRUE(booking.ok());
+  double after = tshare_.GetRide(*ride)->route.length_m;
+  EXPECT_NEAR(after - before, m.detour_m, 1.0);
+}
+
+TEST_F(TShareTest, EarlyExitReturnsAtMostK) {
+  for (int i = 0; i < 6; ++i) {
+    RideOffer offer = DiagonalOffer(8 * 3600.0 + i * 30);
+    ASSERT_TRUE(tshare_.CreateRide(offer).ok());
+  }
+  EXPECT_LE(tshare_.Search(MidRequest(), 2).size(), 2u);
+  EXPECT_GE(tshare_.Search(MidRequest(), 0).size(), 3u);
+}
+
+TEST_F(TShareTest, TimeWindowFiltersTaxis) {
+  ASSERT_TRUE(tshare_.CreateRide(DiagonalOffer(8 * 3600.0)).ok());
+  EXPECT_TRUE(tshare_.Search(MidRequest(20 * 3600.0)).empty());
+}
+
+TEST_F(TShareTest, BookingConsumesSeatAndBudget) {
+  RideOffer offer = DiagonalOffer();
+  offer.seats = 1;
+  Result<RideId> ride = tshare_.CreateRide(offer);
+  ASSERT_TRUE(ride.ok());
+  RideRequest req = MidRequest();
+  std::vector<TShareMatch> matches = tshare_.Search(req);
+  ASSERT_FALSE(matches.empty());
+  ASSERT_TRUE(tshare_.Book(matches.front().ride, req, matches.front()).ok());
+
+  const Ride* r = tshare_.GetRide(*ride);
+  EXPECT_EQ(r->seats_available, 0);
+  EXPECT_EQ(r->via_points.size(), 4u);
+  // Via-point order along the route must be monotone and point at the
+  // right nodes.
+  for (std::size_t i = 0; i + 1 < r->via_route_index.size(); ++i) {
+    EXPECT_LE(r->via_route_index[i], r->via_route_index[i + 1]);
+  }
+  for (std::size_t i = 0; i < r->via_points.size(); ++i) {
+    EXPECT_EQ(r->route.nodes[r->via_route_index[i]], r->via_points[i].node);
+  }
+  // Seats exhausted => no longer matched.
+  RideRequest req2 = MidRequest();
+  req2.id = RequestId(2);
+  for (const TShareMatch& m : tshare_.Search(req2)) {
+    EXPECT_NE(m.ride, *ride);
+  }
+}
+
+TEST_F(TShareTest, LazySearchCountsShortestPaths) {
+  ASSERT_TRUE(tshare_.CreateRide(DiagonalOffer()).ok());
+  std::size_t before = tshare_.search_sp_count();
+  (void)tshare_.Search(MidRequest());
+  EXPECT_GT(tshare_.search_sp_count(), before);
+}
+
+TEST_F(TShareTest, HaversineSearchOracleVariant) {
+  HaversineOracle haversine(city_.graph);
+  TShareSystem fast(city_.graph, *city_.spatial, *city_.oracle, {},
+                    &haversine);
+  ASSERT_TRUE(fast.CreateRide(DiagonalOffer()).ok());
+  std::vector<TShareMatch> matches = fast.Search(MidRequest());
+  EXPECT_FALSE(matches.empty());
+  // Booking still uses real routes (haversine is search-only).
+  RideRequest req = MidRequest();
+  EXPECT_TRUE(fast.Book(matches.front().ride, req, matches.front()).ok());
+}
+
+TEST_F(TShareTest, AdvanceTimeRetiresFinishedRides) {
+  Result<RideId> ride = tshare_.CreateRide(DiagonalOffer(8 * 3600.0));
+  ASSERT_TRUE(ride.ok());
+  tshare_.AdvanceTime(tshare_.GetRide(*ride)->ArrivalTimeS() + 1.0);
+  EXPECT_FALSE(tshare_.GetRide(*ride)->active);
+  EXPECT_EQ(tshare_.NumActiveRides(), 0u);
+  EXPECT_TRUE(tshare_.Search(MidRequest()).empty());
+}
+
+TEST_F(TShareTest, GridCapLimitsExploration) {
+  TShareOptions opt;
+  opt.max_grids_explored = 1;  // only the origin cell
+  TShareSystem capped(city_.graph, *city_.spatial, *city_.oracle, opt);
+  // A ride that passes nowhere near the request origin cell can't be found.
+  ASSERT_TRUE(capped.CreateRide(DiagonalOffer()).ok());
+  const BoundingBox& b = city_.graph.bounds();
+  RideRequest req = MidRequest();
+  req.source = {b.min_lat + 0.9 * (b.max_lat - b.min_lat),
+                b.min_lng + 0.1 * (b.max_lng - b.min_lng)};  // off-route
+  EXPECT_TRUE(capped.Search(req).empty());
+}
+
+TEST_F(TShareTest, MemoryFootprintGrows) {
+  std::size_t empty = tshare_.MemoryFootprint();
+  ASSERT_TRUE(tshare_.CreateRide(DiagonalOffer()).ok());
+  EXPECT_GT(tshare_.MemoryFootprint(), empty);
+}
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geo/latlng.h"
+#include "workload/trip_generator.h"
+
+namespace xar {
+namespace {
+
+BoundingBox TestBox() { return BoundingBox{40.70, -74.02, 40.78, -73.93}; }
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  WorkloadOptions opt;
+  opt.num_trips = 500;
+  std::vector<TaxiTrip> trips = GenerateTrips(TestBox(), opt);
+  EXPECT_EQ(trips.size(), 500u);
+}
+
+TEST(WorkloadTest, SortedByPickupTimeWithDenseIds) {
+  WorkloadOptions opt;
+  opt.num_trips = 400;
+  std::vector<TaxiTrip> trips = GenerateTrips(TestBox(), opt);
+  for (std::size_t i = 0; i < trips.size(); ++i) {
+    EXPECT_EQ(trips[i].id.value(), i);
+    if (i > 0) {
+      EXPECT_GE(trips[i].pickup_time_s, trips[i - 1].pickup_time_s);
+    }
+    EXPECT_GE(trips[i].pickup_time_s, 0.0);
+    EXPECT_LT(trips[i].pickup_time_s, 86400.0);
+  }
+}
+
+TEST(WorkloadTest, PointsInsideBounds) {
+  WorkloadOptions opt;
+  opt.num_trips = 400;
+  BoundingBox box = TestBox();
+  for (const TaxiTrip& t : GenerateTrips(box, opt)) {
+    EXPECT_TRUE(box.Contains(t.pickup));
+    EXPECT_TRUE(box.Contains(t.dropoff));
+  }
+}
+
+TEST(WorkloadTest, RespectsMinTripLengthMostly) {
+  WorkloadOptions opt;
+  opt.num_trips = 600;
+  opt.min_trip_m = 1000.0;
+  std::size_t too_short = 0;
+  for (const TaxiTrip& t : GenerateTrips(TestBox(), opt)) {
+    if (HaversineMeters(t.pickup, t.dropoff) < opt.min_trip_m) ++too_short;
+  }
+  // Resampling is capped at 64 attempts, so a tiny residue is tolerated.
+  EXPECT_LT(too_short, 10u);
+}
+
+TEST(WorkloadTest, DeterministicPerSeedAndDistinctAcrossSeeds) {
+  WorkloadOptions opt;
+  opt.num_trips = 100;
+  opt.seed = 5;
+  std::vector<TaxiTrip> a = GenerateTrips(TestBox(), opt);
+  std::vector<TaxiTrip> b = GenerateTrips(TestBox(), opt);
+  opt.seed = 6;
+  std::vector<TaxiTrip> c = GenerateTrips(TestBox(), opt);
+  bool same_ab = true, same_ac = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    same_ab &= a[i].pickup == b[i].pickup &&
+               a[i].pickup_time_s == b[i].pickup_time_s;
+    same_ac &= a[i].pickup == c[i].pickup &&
+               a[i].pickup_time_s == c[i].pickup_time_s;
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(WorkloadTest, HourlyProfileNormalized) {
+  const double* profile = HourlyArrivalProfile();
+  double sum = 0;
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_GT(profile[h], 0.0);
+    sum += profile[h];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Rush hours beat the overnight trough.
+  EXPECT_GT(profile[8], profile[3]);
+  EXPECT_GT(profile[18], profile[3]);
+}
+
+TEST(WorkloadTest, TemporalShapeFollowsProfile) {
+  WorkloadOptions opt;
+  opt.num_trips = 20000;
+  std::vector<TaxiTrip> trips = GenerateTrips(TestBox(), opt);
+  std::size_t overnight = 0, evening = 0;
+  for (const TaxiTrip& t : trips) {
+    int hour = static_cast<int>(t.pickup_time_s / 3600.0);
+    if (hour >= 2 && hour < 5) ++overnight;
+    if (hour >= 17 && hour < 20) ++evening;
+  }
+  EXPECT_GT(evening, overnight * 4);
+}
+
+TEST(WorkloadTest, SpatialHotspotSkew) {
+  WorkloadOptions opt;
+  opt.num_trips = 5000;
+  BoundingBox box = TestBox();
+  std::vector<TaxiTrip> trips = GenerateTrips(box, opt);
+  // Pickups concentrate near hotspots: the mean distance to the box center
+  // must be well below the uniform-expectation.
+  double mean_dist = 0;
+  for (const TaxiTrip& t : trips) {
+    mean_dist += HaversineMeters(t.pickup, box.Center());
+  }
+  mean_dist /= static_cast<double>(trips.size());
+  double half_diag =
+      std::max(box.WidthMeters(), box.HeightMeters()) / 2;
+  EXPECT_LT(mean_dist, half_diag * 0.75);
+}
+
+TEST(WorkloadTest, FilterByTimeWindow) {
+  WorkloadOptions opt;
+  opt.num_trips = 2000;
+  std::vector<TaxiTrip> trips = GenerateTrips(TestBox(), opt);
+  std::vector<TaxiTrip> morning =
+      FilterByTimeWindow(trips, 6 * 3600.0, 12 * 3600.0);
+  EXPECT_GT(morning.size(), 0u);
+  EXPECT_LT(morning.size(), trips.size());
+  for (const TaxiTrip& t : morning) {
+    EXPECT_GE(t.pickup_time_s, 6 * 3600.0);
+    EXPECT_LT(t.pickup_time_s, 12 * 3600.0);
+  }
+  // Filtering is exact: count matches a manual scan.
+  std::size_t manual = 0;
+  for (const TaxiTrip& t : trips) {
+    if (t.pickup_time_s >= 6 * 3600.0 && t.pickup_time_s < 12 * 3600.0)
+      ++manual;
+  }
+  EXPECT_EQ(morning.size(), manual);
+}
+
+}  // namespace
+}  // namespace xar
