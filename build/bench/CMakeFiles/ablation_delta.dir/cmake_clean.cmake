@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delta.dir/ablation_delta.cc.o"
+  "CMakeFiles/ablation_delta.dir/ablation_delta.cc.o.d"
+  "ablation_delta"
+  "ablation_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_detour_quality.dir/fig3a_detour_quality.cc.o"
+  "CMakeFiles/fig3a_detour_quality.dir/fig3a_detour_quality.cc.o.d"
+  "fig3a_detour_quality"
+  "fig3a_detour_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_detour_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3bcd_epsilon_tradeoff.dir/fig3bcd_epsilon_tradeoff.cc.o"
+  "CMakeFiles/fig3bcd_epsilon_tradeoff.dir/fig3bcd_epsilon_tradeoff.cc.o.d"
+  "fig3bcd_epsilon_tradeoff"
+  "fig3bcd_epsilon_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3bcd_epsilon_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3bcd_epsilon_tradeoff.
+# This may be replaced when dependencies are built.

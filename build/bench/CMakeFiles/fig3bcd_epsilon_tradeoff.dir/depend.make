@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3bcd_epsilon_tradeoff.
+# This may be replaced when dependencies are built.

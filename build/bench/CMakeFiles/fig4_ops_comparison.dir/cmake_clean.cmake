@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ops_comparison.dir/fig4_ops_comparison.cc.o"
+  "CMakeFiles/fig4_ops_comparison.dir/fig4_ops_comparison.cc.o.d"
+  "fig4_ops_comparison"
+  "fig4_ops_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ops_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

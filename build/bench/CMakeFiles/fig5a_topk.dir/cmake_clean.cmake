@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_topk.dir/fig5a_topk.cc.o"
+  "CMakeFiles/fig5a_topk.dir/fig5a_topk.cc.o.d"
+  "fig5a_topk"
+  "fig5a_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5a_topk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_look_to_book.dir/fig5b_look_to_book.cc.o"
+  "CMakeFiles/fig5b_look_to_book.dir/fig5b_look_to_book.cc.o.d"
+  "fig5b_look_to_book"
+  "fig5b_look_to_book.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_look_to_book.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5b_look_to_book.
+# This may be replaced when dependencies are built.

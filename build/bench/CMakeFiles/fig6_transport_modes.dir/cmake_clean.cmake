@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_transport_modes.dir/fig6_transport_modes.cc.o"
+  "CMakeFiles/fig6_transport_modes.dir/fig6_transport_modes.cc.o.d"
+  "fig6_transport_modes"
+  "fig6_transport_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_transport_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_gola_look_to_book.dir/fig_gola_look_to_book.cc.o"
+  "CMakeFiles/fig_gola_look_to_book.dir/fig_gola_look_to_book.cc.o.d"
+  "fig_gola_look_to_book"
+  "fig_gola_look_to_book.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_gola_look_to_book.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_gola_look_to_book.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_simulation.dir/city_simulation.cpp.o"
+  "CMakeFiles/city_simulation.dir/city_simulation.cpp.o.d"
+  "city_simulation"
+  "city_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_tuning.dir/cluster_tuning.cpp.o"
+  "CMakeFiles/cluster_tuning.dir/cluster_tuning.cpp.o.d"
+  "cluster_tuning"
+  "cluster_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_city.dir/custom_city.cpp.o"
+  "CMakeFiles/custom_city.dir/custom_city.cpp.o.d"
+  "custom_city"
+  "custom_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

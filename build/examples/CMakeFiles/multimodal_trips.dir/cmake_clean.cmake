@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimodal_trips.dir/multimodal_trips.cpp.o"
+  "CMakeFiles/multimodal_trips.dir/multimodal_trips.cpp.o.d"
+  "multimodal_trips"
+  "multimodal_trips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimodal_trips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multimodal_trips.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for multimodal_trips.
+# This may be replaced when dependencies are built.

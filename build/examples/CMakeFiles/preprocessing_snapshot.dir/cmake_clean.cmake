@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocessing_snapshot.dir/preprocessing_snapshot.cpp.o"
+  "CMakeFiles/preprocessing_snapshot.dir/preprocessing_snapshot.cpp.o.d"
+  "preprocessing_snapshot"
+  "preprocessing_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocessing_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

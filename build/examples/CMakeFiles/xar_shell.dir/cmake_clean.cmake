@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_shell.dir/xar_shell.cpp.o"
+  "CMakeFiles/xar_shell.dir/xar_shell.cpp.o.d"
+  "xar_shell"
+  "xar_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

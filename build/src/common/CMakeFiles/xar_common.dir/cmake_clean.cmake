@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_common.dir/logging.cc.o"
+  "CMakeFiles/xar_common.dir/logging.cc.o.d"
+  "CMakeFiles/xar_common.dir/stats.cc.o"
+  "CMakeFiles/xar_common.dir/stats.cc.o.d"
+  "CMakeFiles/xar_common.dir/status.cc.o"
+  "CMakeFiles/xar_common.dir/status.cc.o.d"
+  "CMakeFiles/xar_common.dir/table.cc.o"
+  "CMakeFiles/xar_common.dir/table.cc.o.d"
+  "libxar_common.a"
+  "libxar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

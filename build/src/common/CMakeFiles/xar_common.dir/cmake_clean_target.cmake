@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxar_common.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discretize/distance_matrix.cc" "src/discretize/CMakeFiles/xar_discretize.dir/distance_matrix.cc.o" "gcc" "src/discretize/CMakeFiles/xar_discretize.dir/distance_matrix.cc.o.d"
+  "/root/repo/src/discretize/exact_cluster.cc" "src/discretize/CMakeFiles/xar_discretize.dir/exact_cluster.cc.o" "gcc" "src/discretize/CMakeFiles/xar_discretize.dir/exact_cluster.cc.o.d"
+  "/root/repo/src/discretize/greedy_search.cc" "src/discretize/CMakeFiles/xar_discretize.dir/greedy_search.cc.o" "gcc" "src/discretize/CMakeFiles/xar_discretize.dir/greedy_search.cc.o.d"
+  "/root/repo/src/discretize/kcenter.cc" "src/discretize/CMakeFiles/xar_discretize.dir/kcenter.cc.o" "gcc" "src/discretize/CMakeFiles/xar_discretize.dir/kcenter.cc.o.d"
+  "/root/repo/src/discretize/landmark_extractor.cc" "src/discretize/CMakeFiles/xar_discretize.dir/landmark_extractor.cc.o" "gcc" "src/discretize/CMakeFiles/xar_discretize.dir/landmark_extractor.cc.o.d"
+  "/root/repo/src/discretize/region_index.cc" "src/discretize/CMakeFiles/xar_discretize.dir/region_index.cc.o" "gcc" "src/discretize/CMakeFiles/xar_discretize.dir/region_index.cc.o.d"
+  "/root/repo/src/discretize/serialization.cc" "src/discretize/CMakeFiles/xar_discretize.dir/serialization.cc.o" "gcc" "src/discretize/CMakeFiles/xar_discretize.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/xar_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/xar_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_discretize.dir/distance_matrix.cc.o"
+  "CMakeFiles/xar_discretize.dir/distance_matrix.cc.o.d"
+  "CMakeFiles/xar_discretize.dir/exact_cluster.cc.o"
+  "CMakeFiles/xar_discretize.dir/exact_cluster.cc.o.d"
+  "CMakeFiles/xar_discretize.dir/greedy_search.cc.o"
+  "CMakeFiles/xar_discretize.dir/greedy_search.cc.o.d"
+  "CMakeFiles/xar_discretize.dir/kcenter.cc.o"
+  "CMakeFiles/xar_discretize.dir/kcenter.cc.o.d"
+  "CMakeFiles/xar_discretize.dir/landmark_extractor.cc.o"
+  "CMakeFiles/xar_discretize.dir/landmark_extractor.cc.o.d"
+  "CMakeFiles/xar_discretize.dir/region_index.cc.o"
+  "CMakeFiles/xar_discretize.dir/region_index.cc.o.d"
+  "CMakeFiles/xar_discretize.dir/serialization.cc.o"
+  "CMakeFiles/xar_discretize.dir/serialization.cc.o.d"
+  "libxar_discretize.a"
+  "libxar_discretize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_discretize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xar_discretize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_geo.dir/grid.cc.o"
+  "CMakeFiles/xar_geo.dir/grid.cc.o.d"
+  "CMakeFiles/xar_geo.dir/latlng.cc.o"
+  "CMakeFiles/xar_geo.dir/latlng.cc.o.d"
+  "libxar_geo.a"
+  "libxar_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

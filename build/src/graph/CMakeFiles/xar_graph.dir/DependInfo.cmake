@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/alt.cc" "src/graph/CMakeFiles/xar_graph.dir/alt.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/alt.cc.o.d"
+  "/root/repo/src/graph/astar.cc" "src/graph/CMakeFiles/xar_graph.dir/astar.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/astar.cc.o.d"
+  "/root/repo/src/graph/contraction_hierarchy.cc" "src/graph/CMakeFiles/xar_graph.dir/contraction_hierarchy.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/contraction_hierarchy.cc.o.d"
+  "/root/repo/src/graph/dijkstra.cc" "src/graph/CMakeFiles/xar_graph.dir/dijkstra.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/dijkstra.cc.o.d"
+  "/root/repo/src/graph/floyd_warshall.cc" "src/graph/CMakeFiles/xar_graph.dir/floyd_warshall.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/floyd_warshall.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/graph/CMakeFiles/xar_graph.dir/generator.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/generator.cc.o.d"
+  "/root/repo/src/graph/oracle.cc" "src/graph/CMakeFiles/xar_graph.dir/oracle.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/oracle.cc.o.d"
+  "/root/repo/src/graph/road_graph.cc" "src/graph/CMakeFiles/xar_graph.dir/road_graph.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/road_graph.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/graph/CMakeFiles/xar_graph.dir/serialization.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/serialization.cc.o.d"
+  "/root/repo/src/graph/spatial_index.cc" "src/graph/CMakeFiles/xar_graph.dir/spatial_index.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/spatial_index.cc.o.d"
+  "/root/repo/src/graph/text_io.cc" "src/graph/CMakeFiles/xar_graph.dir/text_io.cc.o" "gcc" "src/graph/CMakeFiles/xar_graph.dir/text_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/xar_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

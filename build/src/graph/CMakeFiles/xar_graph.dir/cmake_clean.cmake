@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_graph.dir/alt.cc.o"
+  "CMakeFiles/xar_graph.dir/alt.cc.o.d"
+  "CMakeFiles/xar_graph.dir/astar.cc.o"
+  "CMakeFiles/xar_graph.dir/astar.cc.o.d"
+  "CMakeFiles/xar_graph.dir/contraction_hierarchy.cc.o"
+  "CMakeFiles/xar_graph.dir/contraction_hierarchy.cc.o.d"
+  "CMakeFiles/xar_graph.dir/dijkstra.cc.o"
+  "CMakeFiles/xar_graph.dir/dijkstra.cc.o.d"
+  "CMakeFiles/xar_graph.dir/floyd_warshall.cc.o"
+  "CMakeFiles/xar_graph.dir/floyd_warshall.cc.o.d"
+  "CMakeFiles/xar_graph.dir/generator.cc.o"
+  "CMakeFiles/xar_graph.dir/generator.cc.o.d"
+  "CMakeFiles/xar_graph.dir/oracle.cc.o"
+  "CMakeFiles/xar_graph.dir/oracle.cc.o.d"
+  "CMakeFiles/xar_graph.dir/road_graph.cc.o"
+  "CMakeFiles/xar_graph.dir/road_graph.cc.o.d"
+  "CMakeFiles/xar_graph.dir/serialization.cc.o"
+  "CMakeFiles/xar_graph.dir/serialization.cc.o.d"
+  "CMakeFiles/xar_graph.dir/spatial_index.cc.o"
+  "CMakeFiles/xar_graph.dir/spatial_index.cc.o.d"
+  "CMakeFiles/xar_graph.dir/text_io.cc.o"
+  "CMakeFiles/xar_graph.dir/text_io.cc.o.d"
+  "libxar_graph.a"
+  "libxar_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

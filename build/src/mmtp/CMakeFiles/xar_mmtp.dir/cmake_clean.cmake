@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_mmtp.dir/integration.cc.o"
+  "CMakeFiles/xar_mmtp.dir/integration.cc.o.d"
+  "CMakeFiles/xar_mmtp.dir/trip_planner.cc.o"
+  "CMakeFiles/xar_mmtp.dir/trip_planner.cc.o.d"
+  "libxar_mmtp.a"
+  "libxar_mmtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_mmtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_schedule.dir/kinetic_tree.cc.o"
+  "CMakeFiles/xar_schedule.dir/kinetic_tree.cc.o.d"
+  "libxar_schedule.a"
+  "libxar_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_sim.dir/modes.cc.o"
+  "CMakeFiles/xar_sim.dir/modes.cc.o.d"
+  "CMakeFiles/xar_sim.dir/simulator.cc.o"
+  "CMakeFiles/xar_sim.dir/simulator.cc.o.d"
+  "libxar_sim.a"
+  "libxar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transit/csa.cc" "src/transit/CMakeFiles/xar_transit.dir/csa.cc.o" "gcc" "src/transit/CMakeFiles/xar_transit.dir/csa.cc.o.d"
+  "/root/repo/src/transit/network_generator.cc" "src/transit/CMakeFiles/xar_transit.dir/network_generator.cc.o" "gcc" "src/transit/CMakeFiles/xar_transit.dir/network_generator.cc.o.d"
+  "/root/repo/src/transit/timetable.cc" "src/transit/CMakeFiles/xar_transit.dir/timetable.cc.o" "gcc" "src/transit/CMakeFiles/xar_transit.dir/timetable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/xar_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

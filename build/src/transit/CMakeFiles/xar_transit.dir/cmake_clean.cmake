@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_transit.dir/csa.cc.o"
+  "CMakeFiles/xar_transit.dir/csa.cc.o.d"
+  "CMakeFiles/xar_transit.dir/network_generator.cc.o"
+  "CMakeFiles/xar_transit.dir/network_generator.cc.o.d"
+  "CMakeFiles/xar_transit.dir/timetable.cc.o"
+  "CMakeFiles/xar_transit.dir/timetable.cc.o.d"
+  "libxar_transit.a"
+  "libxar_transit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_transit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_tshare.dir/tshare_system.cc.o"
+  "CMakeFiles/xar_tshare.dir/tshare_system.cc.o.d"
+  "libxar_tshare.a"
+  "libxar_tshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_tshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

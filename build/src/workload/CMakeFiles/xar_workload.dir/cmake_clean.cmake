@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_workload.dir/trip_generator.cc.o"
+  "CMakeFiles/xar_workload.dir/trip_generator.cc.o.d"
+  "CMakeFiles/xar_workload.dir/trip_io.cc.o"
+  "CMakeFiles/xar_workload.dir/trip_io.cc.o.d"
+  "libxar_workload.a"
+  "libxar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

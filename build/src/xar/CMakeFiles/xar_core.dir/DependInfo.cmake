@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xar/cluster_ride_list.cc" "src/xar/CMakeFiles/xar_core.dir/cluster_ride_list.cc.o" "gcc" "src/xar/CMakeFiles/xar_core.dir/cluster_ride_list.cc.o.d"
+  "/root/repo/src/xar/command_server.cc" "src/xar/CMakeFiles/xar_core.dir/command_server.cc.o" "gcc" "src/xar/CMakeFiles/xar_core.dir/command_server.cc.o.d"
+  "/root/repo/src/xar/geojson_export.cc" "src/xar/CMakeFiles/xar_core.dir/geojson_export.cc.o" "gcc" "src/xar/CMakeFiles/xar_core.dir/geojson_export.cc.o.d"
+  "/root/repo/src/xar/ride_index.cc" "src/xar/CMakeFiles/xar_core.dir/ride_index.cc.o" "gcc" "src/xar/CMakeFiles/xar_core.dir/ride_index.cc.o.d"
+  "/root/repo/src/xar/route_utils.cc" "src/xar/CMakeFiles/xar_core.dir/route_utils.cc.o" "gcc" "src/xar/CMakeFiles/xar_core.dir/route_utils.cc.o.d"
+  "/root/repo/src/xar/xar_system.cc" "src/xar/CMakeFiles/xar_core.dir/xar_system.cc.o" "gcc" "src/xar/CMakeFiles/xar_core.dir/xar_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/xar_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/xar_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/discretize/CMakeFiles/xar_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/xar_schedule.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_core.dir/cluster_ride_list.cc.o"
+  "CMakeFiles/xar_core.dir/cluster_ride_list.cc.o.d"
+  "CMakeFiles/xar_core.dir/command_server.cc.o"
+  "CMakeFiles/xar_core.dir/command_server.cc.o.d"
+  "CMakeFiles/xar_core.dir/geojson_export.cc.o"
+  "CMakeFiles/xar_core.dir/geojson_export.cc.o.d"
+  "CMakeFiles/xar_core.dir/ride_index.cc.o"
+  "CMakeFiles/xar_core.dir/ride_index.cc.o.d"
+  "CMakeFiles/xar_core.dir/route_utils.cc.o"
+  "CMakeFiles/xar_core.dir/route_utils.cc.o.d"
+  "CMakeFiles/xar_core.dir/xar_system.cc.o"
+  "CMakeFiles/xar_core.dir/xar_system.cc.o.d"
+  "libxar_core.a"
+  "libxar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_test.dir/alt_test.cc.o"
+  "CMakeFiles/alt_test.dir/alt_test.cc.o.d"
+  "alt_test"
+  "alt_test.pdb"
+  "alt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cancellation_test.dir/cancellation_test.cc.o"
+  "CMakeFiles/cancellation_test.dir/cancellation_test.cc.o.d"
+  "cancellation_test"
+  "cancellation_test.pdb"
+  "cancellation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cancellation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_ride_list_test.dir/cluster_ride_list_test.cc.o"
+  "CMakeFiles/cluster_ride_list_test.dir/cluster_ride_list_test.cc.o.d"
+  "cluster_ride_list_test"
+  "cluster_ride_list_test.pdb"
+  "cluster_ride_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_ride_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

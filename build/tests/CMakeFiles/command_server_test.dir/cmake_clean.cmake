@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/command_server_test.dir/command_server_test.cc.o"
+  "CMakeFiles/command_server_test.dir/command_server_test.cc.o.d"
+  "command_server_test"
+  "command_server_test.pdb"
+  "command_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/command_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

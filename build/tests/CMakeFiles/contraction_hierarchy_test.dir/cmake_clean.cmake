@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contraction_hierarchy_test.dir/contraction_hierarchy_test.cc.o"
+  "CMakeFiles/contraction_hierarchy_test.dir/contraction_hierarchy_test.cc.o.d"
+  "contraction_hierarchy_test"
+  "contraction_hierarchy_test.pdb"
+  "contraction_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contraction_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

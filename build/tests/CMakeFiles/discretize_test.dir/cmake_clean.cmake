@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discretize_test.dir/discretize_test.cc.o"
+  "CMakeFiles/discretize_test.dir/discretize_test.cc.o.d"
+  "discretize_test"
+  "discretize_test.pdb"
+  "discretize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discretize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geojson_test.dir/geojson_test.cc.o"
+  "CMakeFiles/geojson_test.dir/geojson_test.cc.o.d"
+  "geojson_test"
+  "geojson_test.pdb"
+  "geojson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geojson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

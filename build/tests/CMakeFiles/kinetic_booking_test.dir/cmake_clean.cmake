@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kinetic_booking_test.dir/kinetic_booking_test.cc.o"
+  "CMakeFiles/kinetic_booking_test.dir/kinetic_booking_test.cc.o.d"
+  "kinetic_booking_test"
+  "kinetic_booking_test.pdb"
+  "kinetic_booking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kinetic_booking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kinetic_tree_test.dir/kinetic_tree_test.cc.o"
+  "CMakeFiles/kinetic_tree_test.dir/kinetic_tree_test.cc.o.d"
+  "kinetic_tree_test"
+  "kinetic_tree_test.pdb"
+  "kinetic_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kinetic_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

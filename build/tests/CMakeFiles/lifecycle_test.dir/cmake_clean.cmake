@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifecycle_test.dir/lifecycle_test.cc.o"
+  "CMakeFiles/lifecycle_test.dir/lifecycle_test.cc.o.d"
+  "lifecycle_test"
+  "lifecycle_test.pdb"
+  "lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

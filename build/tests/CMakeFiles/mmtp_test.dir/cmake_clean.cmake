@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_test.dir/mmtp_test.cc.o"
+  "CMakeFiles/mmtp_test.dir/mmtp_test.cc.o.d"
+  "mmtp_test"
+  "mmtp_test.pdb"
+  "mmtp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radial_city_test.dir/radial_city_test.cc.o"
+  "CMakeFiles/radial_city_test.dir/radial_city_test.cc.o.d"
+  "radial_city_test"
+  "radial_city_test.pdb"
+  "radial_city_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radial_city_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

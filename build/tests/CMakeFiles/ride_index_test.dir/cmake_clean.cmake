@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ride_index_test.dir/ride_index_test.cc.o"
+  "CMakeFiles/ride_index_test.dir/ride_index_test.cc.o.d"
+  "ride_index_test"
+  "ride_index_test.pdb"
+  "ride_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ride_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_utils_test.dir/route_utils_test.cc.o"
+  "CMakeFiles/route_utils_test.dir/route_utils_test.cc.o.d"
+  "route_utils_test"
+  "route_utils_test.pdb"
+  "route_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/search_property_test.cc" "tests/CMakeFiles/search_property_test.dir/search_property_test.cc.o" "gcc" "tests/CMakeFiles/search_property_test.dir/search_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xar/CMakeFiles/xar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/discretize/CMakeFiles/xar_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/xar_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/xar_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/xar_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

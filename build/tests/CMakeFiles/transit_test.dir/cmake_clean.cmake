@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transit_test.dir/transit_test.cc.o"
+  "CMakeFiles/transit_test.dir/transit_test.cc.o.d"
+  "transit_test"
+  "transit_test.pdb"
+  "transit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

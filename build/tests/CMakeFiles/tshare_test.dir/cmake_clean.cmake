@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tshare_test.dir/tshare_test.cc.o"
+  "CMakeFiles/tshare_test.dir/tshare_test.cc.o.d"
+  "tshare_test"
+  "tshare_test.pdb"
+  "tshare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tshare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

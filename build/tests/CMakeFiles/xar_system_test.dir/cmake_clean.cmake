@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xar_system_test.dir/xar_system_test.cc.o"
+  "CMakeFiles/xar_system_test.dir/xar_system_test.cc.o.d"
+  "xar_system_test"
+  "xar_system_test.pdb"
+  "xar_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xar_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[StressTest.ThirtyThousandRequestsThroughTheFullStack]=]  /root/repo/build/tests/stress_test [==[--gtest_filter=StressTest.ThirtyThousandRequestsThroughTheFullStack]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[StressTest.ThirtyThousandRequestsThroughTheFullStack]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  stress_test_TESTS StressTest.ThirtyThousandRequestsThroughTheFullStack)
