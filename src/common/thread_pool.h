@@ -1,0 +1,118 @@
+#ifndef XAR_COMMON_THREAD_POOL_H_
+#define XAR_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace xar {
+
+/// Fixed-size worker pool with a shared FIFO task queue.
+///
+/// Used by the serving layer to fan independent read-path work (search
+/// batches, simulator waves, throughput benches) across cores. Tasks must not
+/// block on other tasks submitted to the same pool (no nesting); everything
+/// the XAR read path runs through it is a leaf computation, so the simple
+/// single-queue design is enough.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0) {
+    if (num_threads == 0) {
+      num_threads = std::thread::hardware_concurrency();
+      if (num_threads == 0) num_threads = 1;
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions propagate
+  /// through the future.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs body(0) .. body(n-1) across the pool and blocks until all are
+  /// done. Iterations are claimed from a shared counter, so uneven per-item
+  /// cost balances automatically. The calling thread participates, which
+  /// keeps single-threaded pools deadlock-free and 1-core hosts efficient.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto drain = [next, n, &body] {
+      for (std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+           i < n; i = next->fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+    };
+    std::vector<std::future<void>> helpers;
+    std::size_t num_helpers = std::min(size(), n);
+    helpers.reserve(num_helpers);
+    for (std::size_t t = 0; t < num_helpers; ++t) {
+      helpers.push_back(Submit(drain));
+    }
+    drain();
+    for (std::future<void>& helper : helpers) helper.get();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace xar
+
+#endif  // XAR_COMMON_THREAD_POOL_H_

@@ -1,41 +1,93 @@
 #include "graph/oracle.h"
 
+#include <algorithm>
+
 namespace xar {
 namespace {
 
-std::uint64_t PackKey(NodeId from, NodeId to, Metric metric) {
-  return (static_cast<std::uint64_t>(from.value()) << 34) |
-         (static_cast<std::uint64_t>(to.value()) << 2) |
-         static_cast<std::uint64_t>(metric);
+/// Stripe-count heuristic: enough stripes to keep shard-parallel bookings
+/// off each other's locks, but never so many that per-stripe capacity drops
+/// below a useful LRU window (tiny test caches get exactly one stripe, i.e.
+/// strict global LRU — the pre-concurrency behaviour).
+std::size_t StripeCountFor(std::size_t cache_capacity) {
+  constexpr std::size_t kMaxStripes = 16;
+  constexpr std::size_t kMinStripeCapacity = 64;
+  std::size_t stripes = 1;
+  while (stripes < kMaxStripes &&
+         cache_capacity / (stripes * 2) >= kMinStripeCapacity) {
+    stripes *= 2;
+  }
+  return stripes;
 }
 
 }  // namespace
 
 GraphOracle::GraphOracle(const RoadGraph& graph, std::size_t cache_capacity)
-    : graph_(graph),
-      astar_(graph),
-      dijkstra_(graph),
-      cache_capacity_(cache_capacity) {}
+    : graph_(graph), cache_capacity_(cache_capacity) {
+  std::size_t num_stripes = StripeCountFor(cache_capacity);
+  stripe_capacity_ = std::max<std::size_t>(1, cache_capacity / num_stripes);
+  stripes_.reserve(num_stripes);
+  for (std::size_t s = 0; s < num_stripes; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  idle_engines_.push_back(std::make_unique<AStarEngine>(graph_));
+}
+
+std::unique_ptr<AStarEngine> GraphOracle::AcquireEngine() {
+  {
+    std::lock_guard<std::mutex> lock(engines_mutex_);
+    if (!idle_engines_.empty()) {
+      std::unique_ptr<AStarEngine> engine = std::move(idle_engines_.back());
+      idle_engines_.pop_back();
+      return engine;
+    }
+  }
+  // Pool empty: another thread is mid-query. Grow by one; the pool converges
+  // to the peak number of concurrent callers.
+  return std::make_unique<AStarEngine>(graph_);
+}
+
+void GraphOracle::ReleaseEngine(std::unique_ptr<AStarEngine> engine) {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  idle_engines_.push_back(std::move(engine));
+}
 
 double GraphOracle::CachedDistance(NodeId from, NodeId to, Metric metric) {
   if (cache_capacity_ == 0) {
-    ++computations_;
-    return astar_.Distance(from, to, metric);
+    computations_.fetch_add(1, std::memory_order_relaxed);
+    EngineLease engine(*this);
+    return engine->Distance(from, to, metric);
   }
-  std::uint64_t key = PackKey(from, to, metric);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  OracleCacheKey key = MakeOracleCacheKey(from, to, metric);
+  Stripe& stripe = StripeOf(key);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    auto it = stripe.map.find(key);
+    if (it != stripe.map.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
+      return it->second.distance;
+    }
+  }
+  // Miss: compute outside the stripe lock so same-stripe lookups (and other
+  // threads racing on this very key) are never blocked behind a search.
+  computations_.fetch_add(1, std::memory_order_relaxed);
+  double d;
+  {
+    EngineLease engine(*this);
+    d = engine->Distance(from, to, metric);
+  }
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.map.find(key);
+  if (it != stripe.map.end()) {
+    // A racing thread inserted the same key first; keep its entry.
     return it->second.distance;
   }
-  ++computations_;
-  double d = astar_.Distance(from, to, metric);
-  lru_.push_front(key);
-  cache_.emplace(key, CacheEntry{d, lru_.begin()});
-  if (cache_.size() > cache_capacity_) {
-    cache_.erase(lru_.back());
-    lru_.pop_back();
+  stripe.lru.push_front(key);
+  stripe.map.emplace(key, CacheEntry{d, stripe.lru.begin()});
+  if (stripe.map.size() > stripe_capacity_) {
+    stripe.map.erase(stripe.lru.back());
+    stripe.lru.pop_back();
   }
   return d;
 }
@@ -53,8 +105,9 @@ double GraphOracle::WalkDistance(NodeId from, NodeId to) {
 }
 
 Path GraphOracle::DriveRoute(NodeId from, NodeId to) {
-  ++computations_;
-  return astar_.ShortestPath(from, to, Metric::kDriveDistance);
+  computations_.fetch_add(1, std::memory_order_relaxed);
+  EngineLease engine(*this);
+  return engine->ShortestPath(from, to, Metric::kDriveDistance);
 }
 
 HaversineOracle::HaversineOracle(const RoadGraph& graph,

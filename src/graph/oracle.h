@@ -1,10 +1,14 @@
 #ifndef XAR_GRAPH_ORACLE_H_
 #define XAR_GRAPH_ORACLE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "graph/astar.h"
 #include "graph/dijkstra.h"
@@ -19,6 +23,10 @@ namespace xar {
 /// T-Share's lazy shortest paths, the MMTP) talks to this interface, which
 /// makes the routing backend swappable: real routing, haversine (the paper's
 /// Fig. 5a T-Share variant) or a test double.
+///
+/// Implementations must be safe to call from multiple threads: the sharded
+/// ConcurrentXarSystem lets bookings on different shards run concurrently,
+/// and all of them share one oracle.
 class DistanceOracle {
  public:
   virtual ~DistanceOracle() = default;
@@ -40,12 +48,55 @@ class DistanceOracle {
   virtual std::size_t computation_count() const { return 0; }
 };
 
-/// Exact oracle backed by A* / bidirectional Dijkstra over a RoadGraph, with
-/// an LRU result cache (distance queries only; routes are always computed).
+/// Cache key of one (from, to, metric) distance query. `from` and `to` use
+/// the full 32 bits each: the old single-uint64 packing (`from << 34 |
+/// to << 2 | metric`) silently dropped the top bits of `from` for node ids
+/// >= 2^30, aliasing distinct queries onto one cache slot.
+struct OracleCacheKey {
+  std::uint64_t nodes = 0;  ///< from in the high 32 bits, to in the low 32
+  std::uint32_t metric = 0;
+
+  friend bool operator==(const OracleCacheKey& a, const OracleCacheKey& b) {
+    return a.nodes == b.nodes && a.metric == b.metric;
+  }
+};
+
+inline OracleCacheKey MakeOracleCacheKey(NodeId from, NodeId to,
+                                         Metric metric) {
+  OracleCacheKey key;
+  key.nodes = (static_cast<std::uint64_t>(from.value()) << 32) |
+              static_cast<std::uint64_t>(to.value());
+  key.metric = static_cast<std::uint32_t>(metric);
+  return key;
+}
+
+struct OracleCacheKeyHash {
+  std::size_t operator()(const OracleCacheKey& key) const noexcept {
+    // splitmix64-style mix of both fields.
+    std::uint64_t h = key.nodes + 0x9e3779b97f4a7c15ull * (key.metric + 1);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Exact oracle backed by A* over a RoadGraph, with a striped LRU result
+/// cache (distance queries only; routes are always computed).
+///
+/// Thread-safe: the cache is striped (each stripe has its own mutex and LRU
+/// list, hot-path locks are per-stripe and never held during a shortest-path
+/// computation) and search engines are leased from an internal pool, so any
+/// number of threads can query concurrently. Two threads racing on the same
+/// cold key may both compute it; computation_count() reports real
+/// computations, so single-threaded counts are exactly as before.
 class GraphOracle : public DistanceOracle {
  public:
-  /// `cache_capacity` = max cached (src,dst,metric) distance entries;
-  /// 0 disables caching.
+  /// `cache_capacity` = max cached (src,dst,metric) distance entries across
+  /// all stripes; 0 disables caching. Small capacities use a single stripe
+  /// so eviction order stays strict LRU.
   explicit GraphOracle(const RoadGraph& graph,
                        std::size_t cache_capacity = 1 << 16);
 
@@ -54,31 +105,62 @@ class GraphOracle : public DistanceOracle {
   double WalkDistance(NodeId from, NodeId to) override;
   Path DriveRoute(NodeId from, NodeId to) override;
 
-  std::size_t computation_count() const override { return computations_; }
-  std::size_t cache_hit_count() const { return cache_hits_; }
+  std::size_t computation_count() const override {
+    return computations_.load(std::memory_order_relaxed);
+  }
+  std::size_t cache_hit_count() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double CachedDistance(NodeId from, NodeId to, Metric metric);
-
-  const RoadGraph& graph_;
-  AStarEngine astar_;
-  DijkstraEngine dijkstra_;
-
-  // LRU cache keyed by (from, to, metric) packed into 8 bytes.
-  std::size_t cache_capacity_;
-  std::list<std::uint64_t> lru_;
   struct CacheEntry {
     double distance;
-    std::list<std::uint64_t>::iterator lru_it;
+    std::list<OracleCacheKey>::iterator lru_it;
   };
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;
-  std::size_t computations_ = 0;
-  std::size_t cache_hits_ = 0;
+  struct Stripe {
+    std::mutex mutex;
+    std::list<OracleCacheKey> lru;
+    std::unordered_map<OracleCacheKey, CacheEntry, OracleCacheKeyHash> map;
+  };
+
+  /// RAII lease of an A* engine from the pool (engines keep per-query
+  /// workspace, so one engine must never run two queries at once).
+  class EngineLease {
+   public:
+    explicit EngineLease(GraphOracle& oracle)
+        : oracle_(oracle), engine_(oracle.AcquireEngine()) {}
+    ~EngineLease() { oracle_.ReleaseEngine(std::move(engine_)); }
+    AStarEngine& operator*() { return *engine_; }
+    AStarEngine* operator->() { return engine_.get(); }
+
+   private:
+    GraphOracle& oracle_;
+    std::unique_ptr<AStarEngine> engine_;
+  };
+
+  double CachedDistance(NodeId from, NodeId to, Metric metric);
+  Stripe& StripeOf(const OracleCacheKey& key) {
+    return *stripes_[OracleCacheKeyHash{}(key) % stripes_.size()];
+  }
+  std::unique_ptr<AStarEngine> AcquireEngine();
+  void ReleaseEngine(std::unique_ptr<AStarEngine> engine);
+
+  const RoadGraph& graph_;
+  std::size_t cache_capacity_;
+  std::size_t stripe_capacity_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  std::mutex engines_mutex_;
+  std::vector<std::unique_ptr<AStarEngine>> idle_engines_;
+
+  std::atomic<std::size_t> computations_{0};
+  std::atomic<std::size_t> cache_hits_{0};
 };
 
 /// Straight-line (haversine) approximation oracle. DriveRoute returns the
 /// two-node direct path. Used for the "no shortest path" T-Share variant and
-/// as a cheap lower-bound oracle in tests.
+/// as a cheap lower-bound oracle in tests. Stateless per query, hence
+/// trivially thread-safe.
 class HaversineOracle : public DistanceOracle {
  public:
   /// `drive_speed_mps` converts distances to times.

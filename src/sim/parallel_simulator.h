@@ -1,0 +1,46 @@
+#ifndef XAR_SIM_PARALLEL_SIMULATOR_H_
+#define XAR_SIM_PARALLEL_SIMULATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "workload/taxi_trip.h"
+#include "xar/concurrent_xar.h"
+
+namespace xar {
+
+/// Knobs of the parallel replay driver.
+struct ParallelSimOptions {
+  /// Protocol knobs shared with the serial driver (window, look-to-book,
+  /// walk limit, tracking).
+  SimOptions sim;
+  /// Searcher threads (0 = hardware_concurrency).
+  std::size_t num_threads = 0;
+  /// Trips whose searches are fanned out concurrently per wave.
+  std::size_t batch_size = 64;
+};
+
+/// Parallel replay of the paper's simulation protocol against a sharded
+/// ConcurrentXarSystem. Each wave of `batch_size` trips runs in two phases:
+///
+///  1. Concurrent searchers: every trip's search is fanned across a thread
+///     pool under per-shard shared locks. These are the measured searches
+///     (SimResult::search_ms holds their latencies under contention).
+///  2. Serialized look-to-book: the trips are then replayed in timestamp
+///     order with the serial driver's exact protocol — advance the clock,
+///     search, book the least-walking match on a booking turn, otherwise
+///     create the commuter's own ride.
+///
+/// Phase 1 mutates nothing (XAR searches are pure index probes), and
+/// round-robin ride creation reproduces the dense id sequence of a
+/// standalone XarSystem, so matched/created counts are *identical* to
+/// SimulateRideSharing over the same trips at any look-to-book ratio —
+/// the property the parallel_sim test pins down.
+SimResult SimulateRideSharingParallel(ConcurrentXarSystem& xar,
+                                      const std::vector<TaxiTrip>& trips,
+                                      const ParallelSimOptions& options = {});
+
+}  // namespace xar
+
+#endif  // XAR_SIM_PARALLEL_SIMULATOR_H_

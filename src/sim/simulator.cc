@@ -66,8 +66,11 @@ SimResult SimulateRideSharing(XarSystem& xar,
     if (ride.ok()) {
       ++result.rides_created;
       ++result.metrics.cars_used;
+      // GetRide can miss even after a successful create if tracking retired
+      // the ride in the same tick (or under foreign-id routing); don't deref
+      // unconditionally.
       const Ride* r = xar.GetRide(*ride);
-      result.metrics.AddTrip(r->route.time_s, 0.0, 0.0);
+      result.metrics.AddTrip(r != nullptr ? r->route.time_s : 0.0, 0.0, 0.0);
     } else {
       ++result.metrics.requests_unserved;
     }

@@ -1,102 +1,235 @@
 #ifndef XAR_XAR_CONCURRENT_XAR_H_
 #define XAR_XAR_CONCURRENT_XAR_H_
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "xar/xar_system.h"
 
 namespace xar {
 
-/// Thread-safe facade over XarSystem with reader-writer semantics tuned to
-/// the paper's workload profile: searches (the overwhelming majority of
-/// operations at high look-to-book ratios) take a shared lock and run
-/// concurrently; create/book/track/cancel serialize on an exclusive lock.
+/// Thread-safe sharded deployment of XarSystem.
 ///
-/// The paper's prototype is single-threaded; this wrapper is the minimal
-/// deployment-grade concurrency story for a read-dominated service.
+/// The paper's search touches only precomputed sorted lists, which makes the
+/// read path embarrassingly parallel; the earlier facade nevertheless pushed
+/// every operation through one global shared_mutex, so a single CreateRide
+/// or Book stalled all searches. This version stripes the mutable state by
+/// ride id instead (see DESIGN.md "Concurrency model"):
+///
+///  - N shards (default: hardware_concurrency), each a full XarSystem owning
+///    a disjoint slice of the rides. Shard s assigns ride ids s, s+N, s+2N,
+///    ... (XarOptions::ride_id_offset/stride), so the owner of any id is
+///    id % N and ids remain globally unique. Round-robin creation makes the
+///    global id sequence dense: the k-th created ride gets id k, exactly as
+///    a standalone XarSystem would assign.
+///  - The immutable inputs (road graph, spatial index, RegionIndex cluster
+///    geometry) are shared by all shards and read lock-free.
+///  - Searches take each shard's lock in *shared* mode: they run concurrently
+///    with each other and are only ever blocked by a write to that one shard.
+///  - Writes (CreateRide, Book, Cancel*, AdvanceTime) take only the owning
+///    shard's lock in exclusive mode; traffic on other shards is unaffected.
+///  - SearchAndBook is optimistic: search under shared locks, then validate
+///    and book under the owning shard's exclusive lock. Staleness (seat
+///    taken, budget spent, cluster support gone) is detected by Book itself;
+///    on failure the next candidate is tried, then one full re-search round.
+///
+/// Lock order: at most one shard lock is ever held at a time (multi-shard
+/// walks like AdvanceTime lock shard by shard in ascending index order), so
+/// the design is deadlock-free by construction.
 class ConcurrentXarSystem {
  public:
+  /// `num_shards` == 0 picks std::thread::hardware_concurrency() (min 1).
   ConcurrentXarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
                       const RegionIndex& region, DistanceOracle& oracle,
-                      XarOptions options = {})
-      : system_(graph, spatial, region, oracle, options) {}
+                      XarOptions options = {}, std::size_t num_shards = 0)
+      : num_shards_(ResolveShardCount(num_shards)),
+        max_results_(options.max_results),
+        pool_(num_shards_) {
+    shards_.reserve(num_shards_);
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      XarOptions shard_options = options;
+      shard_options.ride_id_offset = static_cast<std::uint32_t>(s);
+      shard_options.ride_id_stride = static_cast<std::uint32_t>(num_shards_);
+      shards_.push_back(std::make_unique<Shard>(graph, spatial, region,
+                                                oracle, shard_options));
+    }
+  }
 
   ConcurrentXarSystem(const ConcurrentXarSystem&) = delete;
   ConcurrentXarSystem& operator=(const ConcurrentXarSystem&) = delete;
 
-  // --- Read path (shared lock, concurrent) --------------------------------
+  std::size_t num_shards() const { return num_shards_; }
+
+  // --- Read path (per-shard shared locks, concurrent) ---------------------
 
   std::vector<RideMatch> Search(const RideRequest& request) const {
-    std::shared_lock lock(mutex_);
-    return system_.Search(request);
+    return SearchTopK(request, max_results_);
   }
 
+  /// As Search, with an explicit top-k override (0 = all). Per-shard results
+  /// are merged and re-sorted with XarSystem's comparator (total walking,
+  /// ties by ride id), so the output is byte-identical to a single-shard
+  /// system over the same rides.
   std::vector<RideMatch> SearchTopK(const RideRequest& request,
                                     std::size_t k) const {
-    std::shared_lock lock(mutex_);
-    return system_.SearchTopK(request, k);
+    std::vector<RideMatch> merged;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::shared_lock lock(shard->mutex);
+      std::vector<RideMatch> part = shard->system.SearchTopK(request, k);
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const RideMatch& a, const RideMatch& b) {
+                if (a.TotalWalkM() != b.TotalWalkM())
+                  return a.TotalWalkM() < b.TotalWalkM();
+                return a.ride < b.ride;
+              });
+    if (k > 0 && merged.size() > k) merged.resize(k);
+    return merged;
+  }
+
+  /// Fans the searches across the internal thread pool and returns results
+  /// in input order. Results are deterministic: identical to calling
+  /// Search/SearchTopK serially on a quiescent system.
+  std::vector<std::vector<RideMatch>> SearchBatch(
+      const std::vector<RideRequest>& requests, std::size_t k = 0) const {
+    std::vector<std::vector<RideMatch>> results(requests.size());
+    pool_.ParallelFor(requests.size(), [&](std::size_t i) {
+      results[i] = k > 0 ? SearchTopK(requests[i], k) : Search(requests[i]);
+    });
+    return results;
   }
 
   std::size_t NumActiveRides() const {
-    std::shared_lock lock(mutex_);
-    return system_.NumActiveRides();
+    std::size_t total = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::shared_lock lock(shard->mutex);
+      total += shard->system.NumActiveRides();
+    }
+    return total;
+  }
+
+  std::size_t NumRides() const {
+    std::size_t total = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::shared_lock lock(shard->mutex);
+      total += shard->system.NumRides();
+    }
+    return total;
   }
 
   double Now() const {
-    std::shared_lock lock(mutex_);
-    return system_.Now();
+    std::shared_lock lock(shards_.front()->mutex);
+    return shards_.front()->system.Now();
   }
 
   /// Copies the ride state (a pointer would dangle once the lock drops).
   Result<Ride> GetRide(RideId id) const {
-    std::shared_lock lock(mutex_);
-    const Ride* ride = system_.GetRide(id);
+    if (!id.valid()) return Status::NotFound("unknown ride");
+    const Shard& shard = ShardOf(id);
+    std::shared_lock lock(shard.mutex);
+    const Ride* ride = shard.system.GetRide(id);
     if (ride == nullptr) return Status::NotFound("unknown ride");
     return *ride;
   }
 
-  // --- Write path (exclusive lock) ----------------------------------------
+  // --- Write path (owning shard's exclusive lock only) --------------------
 
   Result<RideId> CreateRide(const RideOffer& offer) {
-    std::unique_lock lock(mutex_);
-    return system_.CreateRide(offer);
+    std::size_t s =
+        next_shard_.fetch_add(1, std::memory_order_relaxed) % num_shards_;
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mutex);
+    return shard.system.CreateRide(offer);
   }
 
   Result<BookingRecord> Book(RideId ride, const RideRequest& request,
                              const RideMatch& match) {
-    std::unique_lock lock(mutex_);
-    return system_.Book(ride, request, match);
+    if (!ride.valid()) return Status::NotFound("unknown ride");
+    Shard& shard = ShardOf(ride);
+    std::unique_lock lock(shard.mutex);
+    return shard.system.Book(ride, request, match);
   }
 
   Status CancelBooking(RideId ride, RequestId request) {
-    std::unique_lock lock(mutex_);
-    return system_.CancelBooking(ride, request);
+    if (!ride.valid()) return Status::NotFound("unknown ride");
+    Shard& shard = ShardOf(ride);
+    std::unique_lock lock(shard.mutex);
+    return shard.system.CancelBooking(ride, request);
   }
 
   Status CancelRide(RideId ride) {
-    std::unique_lock lock(mutex_);
-    return system_.CancelRide(ride);
+    if (!ride.valid()) return Status::NotFound("unknown ride");
+    Shard& shard = ShardOf(ride);
+    std::unique_lock lock(shard.mutex);
+    return shard.system.CancelRide(ride);
   }
 
+  /// Advances every shard's clock, shard by shard in ascending order. A
+  /// search interleaved with AdvanceTime may observe some shards already
+  /// advanced and others not yet — the same (benign) staleness any
+  /// optimistic reader of a live system sees.
   void AdvanceTime(double now_s) {
-    std::unique_lock lock(mutex_);
-    system_.AdvanceTime(now_s);
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::unique_lock lock(shard->mutex);
+      shard->system.AdvanceTime(now_s);
+    }
   }
 
-  /// Convenience compound op: search, then book the least-walking match.
-  /// Runs under one exclusive lock so the match cannot go stale in between.
+  /// Compound op: search, then book the best match. Optimistic: the search
+  /// holds only shared locks; the book validates the match under the owning
+  /// shard's exclusive lock (Book re-checks seats, budget and cluster
+  /// support). Candidates are tried in least-walking order; if every one
+  /// went stale, one re-search round picks up the new state.
   Result<BookingRecord> SearchAndBook(const RideRequest& request) {
-    std::unique_lock lock(mutex_);
-    std::vector<RideMatch> matches = system_.Search(request);
-    if (matches.empty()) return Status::NotFound("no feasible ride");
-    return system_.Book(matches.front().ride, request, matches.front());
+    for (int round = 0; round < 2; ++round) {
+      std::vector<RideMatch> matches = Search(request);
+      if (matches.empty()) break;
+      for (const RideMatch& match : matches) {
+        Shard& shard = ShardOf(match.ride);
+        std::unique_lock lock(shard.mutex);
+        Result<BookingRecord> booked =
+            shard.system.Book(match.ride, request, match);
+        if (booked.ok()) return booked;
+      }
+    }
+    return Status::NotFound("no feasible ride");
   }
 
  private:
-  mutable std::shared_mutex mutex_;
-  XarSystem system_;
+  struct Shard {
+    Shard(const RoadGraph& graph, const SpatialNodeIndex& spatial,
+          const RegionIndex& region, DistanceOracle& oracle,
+          XarOptions options)
+        : system(graph, spatial, region, oracle, options) {}
+
+    mutable std::shared_mutex mutex;
+    XarSystem system;
+  };
+
+  static std::size_t ResolveShardCount(std::size_t requested) {
+    if (requested > 0) return requested;
+    std::size_t hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+
+  Shard& ShardOf(RideId id) const {
+    return *shards_[id.value() % num_shards_];
+  }
+
+  std::size_t num_shards_;
+  std::size_t max_results_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> next_shard_{0};
+  mutable ThreadPool pool_;
 };
 
 }  // namespace xar

@@ -2,6 +2,7 @@
 #define XAR_XAR_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace xar {
 
@@ -38,6 +39,14 @@ struct XarOptions {
   /// is rebuilt stop-to-stop). In-progress rides always use the paper's
   /// fixed-segment splice.
   bool kinetic_booking = false;
+
+  /// Ride-id assignment: the i-th created ride gets
+  /// id = ride_id_offset + i * ride_id_stride. The defaults (0, 1) produce
+  /// the dense 0,1,2,... ids of a standalone system. A sharded deployment
+  /// (ConcurrentXarSystem) gives shard s offset = s and stride = N so ids
+  /// are globally unique and the owning shard is recoverable as id % N.
+  std::uint32_t ride_id_offset = 0;
+  std::uint32_t ride_id_stride = 1;
 };
 
 }  // namespace xar

@@ -23,7 +23,9 @@ XarSystem::XarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
       region_(region),
       oracle_(oracle),
       options_(options),
-      index_(region, graph) {}
+      index_(region, graph) {
+  if (options_.ride_id_stride == 0) options_.ride_id_stride = 1;
+}
 
 Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
   NodeId src = spatial_.NearestNode(offer.source);
@@ -37,7 +39,9 @@ Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
   }
 
   Ride ride;
-  ride.id = RideId(static_cast<RideId::underlying_type>(rides_.size()));
+  ride.id = RideId(options_.ride_id_offset +
+                   static_cast<RideId::underlying_type>(rides_.size()) *
+                       options_.ride_id_stride);
   ride.source = src;
   ride.destination = dst;
   ride.departure_time_s = offer.departure_time_s;
@@ -139,7 +143,7 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
       RideId ride_id = source_side[i].first;
       ++i;
       ++j;
-      const Ride& ride = rides_[ride_id.value()];
+      const Ride& ride = rides_[LocalIndex(ride_id)];
       if (!ride.active || ride.seats_available < request.seats) continue;
       // The ride must reach the pickup cluster before the drop-off cluster,
       // and they must differ (same-cluster trips are below system
@@ -187,7 +191,7 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
 Result<BookingRecord> XarSystem::Book(RideId ride_id,
                                       const RideRequest& request,
                                       const RideMatch& match) {
-  if (ride_id.value() >= rides_.size()) {
+  if (!OwnsRide(ride_id)) {
     return Status::NotFound("unknown ride");
   }
   Ride& ride = MutableRide(ride_id);
@@ -209,6 +213,11 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
                                       match.dropoff_landmark, &s, &d,
                                       &joint_estimate)) {
     return Status::FailedPrecondition("match is stale: cluster support gone");
+  }
+  // Re-check the budget under the current ride state. The search-time check
+  // can be stale by the time an optimistic concurrent booking lands here.
+  if (joint_estimate > ride.RemainingDetourBudget()) {
+    return Status::FailedPrecondition("match is stale: detour budget spent");
   }
 
   NodeId pickup = region_.GetLandmark(match.pickup_landmark).node;
@@ -475,7 +484,7 @@ Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
 }
 
 Status XarSystem::CancelBooking(RideId ride_id, RequestId request) {
-  if (ride_id.value() >= rides_.size()) {
+  if (!OwnsRide(ride_id)) {
     return Status::NotFound("unknown ride");
   }
   Ride& ride = MutableRide(ride_id);
@@ -554,7 +563,7 @@ Status XarSystem::CancelBooking(RideId ride_id, RequestId request) {
 }
 
 Status XarSystem::CancelRide(RideId ride_id) {
-  if (ride_id.value() >= rides_.size()) {
+  if (!OwnsRide(ride_id)) {
     return Status::NotFound("unknown ride");
   }
   Ride& ride = MutableRide(ride_id);
@@ -591,8 +600,8 @@ void XarSystem::ScheduleNextEvent(const Ride& ride) {
 }
 
 const Ride* XarSystem::GetRide(RideId id) const {
-  if (id.value() >= rides_.size()) return nullptr;
-  return &rides_[id.value()];
+  if (!OwnsRide(id)) return nullptr;
+  return &rides_[LocalIndex(id)];
 }
 
 std::size_t XarSystem::MemoryFootprint() const {

@@ -80,6 +80,16 @@ class XarSystem {
 
   double Now() const { return clock_.Now(); }
   const Ride* GetRide(RideId id) const;
+
+  /// True iff `id` is one this instance has assigned (it matches the
+  /// offset/stride pattern of XarOptions and has been created). Writes on
+  /// foreign ids are rejected with NotFound.
+  bool OwnsRide(RideId id) const {
+    return id.valid() && id.value() >= options_.ride_id_offset &&
+           (id.value() - options_.ride_id_offset) % options_.ride_id_stride ==
+               0 &&
+           LocalIndex(id) < rides_.size();
+  }
   std::size_t NumRides() const { return rides_.size(); }
   std::size_t NumActiveRides() const { return active_rides_; }
   const RideIndex& ride_index() const { return index_; }
@@ -106,7 +116,11 @@ class XarSystem {
       double eta_end,
       std::vector<std::pair<RideId, SideCandidate>>* out) const;
 
-  Ride& MutableRide(RideId id) { return rides_[id.value()]; }
+  /// Position of `id` in rides_ under the offset/stride id scheme.
+  std::size_t LocalIndex(RideId id) const {
+    return (id.value() - options_.ride_id_offset) / options_.ride_id_stride;
+  }
+  Ride& MutableRide(RideId id) { return rides_[LocalIndex(id)]; }
   void FinishRide(Ride& ride);
   void ScheduleNextEvent(const Ride& ride);
 

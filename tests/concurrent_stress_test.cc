@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "tests/test_helpers.h"
+#include "workload/trip_generator.h"
+#include "xar/concurrent_xar.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+using testing::TestCity;
+
+std::vector<TaxiTrip> Trips(const TestCity& city, std::size_t n,
+                            std::uint64_t seed) {
+  WorkloadOptions opt;
+  opt.num_trips = n;
+  opt.seed = seed;
+  return GenerateTrips(city.graph.bounds(), opt);
+}
+
+RideRequest ToRequest(const TaxiTrip& t) {
+  RideRequest req;
+  req.id = t.id;
+  req.source = t.pickup;
+  req.destination = t.dropoff;
+  req.earliest_departure_s = t.pickup_time_s;
+  req.latest_departure_s = t.pickup_time_s + 900;
+  return req;
+}
+
+/// The designed-for race: many optimistic SearchAndBook threads plus a
+/// CreateRide writer hammer the sharded system; afterwards every ride's seat
+/// count must equal seats_total minus the seats of the bookings that
+/// actually won. Run under -DXAR_SANITIZE=thread this doubles as the data
+/// race detector for the whole shard/oracle/pool stack (see bench/README.md).
+TEST(ConcurrentStressTest, SeatInvariantsUnderConcurrentSearchAndBook) {
+  TestCity& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  ConcurrentXarSystem xar(city.graph, *city.spatial, *city.region, oracle, {},
+                          /*num_shards=*/4);
+
+  // Initial supply.
+  std::mutex created_mutex;
+  std::vector<RideId> created;
+  for (const TaxiTrip& t : Trips(city, 300, 60)) {
+    RideOffer offer;
+    offer.source = t.pickup;
+    offer.destination = t.dropoff;
+    offer.departure_time_s = t.pickup_time_s;
+    Result<RideId> ride = xar.CreateRide(offer);
+    if (ride.ok()) created.push_back(*ride);
+  }
+  ASSERT_GT(created.size(), 0u);
+
+  // Winner ledger: seats successfully booked per ride, kept by the bookers
+  // themselves (under a test-side mutex, independent of system internals).
+  std::mutex ledger_mutex;
+  std::unordered_map<RideId, int> booked_seats;
+  std::atomic<std::size_t> bookings{0};
+  std::atomic<std::size_t> searches{0};
+
+  std::vector<std::thread> threads;
+  // Booker threads: optimistic search-and-book streams.
+  for (int b = 0; b < 3; ++b) {
+    threads.emplace_back([&, b] {
+      for (const TaxiTrip& t :
+           Trips(city, 150, 61 + static_cast<std::uint64_t>(b))) {
+        Result<BookingRecord> booking = xar.SearchAndBook(ToRequest(t));
+        if (booking.ok()) {
+          bookings.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(ledger_mutex);
+          booked_seats[booking->ride] += booking->seats;
+        }
+      }
+    });
+  }
+  // Reader thread: pure searches overlapping the bookings.
+  threads.emplace_back([&] {
+    for (const TaxiTrip& t : Trips(city, 300, 65)) {
+      (void)xar.Search(ToRequest(t));
+      searches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Writer thread: grows the supply while everyone else runs.
+  threads.emplace_back([&] {
+    for (const TaxiTrip& t : Trips(city, 100, 66)) {
+      RideOffer offer;
+      offer.source = t.pickup;
+      offer.destination = t.dropoff;
+      offer.departure_time_s = t.pickup_time_s;
+      Result<RideId> ride = xar.CreateRide(offer);
+      if (ride.ok()) {
+        std::lock_guard<std::mutex> lock(created_mutex);
+        created.push_back(*ride);
+      }
+    }
+  });
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_GT(searches.load(), 0u);
+  EXPECT_GT(bookings.load(), 0u);
+
+  // Seat accounting must be exact: no double-booked seat, no leaked seat.
+  for (RideId id : created) {
+    Result<Ride> ride = xar.GetRide(id);
+    ASSERT_TRUE(ride.ok());
+    int booked = 0;
+    if (auto it = booked_seats.find(id); it != booked_seats.end()) {
+      booked = it->second;
+    }
+    EXPECT_GE(ride->seats_available, 0);
+    EXPECT_LE(ride->seats_available, ride->seats_total);
+    EXPECT_EQ(ride->seats_available, ride->seats_total - booked)
+        << "ride " << id.value();
+  }
+}
+
+TEST(ConcurrentStressTest, SingleSeatRideHasExactlyOneWinner) {
+  TestCity& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  ConcurrentXarSystem xar(city.graph, *city.spatial, *city.region, oracle, {},
+                          /*num_shards=*/4);
+
+  const BoundingBox& b = city.graph.bounds();
+  RideOffer offer;
+  offer.source = {b.min_lat + 0.1 * (b.max_lat - b.min_lat),
+                  b.min_lng + 0.1 * (b.max_lng - b.min_lng)};
+  offer.destination = {b.min_lat + 0.9 * (b.max_lat - b.min_lat),
+                       b.min_lng + 0.9 * (b.max_lng - b.min_lng)};
+  offer.departure_time_s = 8 * 3600;
+  offer.seats = 1;
+  ASSERT_TRUE(xar.CreateRide(offer).ok());
+
+  RideRequest base;
+  base.source = {b.min_lat + 0.35 * (b.max_lat - b.min_lat),
+                 b.min_lng + 0.35 * (b.max_lng - b.min_lng)};
+  base.destination = {b.min_lat + 0.7 * (b.max_lat - b.min_lat),
+                      b.min_lng + 0.7 * (b.max_lng - b.min_lng)};
+  base.earliest_departure_s = 8 * 3600;
+  base.latest_departure_s = 8 * 3600 + 1800;
+
+  std::atomic<int> wins{0};
+  std::vector<std::thread> riders;
+  for (int r = 0; r < 8; ++r) {
+    riders.emplace_back([&, r] {
+      RideRequest req = base;
+      req.id = RequestId(static_cast<RequestId::underlying_type>(500 + r));
+      if (xar.SearchAndBook(req).ok()) wins.fetch_add(1);
+    });
+  }
+  for (std::thread& th : riders) th.join();
+  EXPECT_EQ(wins.load(), 1);
+}
+
+}  // namespace
+}  // namespace xar

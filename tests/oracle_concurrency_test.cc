@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generator.h"
+#include "graph/oracle.h"
+
+namespace xar {
+namespace {
+
+RoadGraph SmallCity() {
+  CityOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  opt.seed = 15;
+  return GenerateCity(opt);
+}
+
+// Regression for the old single-uint64 packing (from << 34 | to << 2 |
+// metric): for node ids >= 2^30 the top bits of `from` fell off the word,
+// aliasing distinct (from, to) pairs onto one cache slot.
+TEST(OracleCacheKeyTest, LargeNodeIdsDoNotCollide) {
+  const NodeId big(1u << 30);
+  const NodeId zero(0);
+  const NodeId other(5);
+  // Old packing: (2^30 << 34) overflows to 0, colliding with from == 0.
+  EXPECT_FALSE(MakeOracleCacheKey(big, other, Metric::kDriveDistance) ==
+               MakeOracleCacheKey(zero, other, Metric::kDriveDistance));
+  // Full 32-bit ids survive on both sides.
+  const NodeId max_id(0xFFFFFFFEu);
+  EXPECT_FALSE(MakeOracleCacheKey(max_id, other, Metric::kDriveDistance) ==
+               MakeOracleCacheKey(NodeId(0x7FFFFFFEu), other,
+                                  Metric::kDriveDistance));
+}
+
+TEST(OracleCacheKeyTest, DirectionAndMetricDisambiguate) {
+  const NodeId a(3);
+  const NodeId b(7);
+  EXPECT_FALSE(MakeOracleCacheKey(a, b, Metric::kDriveDistance) ==
+               MakeOracleCacheKey(b, a, Metric::kDriveDistance));
+  EXPECT_FALSE(MakeOracleCacheKey(a, b, Metric::kDriveDistance) ==
+               MakeOracleCacheKey(a, b, Metric::kDriveTime));
+  EXPECT_TRUE(MakeOracleCacheKey(a, b, Metric::kWalkDistance) ==
+              MakeOracleCacheKey(a, b, Metric::kWalkDistance));
+}
+
+TEST(OracleConcurrencyTest, ParallelQueriesMatchSerialReference) {
+  RoadGraph g = SmallCity();
+  const std::size_t n = g.NumNodes();
+
+  // Serial reference distances from a fresh oracle.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    pairs.emplace_back(
+        NodeId(static_cast<NodeId::underlying_type>(rng.NextIndex(n))),
+        NodeId(static_cast<NodeId::underlying_type>(rng.NextIndex(n))));
+  }
+  GraphOracle reference(g);
+  std::vector<double> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [from, to] : pairs) {
+    expected.push_back(reference.DriveDistance(from, to));
+  }
+
+  // Hammer a shared oracle from several threads, every thread walking the
+  // same pair list (maximal cache contention), and compare all results.
+  GraphOracle shared(g);
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> got(kThreads,
+                                       std::vector<double>(pairs.size()));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        got[t][i] = shared.DriveDistance(pairs[i].first, pairs[i].second);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[t][i], expected[i]) << "thread " << t << " pair "
+                                               << i;
+    }
+  }
+  // Hits + real computations account for every query made.
+  EXPECT_EQ(shared.computation_count() + shared.cache_hit_count(),
+            kThreads * pairs.size());
+}
+
+TEST(OracleConcurrencyTest, ConcurrentRoutesAreIndependent) {
+  RoadGraph g = SmallCity();
+  GraphOracle oracle(g);
+  Path serial = oracle.DriveRoute(NodeId(2), NodeId(40));
+  ASSERT_TRUE(serial.Found());
+
+  std::vector<Path> routes(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&, t] { routes[t] = oracle.DriveRoute(NodeId(2), NodeId(40)); });
+  }
+  for (std::thread& th : threads) th.join();
+  for (const Path& p : routes) {
+    ASSERT_TRUE(p.Found());
+    EXPECT_DOUBLE_EQ(p.length_m, serial.length_m);
+    EXPECT_EQ(p.nodes.size(), serial.nodes.size());
+  }
+}
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/parallel_simulator.h"
+#include "sim/simulator.h"
+#include "tests/test_helpers.h"
+#include "workload/trip_generator.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+using testing::TestCity;
+
+std::vector<TaxiTrip> Workload(const TestCity& city, std::size_t n) {
+  WorkloadOptions opt;
+  opt.num_trips = n;
+  opt.seed = 77;
+  return GenerateTrips(city.graph.bounds(), opt);
+}
+
+SimResult RunSerial(TestCity& city, const std::vector<TaxiTrip>& trips,
+                    const SimOptions& options) {
+  GraphOracle oracle(city.graph);
+  XarSystem xar(city.graph, *city.spatial, *city.region, oracle);
+  return SimulateRideSharing(xar, trips, options);
+}
+
+SimResult RunParallel(TestCity& city, const std::vector<TaxiTrip>& trips,
+                      const ParallelSimOptions& options,
+                      std::size_t num_shards) {
+  GraphOracle oracle(city.graph);
+  ConcurrentXarSystem xar(city.graph, *city.spatial, *city.region, oracle, {},
+                          num_shards);
+  return SimulateRideSharingParallel(xar, trips, options);
+}
+
+// The headline validation from the issue: the parallel driver must replay
+// the workload to the same matched/created counts as the serial driver at
+// look-to-book = 1 (and, by the same replay argument, any ratio).
+TEST(ParallelSimTest, MatchesSerialCountsAtLookToBookOne) {
+  TestCity& city = SharedCity();
+  std::vector<TaxiTrip> trips = Workload(city, 600);
+
+  SimOptions serial_options;
+  SimResult serial = RunSerial(city, trips, serial_options);
+
+  ParallelSimOptions parallel_options;
+  parallel_options.sim = serial_options;
+  parallel_options.num_threads = 4;
+  parallel_options.batch_size = 48;
+  SimResult parallel = RunParallel(city, trips, parallel_options, 4);
+
+  EXPECT_GT(serial.matched, 0u);
+  EXPECT_EQ(parallel.requests, serial.requests);
+  EXPECT_EQ(parallel.matched, serial.matched);
+  EXPECT_EQ(parallel.rides_created, serial.rides_created);
+  ASSERT_EQ(parallel.bookings.size(), serial.bookings.size());
+  for (std::size_t i = 0; i < serial.bookings.size(); ++i) {
+    EXPECT_EQ(parallel.bookings[i].request, serial.bookings[i].request);
+    EXPECT_EQ(parallel.bookings[i].ride, serial.bookings[i].ride);
+  }
+}
+
+TEST(ParallelSimTest, MatchesSerialCountsAtHigherLookToBook) {
+  TestCity& city = SharedCity();
+  std::vector<TaxiTrip> trips = Workload(city, 400);
+
+  SimOptions options;
+  options.look_to_book = 3;
+  SimResult serial = RunSerial(city, trips, options);
+
+  ParallelSimOptions parallel_options;
+  parallel_options.sim = options;
+  parallel_options.num_threads = 2;
+  parallel_options.batch_size = 32;
+  SimResult parallel = RunParallel(city, trips, parallel_options, 3);
+
+  EXPECT_EQ(parallel.matched, serial.matched);
+  EXPECT_EQ(parallel.rides_created, serial.rides_created);
+}
+
+TEST(ParallelSimTest, RecordsSearchLatencyForEveryTrip) {
+  TestCity& city = SharedCity();
+  std::vector<TaxiTrip> trips = Workload(city, 200);
+  ParallelSimOptions options;
+  options.num_threads = 2;
+  options.batch_size = 16;
+  SimResult result = RunParallel(city, trips, options, 2);
+  // Phase 1 measures exactly one concurrent search per trip.
+  EXPECT_EQ(result.search_ms.count(), trips.size());
+  EXPECT_EQ(result.requests, trips.size());
+}
+
+}  // namespace
+}  // namespace xar
