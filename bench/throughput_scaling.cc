@@ -161,6 +161,36 @@ int Run() {
     series.push_back(point);
   }
 
+  // --- Refresh under load: the mixed workload once more at the top thread
+  // count while the discretization is rebuilt + epoch-swapped twice mid-run.
+  // Surfaces the retry/staleness and refresh observability tables (ROADMAP
+  // metrics item); bookings landing after a swap show up as re-search wins.
+  {
+    ConcurrentXarSystem xar(world.graph, *world.spatial, *world.region,
+                            *world.oracle, {}, kShards);
+    Populate(xar, offers);
+    std::atomic<std::size_t> bookings{0};
+    std::thread traffic([&] {
+      RunWorkers(8, mixed_ops, [&](std::size_t i) {
+        const RideRequest& req = requests[i % requests.size()];
+        if (i % 20 == 0) {
+          if (xar.SearchAndBook(req).ok()) {
+            bookings.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          (void)xar.Search(req);
+        }
+      });
+    });
+    for (int r = 0; r < 2; ++r) (void)xar.RefreshDiscretization();
+    traffic.join();
+    std::printf("\nrefresh under load (%zu mixed ops, 8 threads, "
+                "2 rebuild+swap refreshes, final epoch %llu):\n",
+                mixed_ops, static_cast<unsigned long long>(xar.epoch()));
+    RetryStatsTable(xar.retry_stats()).Print();
+    RefreshStatsTable(xar.refresh_stats()).Print();
+  }
+
   // JSON trajectory point. Relative speedups are what the scaling claim is
   // about; absolute QPS depends on the host (core count recorded alongside).
   const char* json_path = "BENCH_throughput_scaling.json";

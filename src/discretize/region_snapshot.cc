@@ -1,0 +1,40 @@
+#include "discretize/region_snapshot.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace xar {
+
+std::shared_ptr<const RegionSnapshot> BorrowRegionSnapshot(
+    const RegionIndex& index) {
+  auto snapshot = std::make_shared<RegionSnapshot>();
+  // Aliasing a caller-owned index: the deleter is a no-op because the caller
+  // keeps ownership (the legacy XarSystem constructor contract).
+  snapshot->index =
+      std::shared_ptr<const RegionIndex>(&index, [](const RegionIndex*) {});
+  snapshot->epoch = 0;
+  return snapshot;
+}
+
+std::shared_ptr<const RegionSnapshot> BuildRegionSnapshot(
+    const RoadGraph& graph, const SpatialNodeIndex& spatial,
+    const DiscretizationOptions& options, std::uint64_t epoch) {
+  auto snapshot = std::make_shared<RegionSnapshot>();
+  snapshot->index = std::make_shared<const RegionIndex>(
+      RegionIndex::Build(graph, spatial, options));
+  snapshot->epoch = epoch;
+  return snapshot;
+}
+
+TextTable RefreshStatsTable(const RefreshStats& stats) {
+  TextTable table({"epoch", "refreshes", "last_rebuild_ms", "last_rehomed",
+                   "total_rehomed"});
+  table.AddRow({std::to_string(stats.epoch), std::to_string(stats.refreshes),
+                TextTable::Num(stats.last_rebuild_ms, 1),
+                std::to_string(stats.last_rides_rehomed),
+                std::to_string(stats.total_rides_rehomed)});
+  return table;
+}
+
+}  // namespace xar

@@ -244,4 +244,32 @@ RoadGraph GenerateRadialCity(const RadialCityOptions& opt) {
   return FilterGraph(full, keep);
 }
 
+RoadGraph PerturbEdgeWeights(const RoadGraph& graph, double spread,
+                             std::uint64_t seed) {
+  assert(spread >= 0.0 && spread < 1.0);
+  GraphBuilder builder;
+  for (std::size_t n = 0; n < graph.NumNodes(); ++n) {
+    builder.AddNode(
+        graph.PositionOf(NodeId(static_cast<NodeId::underlying_type>(n))));
+  }
+  for (std::size_t u = 0; u < graph.NumNodes(); ++u) {
+    NodeId from(static_cast<NodeId::underlying_type>(u));
+    for (const RoadEdge& e : graph.OutEdges(from)) {
+      // One factor per unordered endpoint pair: both directions of a street
+      // scale together, keeping walking distances symmetric.
+      std::uint64_t lo = std::min<std::uint64_t>(u, e.to.value());
+      std::uint64_t hi = std::max<std::uint64_t>(u, e.to.value());
+      Rng rng(seed ^ (lo * 0x9e3779b97f4a7c15ULL + hi));
+      double factor = 1.0 + spread * (2.0 * rng.NextDouble() - 1.0);
+      // Keep the speed, scale the length: AddArc derives time = length /
+      // speed, so driving time scales by the same factor.
+      double speed =
+          e.drivable && e.time_s > 0.0 ? e.length_m / e.time_s : 1.0;
+      builder.AddArc(from, e.to, e.length_m * factor, speed, e.drivable,
+                     e.walkable);
+    }
+  }
+  return builder.Build();
+}
+
 }  // namespace xar

@@ -59,6 +59,16 @@ struct RadialCityOptions {
 /// GenerateCity.
 RoadGraph GenerateRadialCity(const RadialCityOptions& options);
 
+/// Returns a copy of `graph` with every edge length (and hence driving
+/// time) scaled by a deterministic per-street factor uniform in
+/// [1-spread, 1+spread] — a live "traffic update" for refresh tests. Node
+/// ids, positions and topology are preserved, so spatial indexes built over
+/// `graph` remain valid. Both directions of a street share one factor
+/// (keyed on the unordered endpoint pair), preserving the walking-distance
+/// symmetry the discretization relies on. Requires 0 <= spread < 1.
+RoadGraph PerturbEdgeWeights(const RoadGraph& graph, double spread,
+                             std::uint64_t seed);
+
 }  // namespace xar
 
 #endif  // XAR_GRAPH_GENERATOR_H_

@@ -34,6 +34,7 @@ SimResult SimulateRideSharingParallel(ConcurrentXarSystem& xar,
   const std::size_t batch = std::max<std::size_t>(1, options.batch_size);
 
   std::size_t since_last_book = 0;
+  std::size_t waves_done = 0;
   std::vector<RideRequest> requests;
   std::vector<double> search_latencies_ms;
   for (std::size_t begin = 0; begin < trips.size(); begin += batch) {
@@ -103,6 +104,15 @@ SimResult SimulateRideSharingParallel(ConcurrentXarSystem& xar,
       } else {
         ++result.metrics.requests_unserved;
       }
+    }
+
+    // Refresh-under-load: rebuild + swap the discretization between waves.
+    ++waves_done;
+    if (options.refresh_every_waves > 0 &&
+        waves_done % options.refresh_every_waves == 0) {
+      (void)xar.RefreshDiscretization(
+          options.refresh_delta != nullptr ? *options.refresh_delta
+                                           : GraphDelta{});
     }
   }
   return result;

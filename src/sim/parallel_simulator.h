@@ -19,6 +19,15 @@ struct ParallelSimOptions {
   std::size_t num_threads = 0;
   /// Trips whose searches are fanned out concurrently per wave.
   std::size_t batch_size = 64;
+  /// If nonzero, run RefreshDiscretization on the system after every this
+  /// many completed waves — the refresh-under-load scenario. Re-homing
+  /// re-derives exactly the associations incremental tracking maintains, so
+  /// a refresh with `refresh_delta == nullptr` (no-op rebuild) leaves
+  /// matched/created counts identical to a run without refreshes.
+  std::size_t refresh_every_waves = 0;
+  /// Optional delta applied by those refreshes (e.g. a perturbed graph);
+  /// nullptr = no-op rebuild of the current region.
+  const GraphDelta* refresh_delta = nullptr;
 };
 
 /// Parallel replay of the paper's simulation protocol against a sharded

@@ -49,6 +49,7 @@ constexpr char kHelp[] =
     "CANCELRIDE <ride_id>\n"
     "ADVANCE <now_s>\n"
     "RIDE <ride_id>\n"
+    "REFRESH\n"
     "STATS";
 
 }  // namespace
@@ -65,6 +66,7 @@ std::string CommandServer::Execute(const std::string& line) {
   if (cmd == "CANCELRIDE") return HandleCancelRide(args);
   if (cmd == "ADVANCE") return HandleAdvance(args);
   if (cmd == "RIDE") return HandleRide(args);
+  if (cmd == "REFRESH") return HandleRefresh();
   if (cmd == "STATS") return HandleStats();
   if (cmd == "HELP") return kHelp;
   return Err("unknown command " + cmd + " (try HELP)");
@@ -229,14 +231,27 @@ std::string CommandServer::HandleRide(const std::vector<std::string>& args) {
   return buf;
 }
 
+std::string CommandServer::HandleRefresh() {
+  RefreshStats stats = system_.RefreshDiscretization();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "OK REFRESH epoch=%llu rehomed=%zu rebuild_ms=%.1f",
+                static_cast<unsigned long long>(stats.epoch),
+                stats.last_rides_rehomed, stats.last_rebuild_ms);
+  return buf;
+}
+
 std::string CommandServer::HandleStats() {
-  char buf[160];
+  const RefreshStats& refresh = system_.refresh_stats();
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "OK STATS rides=%zu active=%zu bookings=%zu now=%.0f "
-                "index_bytes=%zu",
+                "index_bytes=%zu epoch=%llu refreshes=%zu rehomed=%zu",
                 system_.NumRides(), system_.NumActiveRides(),
                 system_.bookings().size(), system_.Now(),
-                system_.MemoryFootprint());
+                system_.MemoryFootprint(),
+                static_cast<unsigned long long>(refresh.epoch),
+                refresh.refreshes, refresh.total_rides_rehomed);
   return buf;
 }
 

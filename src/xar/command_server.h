@@ -22,11 +22,15 @@ namespace xar {
 ///   CANCELRIDE <ride_id>
 ///   ADVANCE <now_s>
 ///   RIDE <ride_id>
+///   REFRESH
 ///   STATS
 ///   HELP
 ///
 /// BOOK resolves the match from the most recent SEARCH for that request id
 /// (the look-then-book flow), so searches must precede bookings.
+///
+/// REFRESH rebuilds the region discretization in place (epoch bump); BOOKs
+/// against searches issued before the refresh fail as stale — re-SEARCH.
 class CommandServer {
  public:
   explicit CommandServer(XarSystem& system) : system_(system) {}
@@ -51,6 +55,7 @@ class CommandServer {
   std::string HandleCancelRide(const std::vector<std::string>& args);
   std::string HandleAdvance(const std::vector<std::string>& args);
   std::string HandleRide(const std::vector<std::string>& args);
+  std::string HandleRefresh();
   std::string HandleStats();
 
   XarSystem& system_;

@@ -4,17 +4,44 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/table.h"
 #include "common/thread_pool.h"
+#include "discretize/region_snapshot.h"
 #include "xar/xar_system.h"
 
 namespace xar {
+
+/// Retry/staleness observability of the optimistic SearchAndBook path
+/// (ROADMAP metrics item): how often the first optimistic round wins vs how
+/// often a re-search round was needed.
+struct RetryStats {
+  std::size_t booked_first_try = 0;      ///< booked in round 0
+  std::size_t booked_after_research = 0; ///< booked in a re-search round
+  std::size_t stale_rejections = 0;      ///< candidates rejected by Book
+  std::size_t unmatched = 0;             ///< SearchAndBook returned NotFound
+};
+
+/// One-row table for the stats surface (command server, benches).
+inline TextTable RetryStatsTable(const RetryStats& stats) {
+  TextTable table({"booked_first_try", "booked_after_research",
+                   "stale_rejections", "unmatched"});
+  table.AddRow({std::to_string(stats.booked_first_try),
+                std::to_string(stats.booked_after_research),
+                std::to_string(stats.stale_rejections),
+                std::to_string(stats.unmatched)});
+  return table;
+}
 
 /// Thread-safe sharded deployment of XarSystem.
 ///
@@ -44,21 +71,33 @@ namespace xar {
 /// Lock order: at most one shard lock is ever held at a time (multi-shard
 /// walks like AdvanceTime lock shard by shard in ascending index order), so
 /// the design is deadlock-free by construction.
+///
+/// Refresh (live map updates): RefreshDiscretization rebuilds the region
+/// snapshot with NO shard locks held, then adopts it shard by shard under
+/// each shard's exclusive lock (brief: re-homes that shard's live rides).
+/// Searches racing a refresh see some shards on the old epoch and some on
+/// the new — the same benign skew AdvanceTime exhibits; each shard's search
+/// pins its snapshot, and Book rejects cross-epoch matches as stale, which
+/// SearchAndBook turns into a re-search round.
 class ConcurrentXarSystem {
  public:
   /// `num_shards` == 0 picks std::thread::hardware_concurrency() (min 1).
   ConcurrentXarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
                       const RegionIndex& region, DistanceOracle& oracle,
                       XarOptions options = {}, std::size_t num_shards = 0)
-      : num_shards_(ResolveShardCount(num_shards)),
+      : graph_(&graph),
+        spatial_(&spatial),
+        num_shards_(ResolveShardCount(num_shards)),
         max_results_(options.max_results),
+        book_rounds_(options.search_and_book_rounds),
+        head_(BorrowRegionSnapshot(region)),
         pool_(num_shards_) {
     shards_.reserve(num_shards_);
     for (std::size_t s = 0; s < num_shards_; ++s) {
       XarOptions shard_options = options;
       shard_options.ride_id_offset = static_cast<std::uint32_t>(s);
       shard_options.ride_id_stride = static_cast<std::uint32_t>(num_shards_);
-      shards_.push_back(std::make_unique<Shard>(graph, spatial, region,
+      shards_.push_back(std::make_unique<Shard>(graph, spatial, head_,
                                                 oracle, shard_options));
     }
   }
@@ -184,32 +223,117 @@ class ConcurrentXarSystem {
     }
   }
 
+  // --- Refresh (rebuild + atomic epoch swap) ------------------------------
+
+  /// Current discretization generation: the epoch of the last fully adopted
+  /// snapshot. Lock-free; SearchAndBook pins it to detect mid-search swaps.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Rebuilds the discretization (no locks held — traffic keeps flowing),
+  /// then adopts the new snapshot shard by shard under each shard's
+  /// exclusive lock, re-homing that shard's live rides. Concurrent refreshes
+  /// serialize on an internal mutex. An empty delta rebuilds the current
+  /// region over the current graph (identical tables, new epoch).
+  RefreshStats RefreshDiscretization(const GraphDelta& delta = {}) {
+    std::lock_guard<std::mutex> refresh_lock(refresh_mutex_);
+    Stopwatch timer;
+    const RoadGraph& build_graph =
+        delta.graph != nullptr ? *delta.graph : *graph_;
+    const DiscretizationOptions& build_options =
+        delta.options.has_value() ? *delta.options : head_->index->options();
+    std::shared_ptr<const RegionSnapshot> next = BuildRegionSnapshot(
+        build_graph, *spatial_, build_options, head_->epoch + 1);
+
+    std::size_t rehomed = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::unique_lock lock(shard->mutex);
+      rehomed += shard->system.AdoptSnapshot(next, delta.graph, delta.oracle);
+    }
+    if (delta.graph != nullptr) graph_ = delta.graph;
+    head_ = std::move(next);
+    epoch_.store(head_->epoch, std::memory_order_release);
+
+    refresh_stats_.epoch = head_->epoch;
+    refresh_stats_.refreshes += 1;
+    refresh_stats_.last_rebuild_ms = timer.ElapsedMillis();
+    refresh_stats_.last_rides_rehomed = rehomed;
+    refresh_stats_.total_rides_rehomed += rehomed;
+    return refresh_stats_;
+  }
+
+  /// Runs RefreshDiscretization on a background thread. The delta's graph /
+  /// oracle / options must outlive the returned future's completion.
+  std::future<RefreshStats> RefreshDiscretizationAsync(GraphDelta delta = {}) {
+    return std::async(std::launch::async,
+                      [this, delta] { return RefreshDiscretization(delta); });
+  }
+
+  RefreshStats refresh_stats() const {
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
+    return refresh_stats_;
+  }
+
+  RetryStats retry_stats() const {
+    RetryStats stats;
+    stats.booked_first_try =
+        booked_first_try_.load(std::memory_order_relaxed);
+    stats.booked_after_research =
+        booked_after_research_.load(std::memory_order_relaxed);
+    stats.stale_rejections =
+        stale_rejections_.load(std::memory_order_relaxed);
+    stats.unmatched = unmatched_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  /// Test seam: invoked after each SearchAndBook round's search, with no
+  /// locks held, receiving the request and the round number. Lets tests
+  /// force-stale the candidates deterministically. Set while quiescent only
+  /// (the hook itself is not synchronized).
+  void SetPostSearchHookForTest(
+      std::function<void(const RideRequest&, std::size_t)> hook) {
+    post_search_hook_ = std::move(hook);
+  }
+
   /// Compound op: search, then book the best match. Optimistic: the search
   /// holds only shared locks; the book validates the match under the owning
-  /// shard's exclusive lock (Book re-checks seats, budget and cluster
-  /// support). Candidates are tried in least-walking order; if every one
-  /// went stale, one re-search round picks up the new state.
+  /// shard's exclusive lock (Book re-checks seats, budget, cluster support
+  /// and the discretization epoch). Candidates are tried in least-walking
+  /// order; when every one went stale — or the search came back empty while
+  /// a refresh moved the epoch mid-flight — the next round re-searches the
+  /// new state, up to XarOptions::search_and_book_rounds rounds total.
   Result<BookingRecord> SearchAndBook(const RideRequest& request) {
-    for (int round = 0; round < 2; ++round) {
+    const std::size_t rounds = std::max<std::size_t>(1, book_rounds_);
+    for (std::size_t round = 0; round < rounds; ++round) {
+      const std::uint64_t pinned_epoch = epoch();
       std::vector<RideMatch> matches = Search(request);
-      if (matches.empty()) break;
+      if (post_search_hook_) post_search_hook_(request, round);
       for (const RideMatch& match : matches) {
         Shard& shard = ShardOf(match.ride);
         std::unique_lock lock(shard.mutex);
         Result<BookingRecord> booked =
             shard.system.Book(match.ride, request, match);
-        if (booked.ok()) return booked;
+        if (booked.ok()) {
+          (round == 0 ? booked_first_try_ : booked_after_research_)
+              .fetch_add(1, std::memory_order_relaxed);
+          return booked;
+        }
+        stale_rejections_.fetch_add(1, std::memory_order_relaxed);
       }
+      // A re-search only pays when the world may have moved under us: a
+      // candidate went stale, or a refresh advanced the epoch mid-search.
+      // An empty result on a stable epoch is final.
+      if (matches.empty() && epoch() == pinned_epoch) break;
     }
+    unmatched_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("no feasible ride");
   }
 
  private:
   struct Shard {
     Shard(const RoadGraph& graph, const SpatialNodeIndex& spatial,
-          const RegionIndex& region, DistanceOracle& oracle,
-          XarOptions options)
-        : system(graph, spatial, region, oracle, options) {}
+          std::shared_ptr<const RegionSnapshot> snapshot,
+          DistanceOracle& oracle, XarOptions options)
+        : system(graph, spatial, std::move(snapshot), oracle, options) {}
 
     mutable std::shared_mutex mutex;
     XarSystem system;
@@ -225,10 +349,25 @@ class ConcurrentXarSystem {
     return *shards_[id.value() % num_shards_];
   }
 
+  const RoadGraph* graph_;            ///< swapped by refresh graph deltas
+  const SpatialNodeIndex* spatial_;
   std::size_t num_shards_;
   std::size_t max_results_;
+  std::size_t book_rounds_;
+  /// Last fully adopted snapshot; guarded by refresh_mutex_. Shards on an
+  /// older epoch keep their snapshot alive independently via shared_ptr.
+  std::shared_ptr<const RegionSnapshot> head_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> next_shard_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::mutex refresh_mutex_;
+  RefreshStats refresh_stats_;  ///< guarded by refresh_mutex_
+
+  std::atomic<std::size_t> booked_first_try_{0};
+  std::atomic<std::size_t> booked_after_research_{0};
+  std::atomic<std::size_t> stale_rejections_{0};
+  std::atomic<std::size_t> unmatched_{0};
+  std::function<void(const RideRequest&, std::size_t)> post_search_hook_;
   mutable ThreadPool pool_;
 };
 

@@ -40,6 +40,12 @@ struct XarOptions {
   /// fixed-segment splice.
   bool kinetic_booking = false;
 
+  /// Retry policy of ConcurrentXarSystem::SearchAndBook: total number of
+  /// search rounds (first try + re-searches). A round is only re-run when
+  /// the previous one's candidates all went stale or the discretization
+  /// epoch moved mid-search; 1 disables re-searching entirely.
+  std::size_t search_and_book_rounds = 2;
+
   /// Ride-id assignment: the i-th created ride gets
   /// id = ride_id_offset + i * ride_id_stride. The defaults (0, 1) produce
   /// the dense 0,1,2,... ids of a standalone system. A sharded deployment

@@ -2,6 +2,7 @@
 #define XAR_XAR_RIDE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.h"
@@ -91,6 +92,10 @@ struct RideMatch {
   ClusterId dest_cluster;
   LandmarkId pickup_landmark;
   LandmarkId dropoff_landmark;
+  /// Discretization epoch the match was computed on. Cluster/landmark ids
+  /// are only meaningful within their epoch, so Book rejects the match as
+  /// stale if the system has refreshed past it.
+  std::uint64_t epoch = 0;
 
   double TotalWalkM() const { return walk_source_m + walk_dest_m; }
 };

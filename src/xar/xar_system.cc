@@ -18,13 +18,85 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 XarSystem::XarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
                      const RegionIndex& region, DistanceOracle& oracle,
                      XarOptions options)
-    : graph_(graph),
+    : XarSystem(graph, spatial, BorrowRegionSnapshot(region), oracle,
+                options) {}
+
+XarSystem::XarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
+                     std::shared_ptr<const RegionSnapshot> snapshot,
+                     DistanceOracle& oracle, XarOptions options)
+    : graph_(&graph),
       spatial_(spatial),
-      region_(region),
-      oracle_(oracle),
+      snapshot_(snapshot),
+      oracle_(&oracle),
       options_(options),
-      index_(region, graph) {
+      index_(std::make_unique<RideIndex>(*snapshot->index, graph)) {
   if (options_.ride_id_stride == 0) options_.ride_id_stride = 1;
+  refresh_stats_.epoch = snapshot->epoch;
+}
+
+RefreshStats XarSystem::RefreshDiscretization(const GraphDelta& delta) {
+  Stopwatch timer;
+  std::shared_ptr<const RegionSnapshot> current =
+      snapshot_.load(std::memory_order_acquire);
+  const RoadGraph& build_graph =
+      delta.graph != nullptr ? *delta.graph : *graph_;
+  const DiscretizationOptions& build_options =
+      delta.options.has_value() ? *delta.options : current->index->options();
+  std::shared_ptr<const RegionSnapshot> next = BuildRegionSnapshot(
+      build_graph, spatial_, build_options, current->epoch + 1);
+  AdoptSnapshot(std::move(next), delta.graph, delta.oracle);
+  refresh_stats_.last_rebuild_ms = timer.ElapsedMillis();
+  return refresh_stats_;
+}
+
+std::size_t XarSystem::AdoptSnapshot(
+    std::shared_ptr<const RegionSnapshot> next, const RoadGraph* new_graph,
+    DistanceOracle* new_oracle) {
+  const bool graph_changed = new_graph != nullptr && new_graph != graph_;
+  if (graph_changed) graph_ = new_graph;
+  if (new_oracle != nullptr) oracle_ = new_oracle;
+
+  // Re-home every live ride into a fresh index over the new region. Crossed
+  // clusters are not resurrected: registration recomputes pass-throughs from
+  // the route, then AdvanceRide(now) retires the already-passed ones — the
+  // same end state incremental tracking maintains.
+  auto index = std::make_unique<RideIndex>(*next->index, *graph_);
+  const double now = clock_.Now();
+  std::size_t rehomed = 0;
+  for (Ride& ride : rides_) {
+    if (!ride.active) continue;
+    if (graph_changed) {
+      // Same nodes, new weights: re-profile the existing route so index ETAs
+      // and detour accounting reflect the new travel times.
+      BuildCumulativeProfiles(*graph_, ride.route.nodes,
+                              &ride.route_cum_time_s, &ride.route_cum_dist_m);
+      ride.route.length_m = ride.route_cum_dist_m.back();
+      ride.route.time_s = ride.route_cum_time_s.back();
+      for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
+        ride.via_points[v].eta_s =
+            ride.departure_time_s +
+            ride.route_cum_time_s[ride.via_route_index[v]];
+      }
+    }
+    index->RegisterRide(ride);
+    index->AdvanceRide(ride, now);
+    ++rehomed;
+  }
+
+  const std::uint64_t epoch = next->epoch;
+  index_ = std::move(index);
+  snapshot_.store(std::move(next), std::memory_order_release);
+  // Old event-queue entries stay (validated on pop); re-seed so re-homed
+  // rides keep waking up under the new index's event times.
+  for (const Ride& ride : rides_) {
+    if (ride.active) ScheduleNextEvent(ride);
+  }
+
+  refresh_stats_.epoch = epoch;
+  refresh_stats_.refreshes += 1;
+  refresh_stats_.last_rides_rehomed = rehomed;
+  refresh_stats_.total_rides_rehomed += rehomed;
+  return rehomed;
 }
 
 Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
@@ -33,7 +105,7 @@ Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
   if (src == dst) {
     return Status::InvalidArgument("ride source and destination coincide");
   }
-  Path route = oracle_.DriveRoute(src, dst);
+  Path route = oracle_->DriveRoute(src, dst);
   if (!route.Found()) {
     return Status::NotFound("no drivable route between offer endpoints");
   }
@@ -52,7 +124,7 @@ Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
                             ? offer.detour_limit_m
                             : options_.default_detour_limit_m;
   ride.route = std::move(route);
-  BuildCumulativeProfiles(graph_, ride.route.nodes, &ride.route_cum_time_s,
+  BuildCumulativeProfiles(*graph_, ride.route.nodes, &ride.route_cum_time_s,
                           &ride.route_cum_dist_m);
 
   ViaPoint start{src, offer.departure_time_s, RequestId::Invalid(), false};
@@ -64,21 +136,21 @@ Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
   rides_.push_back(std::move(ride));
   ++active_rides_;
   const Ride& stored = rides_.back();
-  index_.RegisterRide(stored);
+  index_->RegisterRide(stored);
   ScheduleNextEvent(stored);
   return stored.id;
 }
 
 void XarSystem::CollectSideCandidates(
-    const LatLng& location, double walk_limit_m, double eta_begin,
-    double eta_end,
+    const RegionIndex& region, const LatLng& location, double walk_limit_m,
+    double eta_begin, double eta_end,
     std::vector<std::pair<RideId, SideCandidate>>* out) const {
-  GridId grid = region_.GridOfPoint(location);
+  GridId grid = region.GridOfPoint(location);
   // Walkable clusters are sorted by walking distance: scan the prefix within
   // the request's threshold (paper: linear traversal of the sorted list).
-  for (const WalkableCluster& wc : region_.WalkableClustersOf(grid)) {
+  for (const WalkableCluster& wc : region.WalkableClustersOf(grid)) {
     if (wc.walk_m > walk_limit_m) break;
-    const ClusterRideList& list = index_.ListOf(wc.cluster);
+    const ClusterRideList& list = index_->ListOf(wc.cluster);
     for (const PotentialRide& pr : list.EtaRange(eta_begin, eta_end)) {
       out->emplace_back(pr.ride, SideCandidate{wc.walk_m, pr.eta_s,
                                                pr.detour_m, wc.cluster,
@@ -109,10 +181,16 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
   double walk_limit = request.walk_limit_m >= 0 ? request.walk_limit_m
                                                 : options_.default_walk_limit_m;
 
+  // Pin the snapshot for the whole search: every region probe below resolves
+  // against one epoch even if a refresh swaps the snapshot mid-flight.
+  std::shared_ptr<const RegionSnapshot> pinned =
+      snapshot_.load(std::memory_order_acquire);
+  const RegionIndex& region = *pinned->index;
+
   // Step 1: candidate rides around the source, keyed by pickup-cluster ETA
   // inside the departure window.
   std::vector<std::pair<RideId, SideCandidate>> source_side;
-  CollectSideCandidates(request.source, walk_limit,
+  CollectSideCandidates(region, request.source, walk_limit,
                         request.earliest_departure_s -
                             options_.eta_window_slack_s,
                         request.latest_departure_s +
@@ -122,7 +200,7 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
   // Step 2: candidate rides around the destination; the drop-off may happen
   // any time between the window start and the onboard bound.
   std::vector<std::pair<RideId, SideCandidate>> dest_side;
-  CollectSideCandidates(request.destination, walk_limit,
+  CollectSideCandidates(region, request.destination, walk_limit,
                         request.earliest_departure_s,
                         request.latest_departure_s + options_.max_onboard_s,
                         &dest_side);
@@ -156,9 +234,9 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
       std::size_t seg_s = 0;
       std::size_t seg_d = 0;
       double joint_detour = 0.0;
-      if (!index_.ChooseInsertionSegments(ride, s.cluster, s.landmark,
-                                          d.cluster, d.landmark, &seg_s,
-                                          &seg_d, &joint_detour)) {
+      if (!index_->ChooseInsertionSegments(ride, s.cluster, s.landmark,
+                                           d.cluster, d.landmark, &seg_s,
+                                           &seg_d, &joint_detour)) {
         continue;
       }
       if (joint_detour > ride.RemainingDetourBudget()) continue;
@@ -174,6 +252,7 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
       m.dest_cluster = d.cluster;
       m.pickup_landmark = s.landmark;
       m.dropoff_landmark = d.landmark;
+      m.epoch = pinned->epoch;
       matches.push_back(m);
     }
   }
@@ -194,6 +273,14 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
   if (!OwnsRide(ride_id)) {
     return Status::NotFound("unknown ride");
   }
+  // Epoch revalidation: the match's cluster/landmark ids were minted by the
+  // epoch it was searched on and are meaningless against a refreshed region.
+  std::shared_ptr<const RegionSnapshot> pinned =
+      snapshot_.load(std::memory_order_acquire);
+  if (match.epoch != pinned->epoch) {
+    return Status::FailedPrecondition(
+        "match is stale: discretization epoch changed");
+  }
   Ride& ride = MutableRide(ride_id);
   if (!ride.active) return Status::FailedPrecondition("ride already finished");
   if (ride.seats_available < request.seats) {
@@ -207,11 +294,11 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
   std::size_t s = 0;
   std::size_t d = 0;
   double joint_estimate = 0.0;
-  if (!index_.ChooseInsertionSegments(ride, match.source_cluster,
-                                      match.pickup_landmark,
-                                      match.dest_cluster,
-                                      match.dropoff_landmark, &s, &d,
-                                      &joint_estimate)) {
+  if (!index_->ChooseInsertionSegments(ride, match.source_cluster,
+                                       match.pickup_landmark,
+                                       match.dest_cluster,
+                                       match.dropoff_landmark, &s, &d,
+                                       &joint_estimate)) {
     return Status::FailedPrecondition("match is stale: cluster support gone");
   }
   // Re-check the budget under the current ride state. The search-time check
@@ -220,8 +307,8 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
     return Status::FailedPrecondition("match is stale: detour budget spent");
   }
 
-  NodeId pickup = region_.GetLandmark(match.pickup_landmark).node;
-  NodeId dropoff = region_.GetLandmark(match.dropoff_landmark).node;
+  NodeId pickup = pinned->index->GetLandmark(match.pickup_landmark).node;
+  NodeId dropoff = pinned->index->GetLandmark(match.dropoff_landmark).node;
 
   if (options_.kinetic_booking &&
       clock_.Now() <= ride.departure_time_s) {
@@ -236,7 +323,7 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
   std::size_t sp_count = 0;
   auto sp = [&](NodeId a, NodeId b) -> Path {
     ++sp_count;
-    return oracle_.DriveRoute(a, b);
+    return oracle_->DriveRoute(a, b);
   };
 
   std::vector<NodeId> new_nodes;
@@ -331,7 +418,7 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
 
   // Commit the new shape.
   ride.route.nodes = std::move(new_nodes);
-  BuildCumulativeProfiles(graph_, ride.route.nodes, &ride.route_cum_time_s,
+  BuildCumulativeProfiles(*graph_, ride.route.nodes, &ride.route_cum_time_s,
                           &ride.route_cum_dist_m);
   ride.route.length_m = ride.route_cum_dist_m.back();
   ride.route.time_s = ride.route_cum_time_s.back();
@@ -346,8 +433,8 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
   ride.detour_used_m += std::max(0.0, actual_detour);
   ride.seats_available -= request.seats;
 
-  index_.ReregisterRide(ride);
-  index_.AdvanceRide(ride, clock_.Now());  // do not resurrect passed clusters
+  index_->ReregisterRide(ride);
+  index_->AdvanceRide(ride, clock_.Now());  // do not resurrect passed clusters
   ScheduleNextEvent(ride);
 
   BookingRecord record;
@@ -396,7 +483,7 @@ Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
   // the tree use driving time; budget/seat feasibility is checked below on
   // the exact rebuilt route.
   KineticTree tree(ride.source, ride.departure_time_s, ride.seats_total,
-                   oracle_);
+                   *oracle_);
   for (const auto& [p, d] : riders) {
     if (!tree.Insert(p, d)) {
       return Status::NotFound("no feasible stop ordering for this rider");
@@ -415,7 +502,7 @@ Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
   for (std::size_t i = 1; i < order.size(); ++i) {
     if (order[i] != new_nodes.back()) {
       ++sp_count;
-      Path leg = oracle_.DriveRoute(new_nodes.back(), order[i]);
+      Path leg = oracle_->DriveRoute(new_nodes.back(), order[i]);
       if (!leg.Found()) {
         return Status::Internal("kinetic booking re-route failed");
       }
@@ -424,12 +511,12 @@ Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
     stop_route_idx.push_back(new_nodes.size() - 1);
   }
 
-  double base_length = oracle_.DriveDistance(ride.source, ride.destination);
+  double base_length = oracle_->DriveDistance(ride.source, ride.destination);
   double budget_before = ride.RemainingDetourBudget();
   double old_total = ride.route_cum_dist_m.back();
 
   ride.route.nodes = std::move(new_nodes);
-  BuildCumulativeProfiles(graph_, ride.route.nodes, &ride.route_cum_time_s,
+  BuildCumulativeProfiles(*graph_, ride.route.nodes, &ride.route_cum_time_s,
                           &ride.route_cum_dist_m);
   ride.route.length_m = ride.route_cum_dist_m.back();
   ride.route.time_s = ride.route_cum_time_s.back();
@@ -459,8 +546,8 @@ Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
   ride.detour_used_m = std::max(0.0, ride.route.length_m - base_length);
   ride.seats_available -= request.seats;
 
-  index_.ReregisterRide(ride);
-  index_.AdvanceRide(ride, clock_.Now());
+  index_->ReregisterRide(ride);
+  index_->AdvanceRide(ride, clock_.Now());
   ScheduleNextEvent(ride);
 
   BookingRecord record;
@@ -520,7 +607,7 @@ Status XarSystem::CancelBooking(RideId ride_id, RequestId request) {
     if (v == 0) {
       new_nodes.push_back(kept[0].node);
     } else if (kept[v].node != new_nodes.back()) {
-      Path leg = oracle_.DriveRoute(new_nodes.back(), kept[v].node);
+      Path leg = oracle_->DriveRoute(new_nodes.back(), kept[v].node);
       if (!leg.Found()) {
         return Status::Internal("cancellation re-route failed");
       }
@@ -531,7 +618,7 @@ Status XarSystem::CancelBooking(RideId ride_id, RequestId request) {
 
   double old_length = ride.route_cum_dist_m.back();
   ride.route.nodes = std::move(new_nodes);
-  BuildCumulativeProfiles(graph_, ride.route.nodes, &ride.route_cum_time_s,
+  BuildCumulativeProfiles(*graph_, ride.route.nodes, &ride.route_cum_time_s,
                           &ride.route_cum_dist_m);
   ride.route.length_m = ride.route_cum_dist_m.back();
   ride.route.time_s = ride.route_cum_time_s.back();
@@ -556,8 +643,8 @@ Status XarSystem::CancelBooking(RideId ride_id, RequestId request) {
   ride.seats_available =
       std::min(ride.seats_total, ride.seats_available + seats);
 
-  index_.ReregisterRide(ride);
-  index_.AdvanceRide(ride, clock_.Now());  // do not resurrect passed clusters
+  index_->ReregisterRide(ride);
+  index_->AdvanceRide(ride, clock_.Now());  // do not resurrect passed clusters
   ScheduleNextEvent(ride);
   return Status::OK();
 }
@@ -582,7 +669,7 @@ void XarSystem::AdvanceTime(double now_s) {
       FinishRide(ride);
       continue;
     }
-    index_.AdvanceRide(ride, now_s);
+    index_->AdvanceRide(ride, now_s);
     ScheduleNextEvent(ride);
   }
 }
@@ -591,11 +678,11 @@ void XarSystem::FinishRide(Ride& ride) {
   if (!ride.active) return;
   ride.active = false;
   --active_rides_;
-  index_.UnregisterRide(ride.id);
+  index_->UnregisterRide(ride.id);
 }
 
 void XarSystem::ScheduleNextEvent(const Ride& ride) {
-  double next = std::min(index_.NextEventTime(ride.id), ride.ArrivalTimeS());
+  double next = std::min(index_->NextEventTime(ride.id), ride.ArrivalTimeS());
   if (next < kInf) events_.emplace(next, ride.id);
 }
 
@@ -605,7 +692,7 @@ const Ride* XarSystem::GetRide(RideId id) const {
 }
 
 std::size_t XarSystem::MemoryFootprint() const {
-  std::size_t bytes = sizeof(*this) + index_.MemoryFootprint();
+  std::size_t bytes = sizeof(*this) + index_->MemoryFootprint();
   for (const Ride& r : rides_) {
     bytes += sizeof(r);
     bytes += r.route.nodes.capacity() * sizeof(NodeId);

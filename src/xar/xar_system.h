@@ -1,7 +1,10 @@
 #ifndef XAR_XAR_XAR_SYSTEM_H_
 #define XAR_XAR_XAR_SYSTEM_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -9,6 +12,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "discretize/region_index.h"
+#include "discretize/region_snapshot.h"
 #include "graph/oracle.h"
 #include "graph/road_graph.h"
 #include "graph/spatial_index.h"
@@ -28,11 +32,25 @@ namespace xar {
 ///   auto matches = xar.Search(request);          // no shortest paths
 ///   auto booking = xar.Book(matches[0].ride, request, matches[0]);
 ///   xar.AdvanceTime(now);                        // tracking
+///
+/// The discretization is held as a versioned RegionSnapshot and can be
+/// rebuilt and swapped at runtime (RefreshDiscretization); searches pin the
+/// snapshot they start on, and Book rejects matches from older epochs as
+/// stale (drive the retry from SearchAndBook or the caller).
 class XarSystem {
  public:
+  /// Legacy path: borrows a caller-owned region (epoch 0). The caller must
+  /// keep `region` alive until the first RefreshDiscretization (or the
+  /// system's destruction, if never refreshed).
   XarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
             const RegionIndex& region, DistanceOracle& oracle,
             XarOptions options = {});
+
+  /// Shares an existing snapshot (e.g. one ConcurrentXarSystem distributes
+  /// across its shards).
+  XarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
+            std::shared_ptr<const RegionSnapshot> snapshot,
+            DistanceOracle& oracle, XarOptions options = {});
 
   XarSystem(const XarSystem&) = delete;
   XarSystem& operator=(const XarSystem&) = delete;
@@ -57,7 +75,8 @@ class XarSystem {
   /// Books `match` on `ride`: inserts pickup/drop-off via-points, splices
   /// the route using <= 4 shortest-path computations (paper Section VIII-B),
   /// charges the actual detour against the driver's budget, and refreshes
-  /// the ride's index entries.
+  /// the ride's index entries. Matches computed on an older discretization
+  /// epoch are rejected as stale (FailedPrecondition).
   Result<BookingRecord> Book(RideId ride, const RideRequest& request,
                              const RideMatch& match);
 
@@ -76,6 +95,24 @@ class XarSystem {
   /// evicting obsolete cluster associations of in-progress ones.
   void AdvanceTime(double now_s);
 
+  // --- Refresh (live map updates) ----------------------------------------
+
+  /// Rebuilds the discretization over the (possibly updated) graph, re-homes
+  /// every live ride into a fresh RideIndex, and swaps the snapshot with an
+  /// epoch bump. Serial: callers that share this system across threads must
+  /// hold the writer lock (ConcurrentXarSystem does this per shard, building
+  /// the snapshot once outside all locks). An empty delta is a "no-op"
+  /// refresh: same tables, new epoch.
+  RefreshStats RefreshDiscretization(const GraphDelta& delta = {});
+
+  /// Installs an already-built snapshot (skipping the rebuild) and re-homes
+  /// live rides; returns how many were re-homed. `new_graph`, if non-null,
+  /// replaces the current graph (same node ids/topology required — routes
+  /// are re-profiled, not re-planned); `new_oracle` likewise.
+  std::size_t AdoptSnapshot(std::shared_ptr<const RegionSnapshot> next,
+                            const RoadGraph* new_graph,
+                            DistanceOracle* new_oracle);
+
   // --- Introspection -------------------------------------------------------
 
   double Now() const { return clock_.Now(); }
@@ -92,8 +129,22 @@ class XarSystem {
   }
   std::size_t NumRides() const { return rides_.size(); }
   std::size_t NumActiveRides() const { return active_rides_; }
-  const RideIndex& ride_index() const { return index_; }
-  const RegionIndex& region() const { return region_; }
+  const RideIndex& ride_index() const { return *index_; }
+  /// The current region. The reference stays valid until the next
+  /// RefreshDiscretization/AdoptSnapshot; pin the snapshot() instead when
+  /// holding it across a possible refresh.
+  const RegionIndex& region() const {
+    return *snapshot_.load(std::memory_order_acquire)->index;
+  }
+  /// Pins the current snapshot (keeps its RegionIndex alive past refreshes).
+  std::shared_ptr<const RegionSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+  /// Current discretization generation (0 until the first refresh).
+  std::uint64_t epoch() const {
+    return snapshot_.load(std::memory_order_acquire)->epoch;
+  }
+  const RefreshStats& refresh_stats() const { return refresh_stats_; }
   const XarOptions& options() const { return options_; }
   const std::vector<BookingRecord>& bookings() const { return bookings_; }
 
@@ -110,10 +161,11 @@ class XarSystem {
     LandmarkId landmark;
   };
 
-  /// Step 1/2 of Search: per-ride best candidate from one endpoint.
+  /// Step 1/2 of Search: per-ride best candidate from one endpoint, resolved
+  /// against the pinned `region`.
   void CollectSideCandidates(
-      const LatLng& location, double walk_limit_m, double eta_begin,
-      double eta_end,
+      const RegionIndex& region, const LatLng& location, double walk_limit_m,
+      double eta_begin, double eta_end,
       std::vector<std::pair<RideId, SideCandidate>>* out) const;
 
   /// Position of `id` in rides_ under the offset/stride id scheme.
@@ -131,17 +183,23 @@ class XarSystem {
                                     const RideMatch& match, NodeId pickup,
                                     NodeId dropoff);
 
-  const RoadGraph& graph_;
+  const RoadGraph* graph_;  ///< swapped by AdoptSnapshot on graph deltas
   const SpatialNodeIndex& spatial_;
-  const RegionIndex& region_;
-  DistanceOracle& oracle_;
+  /// Current discretization. Atomic so in-flight searches can pin it while a
+  /// refresh swaps in the next epoch; the old RegionIndex stays alive until
+  /// the last pinned reader releases it.
+  std::atomic<std::shared_ptr<const RegionSnapshot>> snapshot_;
+  DistanceOracle* oracle_;  ///< swapped by AdoptSnapshot on graph deltas
   XarOptions options_;
 
   std::vector<Ride> rides_;  // indexed by RideId
-  RideIndex index_;
+  /// Rebuilt (not mutated in place) on refresh — RideIndex resolves against
+  /// exactly one region epoch.
+  std::unique_ptr<RideIndex> index_;
   std::vector<BookingRecord> bookings_;
   VirtualClock clock_;
   std::size_t active_rides_ = 0;
+  RefreshStats refresh_stats_;
 
   // Tracking wake-up queue: (event time, ride). Entries may be stale; they
   // are validated on pop.

@@ -102,6 +102,45 @@ TEST_F(CommandServerTest, SearchRespectsOptionalWalkAndK) {
   EXPECT_EQ(topk.rfind("OK MATCHES 1", 0), 0u) << topk;
 }
 
+TEST_F(CommandServerTest, RefreshBumpsEpochAndShowsInStats) {
+  server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28800");
+  std::string before = server_.Execute("STATS");
+  EXPECT_NE(before.find("epoch=0 refreshes=0 rehomed=0"), std::string::npos)
+      << before;
+
+  std::string refreshed = server_.Execute("REFRESH");
+  EXPECT_EQ(refreshed.rfind("OK REFRESH epoch=1 rehomed=1", 0), 0u)
+      << refreshed;
+
+  std::string after = server_.Execute("STATS");
+  EXPECT_NE(after.find("epoch=1 refreshes=1 rehomed=1"), std::string::npos)
+      << after;
+  EXPECT_EQ(xar_.epoch(), 1u);
+}
+
+TEST_F(CommandServerTest, BookAgainstPreRefreshSearchIsStale) {
+  server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28800");
+  std::string found = server_.Execute("SEARCH 7 " + At(0.35, 0.35) + " " +
+                                      At(0.7, 0.7) + " 28800 30600");
+  ASSERT_EQ(found.rfind("OK MATCHES ", 0), 0u) << found;
+
+  ASSERT_EQ(server_.Execute("REFRESH").rfind("OK REFRESH", 0), 0u);
+
+  // The pending search predates the refresh: its match ids belong to the
+  // old epoch, so the book must fail as stale...
+  std::string stale = server_.Execute("BOOK 7 0");
+  EXPECT_EQ(stale.rfind("ERR", 0), 0u) << stale;
+  EXPECT_NE(stale.find("stale"), std::string::npos) << stale;
+
+  // ...and a re-search against the new epoch books fine.
+  ASSERT_EQ(server_
+                .Execute("SEARCH 7 " + At(0.35, 0.35) + " " + At(0.7, 0.7) +
+                         " 28800 30600")
+                .rfind("OK MATCHES ", 0),
+            0u);
+  EXPECT_EQ(server_.Execute("BOOK 7 0").rfind("OK BOOKED ride=0", 0), 0u);
+}
+
 TEST_F(CommandServerTest, MalformedInputsAreErrors) {
   EXPECT_EQ(server_.Execute("").rfind("ERR", 0), 0u);
   EXPECT_EQ(server_.Execute("NONSENSE 1 2").rfind("ERR", 0), 0u);

@@ -181,5 +181,108 @@ TEST_F(ConcurrentXarTest, SearchAndBookIsAtomic) {
   EXPECT_EQ(wins.load(), 1);
 }
 
+/// Corridor helper shared by the retry-policy tests below: a diagonal offer
+/// and a request sitting inside it.
+struct Corridor {
+  RideOffer offer;
+  RideRequest request;
+};
+
+Corridor MakeCorridor(const BoundingBox& b, std::uint32_t request_id) {
+  Corridor c;
+  c.offer.source = {b.min_lat + 0.1 * (b.max_lat - b.min_lat),
+                    b.min_lng + 0.1 * (b.max_lng - b.min_lng)};
+  c.offer.destination = {b.min_lat + 0.9 * (b.max_lat - b.min_lat),
+                         b.min_lng + 0.9 * (b.max_lng - b.min_lng)};
+  c.offer.departure_time_s = 8 * 3600;
+  c.request.id = RequestId(request_id);
+  c.request.source = {b.min_lat + 0.35 * (b.max_lat - b.min_lat),
+                      b.min_lng + 0.35 * (b.max_lng - b.min_lng)};
+  c.request.destination = {b.min_lat + 0.7 * (b.max_lat - b.min_lat),
+                           b.min_lng + 0.7 * (b.max_lng - b.min_lng)};
+  c.request.earliest_departure_s = 8 * 3600;
+  c.request.latest_departure_s = 8 * 3600 + 1800;
+  return c;
+}
+
+TEST_F(ConcurrentXarTest, RetryCountersTrackOutcomes) {
+  Corridor c = MakeCorridor(city_.graph.bounds(), 300);
+
+  // Empty system: the round-0 search is empty on a stable epoch, so
+  // SearchAndBook gives up without a retry round.
+  EXPECT_FALSE(xar_.SearchAndBook(c.request).ok());
+  RetryStats stats = xar_.retry_stats();
+  EXPECT_EQ(stats.unmatched, 1u);
+  EXPECT_EQ(stats.booked_first_try, 0u);
+  EXPECT_EQ(stats.booked_after_research, 0u);
+  EXPECT_EQ(stats.stale_rejections, 0u);
+
+  // With supply in place the first optimistic round wins.
+  ASSERT_TRUE(xar_.CreateRide(c.offer).ok());
+  EXPECT_TRUE(xar_.SearchAndBook(c.request).ok());
+  stats = xar_.retry_stats();
+  EXPECT_EQ(stats.booked_first_try, 1u);
+  EXPECT_EQ(stats.booked_after_research, 0u);
+  EXPECT_EQ(stats.stale_rejections, 0u);
+  EXPECT_EQ(stats.unmatched, 1u);
+}
+
+TEST_F(ConcurrentXarTest, ForcedStaleCandidateIsReSearched) {
+  // Ride A has one seat; the victim's round-0 search will find it.
+  Corridor c = MakeCorridor(city_.graph.bounds(), 310);
+  c.offer.seats = 1;
+  Result<RideId> ride_a = xar_.CreateRide(c.offer);
+  ASSERT_TRUE(ride_a.ok());
+
+  // The hook fires between the victim's search and its book: a thief takes
+  // ride A's only seat (direct Search+Book, not SearchAndBook — the hook
+  // must not recurse into itself) and a second identical ride B appears, so
+  // the victim's re-search round has somewhere to land.
+  std::atomic<bool> fired{false};
+  RideOffer offer_b = c.offer;
+  xar_.SetPostSearchHookForTest([&](const RideRequest&, std::size_t round) {
+    if (round != 0 || fired.exchange(true)) return;
+    RideRequest thief = c.request;
+    thief.id = RequestId(311);
+    std::vector<RideMatch> matches = xar_.Search(thief);
+    ASSERT_FALSE(matches.empty());
+    ASSERT_TRUE(xar_.Book(matches.front().ride, thief, matches.front()).ok());
+    ASSERT_TRUE(xar_.CreateRide(offer_b).ok());
+  });
+
+  Result<BookingRecord> booked = xar_.SearchAndBook(c.request);
+  ASSERT_TRUE(booked.ok());
+  EXPECT_NE(booked->ride, *ride_a);
+
+  RetryStats stats = xar_.retry_stats();
+  EXPECT_EQ(stats.booked_first_try, 0u);
+  EXPECT_EQ(stats.booked_after_research, 1u);
+  EXPECT_GE(stats.stale_rejections, 1u);
+  EXPECT_EQ(stats.unmatched, 0u);
+}
+
+TEST_F(ConcurrentXarTest, EpochBumpMidSearchTriggersReSearch) {
+  // Round 0 searches an empty system — but the hook then creates supply and
+  // refreshes, moving the epoch mid-flight. The empty-result-on-stable-epoch
+  // early exit must NOT fire, and the re-search round books.
+  Corridor c = MakeCorridor(city_.graph.bounds(), 320);
+  std::atomic<bool> fired{false};
+  xar_.SetPostSearchHookForTest([&](const RideRequest&, std::size_t round) {
+    if (round != 0 || fired.exchange(true)) return;
+    ASSERT_TRUE(xar_.CreateRide(c.offer).ok());
+    (void)xar_.RefreshDiscretization();
+  });
+
+  Result<BookingRecord> booked = xar_.SearchAndBook(c.request);
+  ASSERT_TRUE(booked.ok());
+  EXPECT_EQ(xar_.epoch(), 1u);
+
+  RetryStats stats = xar_.retry_stats();
+  EXPECT_EQ(stats.booked_first_try, 0u);
+  EXPECT_EQ(stats.booked_after_research, 1u);
+  EXPECT_EQ(stats.stale_rejections, 0u);
+  EXPECT_EQ(stats.unmatched, 0u);
+}
+
 }  // namespace
 }  // namespace xar

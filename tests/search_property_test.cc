@@ -149,6 +149,45 @@ TEST_P(SearchPropertyTest, SearchIsReadOnly) {
   }
 }
 
+// The 4-epsilon detour guarantee is a property of whatever discretization a
+// booking was computed on — so it must survive a refresh onto a *different*
+// metric. Perturb every edge weight by a random factor, rebuild the region
+// over the perturbed graph, and check bookings against the new region's
+// epsilon. (One walk limit is enough to exercise the bound; skip the rest of
+// the parameter grid to keep the sweep's runtime flat.)
+TEST_P(SearchPropertyTest, DetourGuaranteeHoldsAfterPerturbedRefresh) {
+  if (std::get<1>(GetParam()) != 1000.0) {
+    GTEST_SKIP() << "guarantee sweep runs at the widest walk limit only";
+  }
+  RoadGraph perturbed =
+      PerturbEdgeWeights(city_.graph, 0.25, std::get<0>(GetParam()));
+  GraphOracle oracle(perturbed);
+  GraphDelta delta;
+  delta.graph = &perturbed;
+  delta.oracle = &oracle;
+  RefreshStats stats = xar_.RefreshDiscretization(delta);
+  ASSERT_EQ(stats.epoch, 1u);
+
+  // Same sweep bound as integration/stress: 4*epsilon from Theorem 6 plus
+  // the 2*Delta grid->landmark association slack — but epsilon and Delta of
+  // the *rebuilt* region over the perturbed metric.
+  const double slack = 4 * xar_.region().epsilon() +
+                       2 * xar_.region().options().max_drive_to_landmark_m;
+  std::size_t booked = 0;
+  for (const RideRequest& req : Probes(60)) {
+    std::vector<RideMatch> matches = xar_.Search(req);
+    if (matches.empty()) continue;
+    Result<BookingRecord> booking =
+        xar_.Book(matches.front().ride, req, matches.front());
+    if (!booking.ok()) continue;
+    ++booked;
+    EXPECT_LE(booking->actual_detour_m,
+              booking->estimated_detour_m + slack + 1e-6)
+        << "request " << req.id.value();
+  }
+  EXPECT_GT(booked, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndWalkLimits, SearchPropertyTest,
     ::testing::Combine(::testing::Values(61, 62, 63),
