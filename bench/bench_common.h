@@ -11,9 +11,11 @@
 #include "graph/generator.h"
 #include "graph/oracle.h"
 #include "graph/road_graph.h"
+#include "graph/routing_backend.h"
 #include "graph/spatial_index.h"
 #include "workload/taxi_trip.h"
 #include "workload/trip_generator.h"
+#include "xar/options.h"
 
 namespace xar {
 namespace bench {
@@ -46,6 +48,9 @@ struct BenchWorldOptions {
   std::size_t num_trips = 12000;
   std::size_t landmark_candidates = 500;
   std::uint64_t seed = 42;
+  /// Routing backend the world's oracle runs (XarOptions::routing_backend
+  /// is honored by forwarding it here).
+  RoutingBackendKind routing_backend = XarOptions{}.routing_backend;
 };
 
 inline BenchWorld MakeBenchWorld(const BenchWorldOptions& opt = {}) {
@@ -64,7 +69,9 @@ inline BenchWorld MakeBenchWorld(const BenchWorldOptions& opt = {}) {
   world.region = std::make_unique<RegionIndex>(
       RegionIndex::Build(world.graph, *world.spatial, dopt));
 
-  world.oracle = std::make_unique<GraphOracle>(world.graph);
+  world.oracle = std::make_unique<GraphOracle>(
+      world.graph, /*cache_capacity=*/std::size_t{1} << 16,
+      opt.routing_backend);
 
   WorkloadOptions wopt;
   wopt.num_trips = opt.num_trips;

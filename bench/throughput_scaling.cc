@@ -101,10 +101,17 @@ int Run() {
       static_cast<std::size_t>(20000 * scale);
   const std::size_t mixed_ops = static_cast<std::size_t>(6000 * scale);
 
+  const unsigned host_cores = std::thread::hardware_concurrency();
   std::printf("host cores: %u | shards: %zu | supply rides: %zu | "
-              "probe requests: %zu\n\n",
-              std::thread::hardware_concurrency(), kShards, offers.size(),
-              requests.size());
+              "probe requests: %zu\n",
+              host_cores, kShards, offers.size(), requests.size());
+  if (host_cores <= 1) {
+    std::printf("WARNING: only %u hardware core(s) visible — thread counts "
+                "above 1 time-slice a single core, so QPS cannot scale here; "
+                "read the speedup series as a lower bound.\n",
+                host_cores);
+  }
+  std::printf("\n");
   std::printf("%8s %14s %14s %14s %14s %10s\n", "threads", "search QPS",
               "p50 ms", "p99 ms", "mixed QPS", "bookings");
 
@@ -189,6 +196,8 @@ int Run() {
                 mixed_ops, static_cast<unsigned long long>(xar.epoch()));
     RetryStatsTable(xar.retry_stats()).Print();
     RefreshStatsTable(xar.refresh_stats()).Print();
+    std::printf("\noracle (cumulative across all runs):\n");
+    OracleStatsTable(*world.oracle).Print();
   }
 
   // JSON trajectory point. Relative speedups are what the scaling claim is

@@ -27,11 +27,15 @@ int main() {
   workload.num_trips = 15000;
   std::vector<TaxiTrip> trips = GenerateTrips(graph.bounds(), workload);
 
-  GraphOracle oracle(graph);
-  XarSystem xar(graph, spatial, region, oracle);
+  XarOptions options;
+  GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
+                     options.routing_backend);
+  XarSystem xar(graph, spatial, region, oracle, options);
 
-  std::printf("simulating %zu trips over a day (%zu clusters, eps=%.0fm)...\n",
-              trips.size(), region.NumClusters(), region.epsilon());
+  std::printf("simulating %zu trips over a day "
+              "(%zu clusters, eps=%.0fm, %s routing)...\n",
+              trips.size(), region.NumClusters(), region.epsilon(),
+              oracle.backend_name());
   SimResult result = SimulateRideSharing(xar, trips);
 
   std::printf("\nrequests:      %zu\n", result.requests);
@@ -71,5 +75,8 @@ int main() {
   std::printf("\nin-memory index: %.1f MB (region) + %.1f MB (rides)\n",
               static_cast<double>(region.MemoryFootprint()) / 1048576.0,
               static_cast<double>(xar.MemoryFootprint()) / 1048576.0);
+
+  std::printf("\noracle:\n");
+  OracleStatsTable(oracle).Print();
   return 0;
 }

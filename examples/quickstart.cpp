@@ -29,9 +29,14 @@ int main() {
               region.epsilon());
 
   // 3. The runtime: a routing oracle (used only at create/book time) and
-  //    the XAR system itself.
-  GraphOracle oracle(graph);
-  XarSystem xar(graph, spatial, region, oracle);
+  //    the XAR system itself. XarOptions::routing_backend picks the
+  //    shortest-path backend — contraction hierarchies by default; try
+  //    RoutingBackendKind::kAStar for zero preprocessing.
+  XarOptions options;
+  GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
+                     options.routing_backend);
+  XarSystem xar(graph, spatial, region, oracle, options);
+  std::printf("routing backend: %s\n", oracle.backend_name());
 
   // 4. A driver offers a ride across town at 08:00.
   const BoundingBox& b = graph.bounds();

@@ -9,6 +9,7 @@
 //   STATS
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "xar/command_server.h"
@@ -24,15 +25,28 @@ int main() {
   DiscretizationOptions dopt;
   dopt.landmarks.num_candidates = 400;
   RegionIndex region = RegionIndex::Build(graph, spatial, dopt);
-  GraphOracle oracle(graph);
-  XarSystem xar(graph, spatial, region, oracle);
+
+  // XAR_ROUTING_BACKEND=dijkstra|astar|alt|ch overrides the default.
+  XarOptions options;
+  if (const char* env = std::getenv("XAR_ROUTING_BACKEND")) {
+    if (auto kind = ParseRoutingBackend(env)) {
+      options.routing_backend = *kind;
+    } else {
+      std::printf("warning: unknown XAR_ROUTING_BACKEND '%s', using %s\n", env,
+                  RoutingBackendName(options.routing_backend));
+    }
+  }
+  GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
+                     options.routing_backend);
+  XarSystem xar(graph, spatial, region, oracle, options);
   CommandServer server(xar);
 
   const BoundingBox& b = graph.bounds();
   std::printf("XAR shell — city bounds lat [%.4f, %.4f], lng [%.4f, %.4f]\n",
               b.min_lat, b.max_lat, b.min_lng, b.max_lng);
-  std::printf("%zu clusters, epsilon %.0f m. Type HELP for commands.\n",
-              region.NumClusters(), region.epsilon());
+  std::printf("%zu clusters, epsilon %.0f m, %s routing. "
+              "Type HELP for commands.\n",
+              region.NumClusters(), region.epsilon(), oracle.backend_name());
 
   char line[512];
   while (true) {

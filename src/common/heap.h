@@ -77,6 +77,12 @@ class IndexedMinHeap {
     heap_.clear();
   }
 
+  /// Bytes held by the heap's arrays.
+  std::size_t MemoryFootprint() const {
+    return (heap_.capacity() + pos_.capacity()) * sizeof(std::size_t) +
+           keys_.capacity() * sizeof(double);
+  }
+
  private:
   void SiftUp(std::size_t i) {
     while (i > 0) {

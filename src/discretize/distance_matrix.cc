@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-
-#include "graph/dijkstra.h"
+#include <memory>
 
 namespace xar {
 
-DistanceMatrix DistanceMatrix::FromGraph(
-    const RoadGraph& graph, const std::vector<Landmark>& landmarks) {
+DistanceMatrix DistanceMatrix::FromGraph(const RoadGraph& graph,
+                                         const std::vector<Landmark>& landmarks,
+                                         RoutingBackend* backend) {
   DistanceMatrix m;
   m.n_ = landmarks.size();
   m.d_.assign(m.n_ * m.n_, 0.0);
@@ -18,9 +18,13 @@ DistanceMatrix DistanceMatrix::FromGraph(
   targets.reserve(m.n_);
   for (const Landmark& lm : landmarks) targets.push_back(lm.node);
 
-  DijkstraEngine engine(graph);
+  std::unique_ptr<RoutingBackend> owned;
+  if (backend == nullptr) {
+    owned = MakeRoutingBackend(RoutingBackendKind::kDijkstra, graph);
+    backend = owned.get();
+  }
   for (std::size_t i = 0; i < m.n_; ++i) {
-    std::vector<double> row = engine.DistancesToMany(
+    std::vector<double> row = backend->DistancesToMany(
         landmarks[i].node, targets, Metric::kDriveDistance);
     for (std::size_t j = 0; j < m.n_; ++j) m.d_[i * m.n_ + j] = row[j];
   }

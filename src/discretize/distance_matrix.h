@@ -7,6 +7,7 @@
 #include "discretize/landmark.h"
 #include "geo/latlng.h"
 #include "graph/road_graph.h"
+#include "graph/routing_backend.h"
 
 namespace xar {
 
@@ -22,10 +23,14 @@ class DistanceMatrix {
  public:
   DistanceMatrix() = default;
 
-  /// Pairwise driving distances between landmark nodes (one one-to-many
-  /// Dijkstra per landmark), symmetrized by max.
+  /// Pairwise driving distances between landmark nodes, symmetrized by max.
+  /// Rows come from `backend->DistancesToMany` (one one-to-many query per
+  /// landmark); when `backend` is null an internal Dijkstra backend — the
+  /// fastest for one-to-many — is used, which matches the historical
+  /// behaviour exactly.
   static DistanceMatrix FromGraph(const RoadGraph& graph,
-                                  const std::vector<Landmark>& landmarks);
+                                  const std::vector<Landmark>& landmarks,
+                                  RoutingBackend* backend = nullptr);
 
   /// Straight-line distances between the given points (test helper and
   /// pure-metric experiments).

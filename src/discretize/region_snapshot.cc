@@ -28,10 +28,11 @@ std::shared_ptr<const RegionSnapshot> BuildRegionSnapshot(
 }
 
 TextTable RefreshStatsTable(const RefreshStats& stats) {
-  TextTable table({"epoch", "refreshes", "last_rebuild_ms", "last_rehomed",
-                   "total_rehomed"});
+  TextTable table({"epoch", "refreshes", "last_rebuild_ms", "last_prewarm_ms",
+                   "last_rehomed", "total_rehomed"});
   table.AddRow({std::to_string(stats.epoch), std::to_string(stats.refreshes),
                 TextTable::Num(stats.last_rebuild_ms, 1),
+                TextTable::Num(stats.last_prewarm_ms, 1),
                 std::to_string(stats.last_rides_rehomed),
                 std::to_string(stats.total_rides_rehomed)});
   return table;

@@ -58,6 +58,10 @@ struct RefreshStats {
   std::uint64_t epoch = 0;            ///< current snapshot generation
   std::size_t refreshes = 0;          ///< completed RefreshDiscretization calls
   double last_rebuild_ms = 0.0;       ///< wall time of the last rebuild+swap
+  /// Wall time of the last oracle Prewarm (backend preprocessing, e.g. the
+  /// per-metric contraction hierarchies) — runs off-thread with no locks
+  /// held, before the snapshot is adopted.
+  double last_prewarm_ms = 0.0;
   std::size_t last_rides_rehomed = 0; ///< live rides re-homed by the last swap
   std::size_t total_rides_rehomed = 0;
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "graph/dijkstra.h"
+#include "graph/path_profile.h"
 
 namespace xar {
 namespace {
@@ -34,7 +35,8 @@ AltEngine::AltEngine(const RoadGraph& graph, std::size_t num_anchors,
       metric_(metric),
       heap_(graph.NumNodes()),
       g_(graph.NumNodes(), kInf),
-      mark_(graph.NumNodes(), 0) {
+      mark_(graph.NumNodes(), 0),
+      parent_(graph.NumNodes()) {
   assert(graph.NumNodes() > 0);
   num_anchors = std::min(num_anchors, graph.NumNodes());
 
@@ -44,24 +46,25 @@ AltEngine::AltEngine(const RoadGraph& graph, std::size_t num_anchors,
   RoadGraph reverse = ReverseGraph(graph);
   DijkstraEngine backward(reverse);
 
+  auto tables = std::make_shared<Tables>();
   std::vector<double> min_dist(graph.NumNodes(), kInf);
   NodeId next(0);
   for (std::size_t a = 0; a < num_anchors; ++a) {
-    anchors_.push_back(next);
+    tables->anchors.push_back(next);
     std::size_t base = a * graph.NumNodes();
-    dist_from_.resize(base + graph.NumNodes(), kInf);
-    dist_to_.resize(base + graph.NumNodes(), kInf);
+    tables->dist_from.resize(base + graph.NumNodes(), kInf);
+    tables->dist_to.resize(base + graph.NumNodes(), kInf);
     for (auto [node, dist] : forward.NodesWithin(next, kInf, metric_)) {
-      dist_from_[base + node.value()] = dist;
+      tables->dist_from[base + node.value()] = dist;
     }
     for (auto [node, dist] : backward.NodesWithin(next, kInf, metric_)) {
-      dist_to_[base + node.value()] = dist;
+      tables->dist_to[base + node.value()] = dist;
     }
     // Pick the node farthest from all chosen anchors as the next one.
     std::size_t best = 0;
     double best_d = -1;
     for (std::size_t v = 0; v < graph.NumNodes(); ++v) {
-      double d = std::min(dist_from_[base + v], min_dist[v]);
+      double d = std::min(tables->dist_from[base + v], min_dist[v]);
       min_dist[v] = d;
       if (d != kInf && d > best_d) {
         best_d = d;
@@ -70,16 +73,27 @@ AltEngine::AltEngine(const RoadGraph& graph, std::size_t num_anchors,
     }
     next = NodeId(static_cast<NodeId::underlying_type>(best));
   }
+  tables_ = std::move(tables);
 }
+
+AltEngine::AltEngine(const AltEngine& other)
+    : graph_(other.graph_),
+      metric_(other.metric_),
+      tables_(other.tables_),
+      heap_(other.graph_.NumNodes()),
+      g_(other.graph_.NumNodes(), kInf),
+      mark_(other.graph_.NumNodes(), 0),
+      parent_(other.graph_.NumNodes()) {}
 
 double AltEngine::LowerBound(NodeId v, NodeId dst) const {
   double bound = 0.0;
   std::size_t n = graph_.NumNodes();
-  for (std::size_t a = 0; a < anchors_.size(); ++a) {
-    double av = dist_from_[a * n + v.value()];
-    double at = dist_from_[a * n + dst.value()];
-    double va = dist_to_[a * n + v.value()];
-    double ta = dist_to_[a * n + dst.value()];
+  const Tables& t = *tables_;
+  for (std::size_t a = 0; a < t.anchors.size(); ++a) {
+    double av = t.dist_from[a * n + v.value()];
+    double at = t.dist_from[a * n + dst.value()];
+    double va = t.dist_to[a * n + v.value()];
+    double ta = t.dist_to[a * n + dst.value()];
     // d(v,t) >= d(a,t) - d(a,v), valid when both finite.
     if (at != kInf && av != kInf) bound = std::max(bound, at - av);
     // d(v,t) >= d(v,a) - d(t,a).
@@ -88,7 +102,7 @@ double AltEngine::LowerBound(NodeId v, NodeId dst) const {
   return bound;
 }
 
-double AltEngine::Distance(NodeId src, NodeId dst) {
+double AltEngine::Run(NodeId src, NodeId dst, bool record_parents) {
   ++generation_;
   heap_.Clear();
   last_settled_count_ = 0;
@@ -99,6 +113,7 @@ double AltEngine::Distance(NodeId src, NodeId dst) {
 
   g_[src.value()] = 0.0;
   mark_[src.value()] = generation_;
+  if (record_parents) parent_[src.value()] = NodeId::Invalid();
   heap_.Push(src.value(), LowerBound(src, dst));
 
   while (!heap_.empty()) {
@@ -115,6 +130,8 @@ double AltEngine::Distance(NodeId src, NodeId dst) {
       if (nd < gval(v)) {
         g_[v] = nd;
         mark_[v] = generation_;
+        if (record_parents)
+          parent_[v] = NodeId(static_cast<NodeId::underlying_type>(u));
         heap_.PushOrDecrease(
             v, nd + LowerBound(NodeId(static_cast<NodeId::underlying_type>(v)),
                                dst));
@@ -124,10 +141,29 @@ double AltEngine::Distance(NodeId src, NodeId dst) {
   return kInf;
 }
 
+double AltEngine::Distance(NodeId src, NodeId dst) {
+  return Run(src, dst, /*record_parents=*/false);
+}
+
+Path AltEngine::ShortestPath(NodeId src, NodeId dst) {
+  double d = Run(src, dst, /*record_parents=*/true);
+  if (d == kInf) return Path{};
+  std::vector<NodeId> nodes;
+  for (NodeId v = dst; v.valid(); v = parent_[v.value()]) {
+    nodes.push_back(v);
+    if (v == src) break;
+  }
+  std::reverse(nodes.begin(), nodes.end());
+  return ProfileNodePath(graph_, std::move(nodes), metric_);
+}
+
 std::size_t AltEngine::MemoryFootprint() const {
-  return (dist_from_.capacity() + dist_to_.capacity()) * sizeof(double) +
-         anchors_.capacity() * sizeof(NodeId) + g_.capacity() * sizeof(double) +
-         mark_.capacity() * sizeof(std::uint32_t) + sizeof(*this);
+  const Tables& t = *tables_;
+  return (t.dist_from.capacity() + t.dist_to.capacity()) * sizeof(double) +
+         t.anchors.capacity() * sizeof(NodeId) +
+         g_.capacity() * sizeof(double) +
+         mark_.capacity() * sizeof(std::uint32_t) +
+         parent_.capacity() * sizeof(NodeId) + sizeof(*this);
 }
 
 }  // namespace xar

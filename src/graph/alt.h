@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/heap.h"
+#include "graph/path.h"
 #include "graph/road_graph.h"
 
 namespace xar {
@@ -19,18 +21,30 @@ namespace xar {
 ///
 /// ("Anchor" here to avoid confusion with the discretization's landmarks.)
 /// The metric is fixed at construction; preprocessing costs
-/// 2 * num_anchors Dijkstra runs.
+/// 2 * num_anchors Dijkstra runs. The anchor tables are immutable after
+/// construction and shared between copies, so cloning an engine for another
+/// thread costs only the per-query workspace (engines themselves are not
+/// thread-safe; use one per thread).
 class AltEngine {
  public:
   AltEngine(const RoadGraph& graph, std::size_t num_anchors = 8,
             Metric metric = Metric::kDriveDistance);
 
+  /// Workspace clone: shares `other`'s preprocessed anchor tables, gets a
+  /// fresh query workspace. This is what engine pools hand out.
+  AltEngine(const AltEngine& other);
+  AltEngine& operator=(const AltEngine&) = delete;
+
   /// One-to-one distance under the construction metric; +inf if unreachable.
   double Distance(NodeId src, NodeId dst);
 
-  std::size_t num_anchors() const { return anchors_.size(); }
-  const std::vector<NodeId>& anchors() const { return anchors_; }
+  /// One-to-one path (nodes + both totals); empty path if unreachable.
+  Path ShortestPath(NodeId src, NodeId dst);
+
+  std::size_t num_anchors() const { return tables_->anchors.size(); }
+  const std::vector<NodeId>& anchors() const { return tables_->anchors; }
   std::size_t last_settled_count() const { return last_settled_count_; }
+  Metric metric() const { return metric_; }
 
   /// The (admissible) heuristic value used for `v` toward `dst`.
   double LowerBound(NodeId v, NodeId dst) const;
@@ -40,16 +54,24 @@ class AltEngine {
  private:
   static constexpr double kInf = std::numeric_limits<double>::infinity();
 
+  /// Immutable preprocessing product, shared across workspace clones.
+  struct Tables {
+    std::vector<NodeId> anchors;
+    // Flattened [anchor][node] exact distances.
+    std::vector<double> dist_from;  // anchor -> node
+    std::vector<double> dist_to;    // node -> anchor
+  };
+
+  double Run(NodeId src, NodeId dst, bool record_parents);
+
   const RoadGraph& graph_;
   Metric metric_;
-  std::vector<NodeId> anchors_;
-  // Flattened [anchor][node] exact distances.
-  std::vector<double> dist_from_;  // anchor -> node
-  std::vector<double> dist_to_;    // node -> anchor
+  std::shared_ptr<const Tables> tables_;
 
   IndexedMinHeap heap_;
   std::vector<double> g_;
   std::vector<std::uint32_t> mark_;
+  std::vector<NodeId> parent_;
   std::uint32_t generation_ = 0;
   std::size_t last_settled_count_ = 0;
 };

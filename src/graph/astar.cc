@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "graph/path_profile.h"
+
 namespace xar {
 
 AStarEngine::AStarEngine(const RoadGraph& graph)
@@ -10,13 +12,31 @@ AStarEngine::AStarEngine(const RoadGraph& graph)
       heap_(graph.NumNodes()),
       g_(graph.NumNodes(), kInf),
       mark_(graph.NumNodes(), 0),
-      parent_(graph.NumNodes()) {}
+      parent_(graph.NumNodes()) {
+  constexpr Metric kMetrics[] = {Metric::kDriveDistance, Metric::kDriveTime,
+                                 Metric::kWalkDistance};
+  double scale[3] = {kInf, kInf, kInf};
+  for (std::size_t u = 0; u < graph.NumNodes(); ++u) {
+    NodeId from(static_cast<NodeId::underlying_type>(u));
+    for (const RoadEdge& e : graph.OutEdges(from)) {
+      double straight = EquirectangularMeters(graph.PositionOf(from),
+                                              graph.PositionOf(e.to));
+      if (straight <= 0.0) continue;  // zero-length hop: no constraint
+      for (std::size_t m = 0; m < 3; ++m) {
+        double w = RoadGraph::EdgeWeight(e, kMetrics[m]);
+        if (w != kInf) scale[m] = std::min(scale[m], w / straight);
+      }
+    }
+  }
+  for (std::size_t m = 0; m < 3; ++m) {
+    heuristic_scale_[m] = scale[m] == kInf ? 0.0 : scale[m];
+  }
+}
 
 double AStarEngine::Heuristic(NodeId v, NodeId dst, Metric metric) const {
   double straight =
       EquirectangularMeters(graph_.PositionOf(v), graph_.PositionOf(dst));
-  if (metric == Metric::kDriveTime) return straight / graph_.MaxSpeedMps();
-  return straight;
+  return heuristic_scale_[static_cast<std::size_t>(metric)] * straight;
 }
 
 double AStarEngine::Run(NodeId src, NodeId dst, Metric metric,
@@ -65,31 +85,20 @@ double AStarEngine::Distance(NodeId src, NodeId dst, Metric metric) {
 
 Path AStarEngine::ShortestPath(NodeId src, NodeId dst, Metric metric) {
   double d = Run(src, dst, metric, /*record_parents=*/true);
-  Path path;
-  if (d == kInf) return path;
+  if (d == kInf) return Path{};
+  std::vector<NodeId> nodes;
   for (NodeId v = dst; v.valid(); v = parent_[v.value()]) {
-    path.nodes.push_back(v);
+    nodes.push_back(v);
     if (v == src) break;
   }
-  std::reverse(path.nodes.begin(), path.nodes.end());
-  path.length_m = 0;
-  path.time_s = 0;
-  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
-    const RoadEdge* best = nullptr;
-    double best_w = kInf;
-    for (const RoadEdge& e : graph_.OutEdges(path.nodes[i])) {
-      if (e.to != path.nodes[i + 1]) continue;
-      double w = RoadGraph::EdgeWeight(e, metric);
-      if (w < best_w) {
-        best_w = w;
-        best = &e;
-      }
-    }
-    assert(best != nullptr);
-    path.length_m += best->length_m;
-    path.time_s += best->time_s;
-  }
-  return path;
+  std::reverse(nodes.begin(), nodes.end());
+  return ProfileNodePath(graph_, std::move(nodes), metric);
+}
+
+std::size_t AStarEngine::MemoryFootprint() const {
+  return sizeof(*this) + g_.capacity() * sizeof(double) +
+         mark_.capacity() * sizeof(std::uint32_t) +
+         parent_.capacity() * sizeof(NodeId) + heap_.MemoryFootprint();
 }
 
 }  // namespace xar

@@ -12,9 +12,14 @@
 namespace xar {
 
 /// A* point-to-point search with an admissible geometric heuristic:
-/// straight-line distance for distance metrics, straight-line distance over
-/// the network's top speed for the time metric. Typically settles far fewer
-/// nodes than plain Dijkstra on spread-out queries.
+/// straight-line distance scaled by the graph's tightest weight-per-meter
+/// ratio under the query metric. The ratio is measured from the actual edge
+/// weights at construction, so the heuristic stays a true lower bound even
+/// when weights dip below geometric length (e.g. after a traffic
+/// perturbation); on plain geometric graphs it reduces to straight-line
+/// distance (and straight-line over top speed for the time metric).
+/// Typically settles far fewer nodes than plain Dijkstra on spread-out
+/// queries.
 class AStarEngine {
  public:
   explicit AStarEngine(const RoadGraph& graph);
@@ -27,6 +32,9 @@ class AStarEngine {
 
   std::size_t last_settled_count() const { return last_settled_count_; }
 
+  /// Bytes held by this engine's per-query workspace.
+  std::size_t MemoryFootprint() const;
+
  private:
   static constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -34,6 +42,11 @@ class AStarEngine {
   double Run(NodeId src, NodeId dst, Metric metric, bool record_parents);
 
   const RoadGraph& graph_;
+  /// Per-metric min over edges of weight / straight-line length. Every edge
+  /// satisfies w(e) >= scale * straight(e), and a path's straight-line hops
+  /// sum to at least straight(src, dst), so scale * straight(v, dst) is a
+  /// lower bound on the remaining cost from v.
+  double heuristic_scale_[3] = {0.0, 0.0, 0.0};
   IndexedMinHeap heap_;
   std::vector<double> g_;
   std::vector<std::uint32_t> mark_;

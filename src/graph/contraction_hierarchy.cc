@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "graph/path_profile.h"
 
 namespace xar {
 
 ContractionHierarchy::ContractionHierarchy(const RoadGraph& graph,
                                            Metric metric, ChOptions options)
-    : n_(graph.NumNodes()),
+    : graph_(&graph),
+      metric_(metric),
+      n_(graph.NumNodes()),
       options_(options),
       fwd_(n_),
       bwd_(n_),
@@ -16,12 +21,6 @@ ContractionHierarchy::ContractionHierarchy(const RoadGraph& graph,
       rank_(n_, 0),
       up_(n_),
       down_(n_),
-      fwd_heap_(n_),
-      bwd_heap_(n_),
-      fwd_dist_(n_, kInf),
-      bwd_dist_(n_, kInf),
-      fwd_mark_(n_, 0),
-      bwd_mark_(n_, 0),
       wit_dist_(n_, kInf),
       wit_mark_(n_, 0),
       wit_heap_(n_) {
@@ -31,8 +30,9 @@ ContractionHierarchy::ContractionHierarchy(const RoadGraph& graph,
          graph.OutEdges(NodeId(static_cast<NodeId::underlying_type>(u)))) {
       double w = RoadGraph::EdgeWeight(e, metric);
       if (w == kInf) continue;
-      fwd_[u].push_back(Arc{e.to.value(), w});
-      bwd_[e.to.value()].push_back(Arc{static_cast<std::uint32_t>(u), w});
+      fwd_[u].push_back(Arc{e.to.value(), w, kNoVia});
+      bwd_[e.to.value()].push_back(
+          Arc{static_cast<std::uint32_t>(u), w, kNoVia});
     }
   }
   auto dedup = [](std::vector<Arc>& arcs) {
@@ -74,10 +74,15 @@ ContractionHierarchy::ContractionHierarchy(const RoadGraph& graph,
   }
 
   // Assemble the upward/downward search graphs from the final arc sets
-  // (originals + shortcuts accumulated into fwd_/bwd_).
+  // (originals + shortcuts accumulated into fwd_/bwd_), and the unpack map
+  // over ALL final arcs — shortcut expansion recurses through pairs that
+  // the rank cut excludes from up_/down_.
   for (std::size_t u = 0; u < n_; ++u) {
     for (const Arc& a : fwd_[u]) {
       if (rank_[a.to] > rank_[u]) up_[u].push_back(a);
+      auto [it, inserted] = unpack_.try_emplace(
+          PackPair(static_cast<std::uint32_t>(u), a.to), a);
+      if (!inserted && a.weight < it->second.weight) it->second = a;
     }
     for (const Arc& a : bwd_[u]) {
       if (rank_[a.to] > rank_[u]) down_[u].push_back(a);
@@ -85,7 +90,19 @@ ContractionHierarchy::ContractionHierarchy(const RoadGraph& graph,
     dedup(up_[u]);
     dedup(down_[u]);
   }
+
+  // Construction-only state is dead weight from here on; the query side
+  // reads up_/down_/unpack_/rank_ only.
+  std::vector<std::vector<Arc>>().swap(fwd_);
+  std::vector<std::vector<Arc>>().swap(bwd_);
+  std::vector<bool>().swap(contracted_);
+  std::vector<std::uint32_t>().swap(contracted_neighbors_);
+  std::vector<double>().swap(wit_dist_);
+  std::vector<std::uint32_t>().swap(wit_mark_);
+  wit_heap_ = IndexedMinHeap(0);
 }
+
+ContractionHierarchy::~ContractionHierarchy() = default;
 
 double ContractionHierarchy::WitnessDistance(std::uint32_t from,
                                              std::uint32_t target,
@@ -128,13 +145,13 @@ ContractionHierarchy::SimulateContract(std::uint32_t v, bool apply) {
       double via = in.weight + out.weight;
       double witness = WitnessDistance(in.to, out.to, v, via);
       if (witness <= via) continue;  // a path avoiding v is as good
-      shortcuts.push_back({Arc{out.to, via}, in.to});
+      shortcuts.push_back({Arc{out.to, via, v}, in.to});
     }
   }
   if (apply) {
     for (const auto& [arc, from] : shortcuts) {
       fwd_[from].push_back(arc);
-      bwd_[arc.to].push_back(Arc{from, arc.weight});
+      bwd_[arc.to].push_back(Arc{from, arc.weight, arc.via});
       ++num_shortcuts_;
     }
   }
@@ -151,12 +168,56 @@ double ContractionHierarchy::ContractPriority(std::uint32_t v) {
          2.0 * static_cast<double>(contracted_neighbors_[v]);
 }
 
+ChQuery& ContractionHierarchy::DefaultQuery() {
+  if (!default_query_) default_query_ = std::make_unique<ChQuery>(*this);
+  return *default_query_;
+}
+
 double ContractionHierarchy::Distance(NodeId src, NodeId dst) {
-  if (src == dst) return 0.0;
+  return DefaultQuery().Distance(src, dst);
+}
+
+Path ContractionHierarchy::Route(NodeId src, NodeId dst) {
+  return DefaultQuery().Route(src, dst);
+}
+
+std::size_t ContractionHierarchy::last_settled_count() const {
+  return default_query_ ? default_query_->last_settled_count() : 0;
+}
+
+std::size_t ContractionHierarchy::MemoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  auto count = [&](const std::vector<std::vector<Arc>>& adj) {
+    for (const auto& arcs : adj) bytes += arcs.capacity() * sizeof(Arc);
+  };
+  count(up_);
+  count(down_);
+  // Hash map: key + value per entry plus bucket/link overhead.
+  bytes += unpack_.size() *
+           (sizeof(std::uint64_t) + sizeof(Arc) + 2 * sizeof(void*));
+  bytes += rank_.capacity() * sizeof(std::size_t);
+  return bytes;
+}
+
+ChQuery::ChQuery(const ContractionHierarchy& ch)
+    : ch_(ch),
+      fwd_heap_(ch.n_),
+      bwd_heap_(ch.n_),
+      fwd_dist_(ch.n_, kInf),
+      bwd_dist_(ch.n_, kInf),
+      fwd_mark_(ch.n_, 0),
+      bwd_mark_(ch.n_, 0),
+      fwd_parent_(ch.n_, kNoNode),
+      bwd_parent_(ch.n_, kNoNode) {}
+
+double ChQuery::Run(NodeId src, NodeId dst, bool record_parents,
+                    std::uint32_t* meet) {
+  using Arc = ContractionHierarchy::Arc;
   ++generation_;
   fwd_heap_.Clear();
   bwd_heap_.Clear();
   last_settled_count_ = 0;
+  *meet = kNoNode;
 
   auto fdist = [&](std::uint32_t v) {
     return fwd_mark_[v] == generation_ ? fwd_dist_[v] : kInf;
@@ -169,6 +230,10 @@ double ContractionHierarchy::Distance(NodeId src, NodeId dst) {
   fwd_mark_[src.value()] = generation_;
   bwd_dist_[dst.value()] = 0;
   bwd_mark_[dst.value()] = generation_;
+  if (record_parents) {
+    fwd_parent_[src.value()] = kNoNode;
+    bwd_parent_[dst.value()] = kNoNode;
+  }
   fwd_heap_.Push(src.value(), 0);
   bwd_heap_.Push(dst.value(), 0);
 
@@ -193,21 +258,42 @@ double ContractionHierarchy::Distance(NodeId src, NodeId dst) {
     std::uint32_t u = static_cast<std::uint32_t>(heap.PopMin());
     ++last_settled_count_;
     double du = fwd_turn ? fdist(u) : bdist(u);
+    // Stall-on-demand: if a higher-ranked neighbor reaches u more cheaply
+    // than u's own label, u cannot be the apex of a shortest up-down path
+    // (the apex's upward label is exact, so it never stalls) — skip both
+    // the candidate update and the relaxations.
+    {
+      const std::vector<Arc>& stall = fwd_turn ? ch_.down_[u] : ch_.up_[u];
+      bool stalled = false;
+      for (const Arc& a : stall) {
+        double dp = fwd_turn ? fdist(a.to) : bdist(a.to);
+        if (dp + a.weight < du) {
+          stalled = true;
+          break;
+        }
+      }
+      if (stalled) continue;
+    }
     double other = fwd_turn ? bdist(u) : fdist(u);
-    if (other != kInf) best = std::min(best, du + other);
-    const std::vector<Arc>& arcs = fwd_turn ? up_[u] : down_[u];
+    if (other != kInf && du + other < best) {
+      best = du + other;
+      *meet = u;
+    }
+    const std::vector<Arc>& arcs = fwd_turn ? ch_.up_[u] : ch_.down_[u];
     for (const Arc& a : arcs) {
       double nd = du + a.weight;
       if (fwd_turn) {
         if (nd < fdist(a.to)) {
           fwd_dist_[a.to] = nd;
           fwd_mark_[a.to] = generation_;
+          if (record_parents) fwd_parent_[a.to] = u;
           fwd_heap_.PushOrDecrease(a.to, nd);
         }
       } else {
         if (nd < bdist(a.to)) {
           bwd_dist_[a.to] = nd;
           bwd_mark_[a.to] = generation_;
+          if (record_parents) bwd_parent_[a.to] = u;
           bwd_heap_.PushOrDecrease(a.to, nd);
         }
       }
@@ -216,18 +302,74 @@ double ContractionHierarchy::Distance(NodeId src, NodeId dst) {
   return best;
 }
 
-std::size_t ContractionHierarchy::MemoryFootprint() const {
-  std::size_t bytes = sizeof(*this);
-  auto count = [&](const std::vector<std::vector<Arc>>& adj) {
-    for (const auto& arcs : adj) bytes += arcs.capacity() * sizeof(Arc);
-  };
-  count(fwd_);
-  count(bwd_);
-  count(up_);
-  count(down_);
-  bytes += n_ * (2 * sizeof(double) + 2 * sizeof(std::uint32_t) +
-                 sizeof(std::size_t) + 2);
-  return bytes;
+double ChQuery::Distance(NodeId src, NodeId dst) {
+  if (src == dst) return 0.0;
+  std::uint32_t meet;
+  return Run(src, dst, /*record_parents=*/false, &meet);
+}
+
+void ChQuery::AppendUnpacked(std::uint32_t from, std::uint32_t to,
+                             std::vector<NodeId>* out) const {
+  // Explicit stack; pushing (a, via) after (via, b) keeps emission
+  // left-to-right. Each expansion strictly lowers the middle rank, so this
+  // terminates at original arcs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+  stack.emplace_back(from, to);
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    auto it = ch_.unpack_.find(ContractionHierarchy::PackPair(a, b));
+    std::uint32_t via =
+        it == ch_.unpack_.end() ? ContractionHierarchy::kNoVia : it->second.via;
+    if (via == ContractionHierarchy::kNoVia) {
+      out->push_back(NodeId(static_cast<NodeId::underlying_type>(b)));
+      continue;
+    }
+    stack.emplace_back(via, b);
+    stack.emplace_back(a, via);
+  }
+}
+
+Path ChQuery::Route(NodeId src, NodeId dst) {
+  if (src == dst) {
+    Path p;
+    p.nodes = {src};
+    p.length_m = 0;
+    p.time_s = 0;
+    return p;
+  }
+  std::uint32_t meet;
+  double d = Run(src, dst, /*record_parents=*/true, &meet);
+  if (d == kInf || meet == kNoNode) return Path{};
+
+  // Forward half: src -> meet along fwd_parent_, each hop an up_ arc.
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t v = meet; v != kNoNode; v = fwd_parent_[v]) {
+    chain.push_back(v);
+    if (v == src.value()) break;
+  }
+  std::vector<NodeId> nodes;
+  nodes.push_back(src);
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    AppendUnpacked(chain[i], chain[i - 1], &nodes);
+  }
+  // Backward half: an arc {p, w} relaxed from u in down_[u] stands for the
+  // real arc p -> u, so bwd_parent_[p] = u is p's real successor.
+  for (std::uint32_t v = meet; v != dst.value();) {
+    std::uint32_t next = bwd_parent_[v];
+    AppendUnpacked(v, next, &nodes);
+    v = next;
+  }
+  return ProfileNodePath(*ch_.graph_, std::move(nodes), ch_.metric_);
+}
+
+std::size_t ChQuery::MemoryFootprint() const {
+  return sizeof(*this) +
+         (fwd_dist_.capacity() + bwd_dist_.capacity()) * sizeof(double) +
+         (fwd_mark_.capacity() + bwd_mark_.capacity() +
+          fwd_parent_.capacity() + bwd_parent_.capacity()) *
+             sizeof(std::uint32_t) +
+         ch_.NumNodes() * 4 * sizeof(std::size_t);  // both heaps, approx
 }
 
 }  // namespace xar

@@ -3,12 +3,17 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/heap.h"
+#include "graph/path.h"
 #include "graph/road_graph.h"
 
 namespace xar {
+
+class ChQuery;
 
 /// Options for the contraction-hierarchy preprocessing.
 struct ChOptions {
@@ -26,34 +31,63 @@ struct ChOptions {
 ///
 /// Exactness does not depend on the node order or the witness-search limit;
 /// both only affect preprocessing time and shortcut count.
+///
+/// Every shortcut remembers the node it bypassed, so queries can *unpack*
+/// their search-graph arcs back into original-graph node chains (Route).
+/// After construction the hierarchy is immutable; any number of ChQuery
+/// workspaces may read it concurrently. The Distance/Route methods on this
+/// class delegate to one lazily created internal ChQuery and are therefore
+/// convenience API for single-threaded use only.
 class ContractionHierarchy {
  public:
   explicit ContractionHierarchy(const RoadGraph& graph,
                                 Metric metric = Metric::kDriveDistance,
                                 ChOptions options = {});
+  ~ContractionHierarchy();
+
+  // ChQuery instances keep a reference to this hierarchy.
+  ContractionHierarchy(const ContractionHierarchy&) = delete;
+  ContractionHierarchy& operator=(const ContractionHierarchy&) = delete;
 
   /// One-to-one distance under the construction metric; +inf if
-  /// unreachable.
+  /// unreachable. Not thread-safe (see class comment).
   double Distance(NodeId src, NodeId dst);
+
+  /// One-to-one path in original-graph nodes (shortcuts unpacked), with
+  /// both length and time totals. Empty path if unreachable. Not
+  /// thread-safe (see class comment).
+  Path Route(NodeId src, NodeId dst);
 
   /// Shortcut arcs added during preprocessing.
   std::size_t NumShortcuts() const { return num_shortcuts_; }
 
-  /// Nodes settled by the most recent query (both directions).
-  std::size_t last_settled_count() const { return last_settled_count_; }
+  /// Nodes settled by the most recent convenience query (both directions).
+  std::size_t last_settled_count() const;
 
   /// Contraction rank of a node (0 = contracted first / least important).
   std::size_t RankOf(NodeId n) const { return rank_[n.value()]; }
 
+  Metric metric() const { return metric_; }
+  std::size_t NumNodes() const { return n_; }
+
   std::size_t MemoryFootprint() const;
 
  private:
+  friend class ChQuery;
+
   static constexpr double kInf = std::numeric_limits<double>::infinity();
+  /// `via` value marking an original (non-shortcut) arc.
+  static constexpr std::uint32_t kNoVia = 0xFFFFFFFFu;
 
   struct Arc {
     std::uint32_t to;
     double weight;
+    std::uint32_t via;  ///< contracted middle node, or kNoVia if original
   };
+
+  static std::uint64_t PackPair(std::uint32_t from, std::uint32_t to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
 
   /// Witness search: shortest u->w distance in the remaining graph avoiding
   /// `excluded`, capped at `limit` settled nodes and `cutoff` distance.
@@ -67,10 +101,15 @@ class ContractionHierarchy {
   /// Priority term: edge difference + contracted-neighbor count.
   double ContractPriority(std::uint32_t v);
 
+  ChQuery& DefaultQuery();
+
+  const RoadGraph* graph_;
+  Metric metric_;
   std::size_t n_;
   ChOptions options_;
 
   // Remaining-graph adjacency during construction (forward and backward).
+  // Freed once the final search graphs are assembled.
   std::vector<std::vector<Arc>> fwd_;
   std::vector<std::vector<Arc>> bwd_;
   std::vector<bool> contracted_;
@@ -78,26 +117,72 @@ class ContractionHierarchy {
   std::vector<std::size_t> rank_;
 
   // Final search graphs: upward arcs for the forward search, and upward
-  // arcs of the reverse graph for the backward search.
+  // arcs of the reverse graph for the backward search (an arc {p, w} in
+  // down_[u] stands for the real arc p -> u).
   std::vector<std::vector<Arc>> up_;
   std::vector<std::vector<Arc>> down_;
 
-  // Query state (reused).
-  IndexedMinHeap fwd_heap_;
-  IndexedMinHeap bwd_heap_;
-  std::vector<double> fwd_dist_;
-  std::vector<double> bwd_dist_;
-  std::vector<std::uint32_t> fwd_mark_;
-  std::vector<std::uint32_t> bwd_mark_;
-  std::uint32_t generation_ = 0;
+  // (from, to) -> lightest final arc between them, for shortcut unpacking.
+  // Covers every arc ever added, including those below query rank cuts, so
+  // recursive expansion always terminates at original edges.
+  std::unordered_map<std::uint64_t, Arc> unpack_;
 
-  // Witness-search state (reused).
+  // Witness-search state (construction only; freed afterwards).
   std::vector<double> wit_dist_;
   std::vector<std::uint32_t> wit_mark_;
   std::uint32_t wit_generation_ = 0;
   IndexedMinHeap wit_heap_;
 
   std::size_t num_shortcuts_ = 0;
+  std::unique_ptr<ChQuery> default_query_;
+};
+
+/// Per-thread query workspace over an immutable ContractionHierarchy.
+/// Holds the bidirectional heaps, distance labels, and parent arrays; the
+/// hierarchy itself is only read, so one hierarchy can serve many ChQuery
+/// instances concurrently (one per thread — a single ChQuery is not
+/// thread-safe).
+class ChQuery {
+ public:
+  explicit ChQuery(const ContractionHierarchy& ch);
+
+  /// One-to-one distance under the hierarchy's metric; +inf if unreachable.
+  double Distance(NodeId src, NodeId dst);
+
+  /// One-to-one path in original-graph nodes (shortcuts unpacked). Empty
+  /// path if unreachable.
+  Path Route(NodeId src, NodeId dst);
+
+  /// Nodes settled by the most recent query (both directions).
+  std::size_t last_settled_count() const { return last_settled_count_; }
+
+  std::size_t MemoryFootprint() const;
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+  /// Bidirectional upward search; returns the distance and, when finite,
+  /// sets `*meet` to the node where the best forward/backward labels join.
+  double Run(NodeId src, NodeId dst, bool record_parents,
+             std::uint32_t* meet);
+
+  /// Appends the original-graph expansion of search arc (from, to) to
+  /// `out`, excluding `from` itself (assumed already present).
+  void AppendUnpacked(std::uint32_t from, std::uint32_t to,
+                      std::vector<NodeId>* out) const;
+
+  const ContractionHierarchy& ch_;
+
+  IndexedMinHeap fwd_heap_;
+  IndexedMinHeap bwd_heap_;
+  std::vector<double> fwd_dist_;
+  std::vector<double> bwd_dist_;
+  std::vector<std::uint32_t> fwd_mark_;
+  std::vector<std::uint32_t> bwd_mark_;
+  std::vector<std::uint32_t> fwd_parent_;
+  std::vector<std::uint32_t> bwd_parent_;
+  std::uint32_t generation_ = 0;
   std::size_t last_settled_count_ = 0;
 };
 

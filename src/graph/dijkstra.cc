@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "graph/path_profile.h"
+
 namespace xar {
 
 DijkstraEngine::DijkstraEngine(const RoadGraph& graph)
@@ -55,35 +57,22 @@ double DijkstraEngine::Distance(NodeId src, NodeId dst, Metric metric) {
 Path DijkstraEngine::ShortestPath(NodeId src, NodeId dst, Metric metric) {
   Run(src, metric, /*record_parents=*/true,
       [dst](NodeId settled) { return settled == dst; });
-  Path path;
-  if (Dist(dst.value()) == kInf) return path;
+  if (Dist(dst.value()) == kInf) return Path{};
 
-  // Reconstruct node chain.
+  // Reconstruct node chain; ProfileNodePath fills in both totals.
+  std::vector<NodeId> nodes;
   for (NodeId v = dst; v.valid(); v = parent_[v.value()]) {
-    path.nodes.push_back(v);
+    nodes.push_back(v);
     if (v == src) break;
   }
-  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(nodes.begin(), nodes.end());
+  return ProfileNodePath(graph_, std::move(nodes), metric);
+}
 
-  // Accumulate both metrics along the chain (cheapest matching edge per hop).
-  path.length_m = 0;
-  path.time_s = 0;
-  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
-    const RoadEdge* best = nullptr;
-    double best_w = kInf;
-    for (const RoadEdge& e : graph_.OutEdges(path.nodes[i])) {
-      if (e.to != path.nodes[i + 1]) continue;
-      double w = RoadGraph::EdgeWeight(e, metric);
-      if (w < best_w) {
-        best_w = w;
-        best = &e;
-      }
-    }
-    assert(best != nullptr);
-    path.length_m += best->length_m;
-    path.time_s += best->time_s;
-  }
-  return path;
+std::size_t DijkstraEngine::MemoryFootprint() const {
+  return sizeof(*this) + dist_.capacity() * sizeof(double) +
+         visit_mark_.capacity() * sizeof(std::uint32_t) +
+         parent_.capacity() * sizeof(NodeId) + heap_.MemoryFootprint();
 }
 
 std::vector<double> DijkstraEngine::DistancesToMany(

@@ -41,6 +41,9 @@ class DijkstraEngine {
   /// Number of heap pops in the most recent query (for benchmarking).
   std::size_t last_settled_count() const { return last_settled_count_; }
 
+  /// Bytes held by this engine's per-query workspace.
+  std::size_t MemoryFootprint() const;
+
  private:
   static constexpr double kInf = std::numeric_limits<double>::infinity();
 

@@ -1,6 +1,7 @@
 #include "graph/oracle.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace xar {
 namespace {
@@ -22,41 +23,36 @@ std::size_t StripeCountFor(std::size_t cache_capacity) {
 
 }  // namespace
 
-GraphOracle::GraphOracle(const RoadGraph& graph, std::size_t cache_capacity)
-    : graph_(graph), cache_capacity_(cache_capacity) {
+GraphOracle::GraphOracle(const RoadGraph& graph, std::size_t cache_capacity,
+                         RoutingBackendKind backend,
+                         const RoutingBackendOptions& backend_options)
+    : GraphOracle(graph, MakeRoutingBackend(backend, graph, backend_options),
+                  cache_capacity) {}
+
+GraphOracle::GraphOracle(const RoadGraph& graph,
+                         std::unique_ptr<RoutingBackend> backend,
+                         std::size_t cache_capacity)
+    : graph_(graph),
+      backend_(std::move(backend)),
+      cache_capacity_(cache_capacity) {
   std::size_t num_stripes = StripeCountFor(cache_capacity);
   stripe_capacity_ = std::max<std::size_t>(1, cache_capacity / num_stripes);
   stripes_.reserve(num_stripes);
   for (std::size_t s = 0; s < num_stripes; ++s) {
     stripes_.push_back(std::make_unique<Stripe>());
   }
-  idle_engines_.push_back(std::make_unique<AStarEngine>(graph_));
 }
 
-std::unique_ptr<AStarEngine> GraphOracle::AcquireEngine() {
-  {
-    std::lock_guard<std::mutex> lock(engines_mutex_);
-    if (!idle_engines_.empty()) {
-      std::unique_ptr<AStarEngine> engine = std::move(idle_engines_.back());
-      idle_engines_.pop_back();
-      return engine;
-    }
-  }
-  // Pool empty: another thread is mid-query. Grow by one; the pool converges
-  // to the peak number of concurrent callers.
-  return std::make_unique<AStarEngine>(graph_);
-}
-
-void GraphOracle::ReleaseEngine(std::unique_ptr<AStarEngine> engine) {
-  std::lock_guard<std::mutex> lock(engines_mutex_);
-  idle_engines_.push_back(std::move(engine));
+void GraphOracle::Prewarm() {
+  backend_->Prepare(Metric::kDriveDistance);
+  backend_->Prepare(Metric::kDriveTime);
+  backend_->Prepare(Metric::kWalkDistance);
 }
 
 double GraphOracle::CachedDistance(NodeId from, NodeId to, Metric metric) {
   if (cache_capacity_ == 0) {
     computations_.fetch_add(1, std::memory_order_relaxed);
-    EngineLease engine(*this);
-    return engine->Distance(from, to, metric);
+    return backend_->Distance(from, to, metric);
   }
   OracleCacheKey key = MakeOracleCacheKey(from, to, metric);
   Stripe& stripe = StripeOf(key);
@@ -72,11 +68,7 @@ double GraphOracle::CachedDistance(NodeId from, NodeId to, Metric metric) {
   // Miss: compute outside the stripe lock so same-stripe lookups (and other
   // threads racing on this very key) are never blocked behind a search.
   computations_.fetch_add(1, std::memory_order_relaxed);
-  double d;
-  {
-    EngineLease engine(*this);
-    d = engine->Distance(from, to, metric);
-  }
+  double d = backend_->Distance(from, to, metric);
   std::lock_guard<std::mutex> lock(stripe.mutex);
   auto it = stripe.map.find(key);
   if (it != stripe.map.end()) {
@@ -106,8 +98,7 @@ double GraphOracle::WalkDistance(NodeId from, NodeId to) {
 
 Path GraphOracle::DriveRoute(NodeId from, NodeId to) {
   computations_.fetch_add(1, std::memory_order_relaxed);
-  EngineLease engine(*this);
-  return engine->ShortestPath(from, to, Metric::kDriveDistance);
+  return backend_->Route(from, to, Metric::kDriveDistance);
 }
 
 HaversineOracle::HaversineOracle(const RoadGraph& graph,
@@ -132,6 +123,20 @@ Path HaversineOracle::DriveRoute(NodeId from, NodeId to) {
   p.length_m = DriveDistance(from, to);
   p.time_s = DriveTime(from, to);
   return p;
+}
+
+TextTable OracleStatsTable(const DistanceOracle& oracle) {
+  TextTable table({"backend", "computations", "cache_hits", "hit_rate",
+                   "settled_nodes"});
+  std::size_t computations = oracle.computation_count();
+  std::size_t hits = oracle.cache_hit_count();
+  std::size_t lookups = computations + hits;
+  double hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  table.AddRow({oracle.backend_name(), std::to_string(computations),
+                std::to_string(hits), TextTable::Num(hit_rate),
+                std::to_string(oracle.settled_count())});
+  return table;
 }
 
 }  // namespace xar

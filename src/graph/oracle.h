@@ -10,10 +10,10 @@
 #include <unordered_map>
 #include <vector>
 
-#include "graph/astar.h"
-#include "graph/dijkstra.h"
+#include "common/table.h"
 #include "graph/path.h"
 #include "graph/road_graph.h"
+#include "graph/routing_backend.h"
 
 namespace xar {
 
@@ -46,6 +46,20 @@ class DistanceOracle {
   /// Number of real shortest-path computations performed (cache misses).
   /// Lets benchmarks report how many shortest paths each operation cost.
   virtual std::size_t computation_count() const { return 0; }
+
+  /// Distance queries answered from a cache without a computation.
+  virtual std::size_t cache_hit_count() const { return 0; }
+
+  /// Cumulative nodes settled by the underlying search backend.
+  virtual std::size_t settled_count() const { return 0; }
+
+  /// Stable name of the routing backend answering cache misses.
+  virtual const char* backend_name() const { return "none"; }
+
+  /// Forces any lazy backend preprocessing (e.g. contraction hierarchies
+  /// for all metrics) to run now. Refresh paths call this off-thread, with
+  /// no locks held, so the first post-swap query never pays a build.
+  virtual void Prewarm() {}
 };
 
 /// Cache key of one (from, to, metric) distance query. `from` and `to` use
@@ -83,14 +97,18 @@ struct OracleCacheKeyHash {
   }
 };
 
-/// Exact oracle backed by A* over a RoadGraph, with a striped LRU result
-/// cache (distance queries only; routes are always computed).
+/// Exact oracle backed by a pluggable RoutingBackend over a RoadGraph, with
+/// a striped LRU result cache (distance queries only; routes are always
+/// computed). The default backend is contraction hierarchies — the fastest
+/// per query once its lazy per-metric build has run; pass
+/// RoutingBackendKind::kAStar for the preprocessing-free behaviour this
+/// class had before backends were pluggable.
 ///
 /// Thread-safe: the cache is striped (each stripe has its own mutex and LRU
 /// list, hot-path locks are per-stripe and never held during a shortest-path
-/// computation) and search engines are leased from an internal pool, so any
-/// number of threads can query concurrently. Two threads racing on the same
-/// cold key may both compute it; computation_count() reports real
+/// computation) and the backend leases per-thread workspaces internally, so
+/// any number of threads can query concurrently. Two threads racing on the
+/// same cold key may both compute it; computation_count() reports real
 /// computations, so single-threaded counts are exactly as before.
 class GraphOracle : public DistanceOracle {
  public:
@@ -98,7 +116,13 @@ class GraphOracle : public DistanceOracle {
   /// all stripes; 0 disables caching. Small capacities use a single stripe
   /// so eviction order stays strict LRU.
   explicit GraphOracle(const RoadGraph& graph,
-                       std::size_t cache_capacity = 1 << 16);
+                       std::size_t cache_capacity = 1 << 16,
+                       RoutingBackendKind backend = RoutingBackendKind::kCh,
+                       const RoutingBackendOptions& backend_options = {});
+
+  /// Takes ownership of a caller-built backend (tests, unusual configs).
+  GraphOracle(const RoadGraph& graph, std::unique_ptr<RoutingBackend> backend,
+              std::size_t cache_capacity = 1 << 16);
 
   double DriveDistance(NodeId from, NodeId to) override;
   double DriveTime(NodeId from, NodeId to) override;
@@ -108,9 +132,17 @@ class GraphOracle : public DistanceOracle {
   std::size_t computation_count() const override {
     return computations_.load(std::memory_order_relaxed);
   }
-  std::size_t cache_hit_count() const {
+  std::size_t cache_hit_count() const override {
     return cache_hits_.load(std::memory_order_relaxed);
   }
+  std::size_t settled_count() const override {
+    return backend_->settled_count();
+  }
+  const char* backend_name() const override { return backend_->name(); }
+  void Prewarm() override;
+
+  RoutingBackend& backend() { return *backend_; }
+  const RoutingBackend& backend() const { return *backend_; }
 
  private:
   struct CacheEntry {
@@ -123,35 +155,16 @@ class GraphOracle : public DistanceOracle {
     std::unordered_map<OracleCacheKey, CacheEntry, OracleCacheKeyHash> map;
   };
 
-  /// RAII lease of an A* engine from the pool (engines keep per-query
-  /// workspace, so one engine must never run two queries at once).
-  class EngineLease {
-   public:
-    explicit EngineLease(GraphOracle& oracle)
-        : oracle_(oracle), engine_(oracle.AcquireEngine()) {}
-    ~EngineLease() { oracle_.ReleaseEngine(std::move(engine_)); }
-    AStarEngine& operator*() { return *engine_; }
-    AStarEngine* operator->() { return engine_.get(); }
-
-   private:
-    GraphOracle& oracle_;
-    std::unique_ptr<AStarEngine> engine_;
-  };
-
   double CachedDistance(NodeId from, NodeId to, Metric metric);
   Stripe& StripeOf(const OracleCacheKey& key) {
     return *stripes_[OracleCacheKeyHash{}(key) % stripes_.size()];
   }
-  std::unique_ptr<AStarEngine> AcquireEngine();
-  void ReleaseEngine(std::unique_ptr<AStarEngine> engine);
 
   const RoadGraph& graph_;
+  std::unique_ptr<RoutingBackend> backend_;
   std::size_t cache_capacity_;
   std::size_t stripe_capacity_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
-
-  std::mutex engines_mutex_;
-  std::vector<std::unique_ptr<AStarEngine>> idle_engines_;
 
   std::atomic<std::size_t> computations_{0};
   std::atomic<std::size_t> cache_hits_{0};
@@ -172,10 +185,18 @@ class HaversineOracle : public DistanceOracle {
   double WalkDistance(NodeId from, NodeId to) override;
   Path DriveRoute(NodeId from, NodeId to) override;
 
+  const char* backend_name() const override { return "haversine"; }
+
  private:
   const RoadGraph& graph_;
   double drive_speed_mps_;
 };
+
+/// One-row table of an oracle's counters (backend, computations, cache
+/// hits, hit rate, settled nodes) — the observability the ROADMAP's
+/// striped-cache question asks for. Benches and the command server print
+/// this next to RetryStatsTable/RefreshStatsTable.
+TextTable OracleStatsTable(const DistanceOracle& oracle);
 
 }  // namespace xar
 

@@ -1,0 +1,34 @@
+#include "graph/path_profile.h"
+
+#include <cassert>
+#include <limits>
+
+namespace xar {
+
+Path ProfileNodePath(const RoadGraph& graph, std::vector<NodeId> nodes,
+                     Metric metric) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Path path;
+  if (nodes.empty()) return path;
+  path.nodes = std::move(nodes);
+  path.length_m = 0;
+  path.time_s = 0;
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    const RoadEdge* best = nullptr;
+    double best_w = kInf;
+    for (const RoadEdge& e : graph.OutEdges(path.nodes[i])) {
+      if (e.to != path.nodes[i + 1]) continue;
+      double w = RoadGraph::EdgeWeight(e, metric);
+      if (w < best_w) {
+        best_w = w;
+        best = &e;
+      }
+    }
+    assert(best != nullptr);
+    path.length_m += best->length_m;
+    path.time_s += best->time_s;
+  }
+  return path;
+}
+
+}  // namespace xar

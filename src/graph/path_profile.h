@@ -1,0 +1,24 @@
+#ifndef XAR_GRAPH_PATH_PROFILE_H_
+#define XAR_GRAPH_PATH_PROFILE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "graph/path.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// Turns a node chain into a full Path by walking the graph and, for each
+/// hop, charging the cheapest parallel edge under `metric` (the edge a
+/// shortest-path search would have relaxed). Fills in BOTH totals —
+/// length_m and time_s — regardless of the query metric, which is why every
+/// engine's route reconstruction funnels through here instead of summing
+/// its own distance labels.
+Path ProfileNodePath(const RoadGraph& graph, std::vector<NodeId> nodes,
+                     Metric metric);
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_PATH_PROFILE_H_

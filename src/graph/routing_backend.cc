@@ -1,0 +1,394 @@
+#include "graph/routing_backend.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "graph/alt.h"
+#include "graph/astar.h"
+#include "graph/dijkstra.h"
+
+namespace xar {
+
+std::vector<double> RoutingBackend::DistancesToMany(
+    NodeId src, const std::vector<NodeId>& targets, Metric metric) {
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (NodeId t : targets) out.push_back(Distance(src, t, metric));
+  return out;
+}
+
+namespace {
+
+constexpr std::size_t kNumMetrics = 3;
+
+std::size_t MetricIndex(Metric metric) {
+  return static_cast<std::size_t>(metric);
+}
+
+/// Lease pool of per-thread query workspaces: engines keep mutable state,
+/// so one engine must never run two queries at once. The pool grows to the
+/// peak number of concurrent callers and then stops allocating.
+template <typename Engine>
+class EnginePool {
+ public:
+  class Lease {
+   public:
+    Lease(EnginePool& pool, std::unique_ptr<Engine> engine)
+        : pool_(pool), engine_(std::move(engine)) {}
+    ~Lease() { pool_.Release(std::move(engine_)); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Engine& operator*() { return *engine_; }
+    Engine* operator->() { return engine_.get(); }
+
+   private:
+    EnginePool& pool_;
+    std::unique_ptr<Engine> engine_;
+  };
+
+  template <typename Factory>
+  Lease Acquire(Factory&& make) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<Engine> engine = std::move(idle_.back());
+        idle_.pop_back();
+        return Lease(*this, std::move(engine));
+      }
+    }
+    return Lease(*this, make());
+  }
+
+  /// Sum of `footprint` over idle engines (leased ones are transient).
+  template <typename FootprintFn>
+  std::size_t IdleFootprint(FootprintFn&& footprint) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t bytes = 0;
+    for (const auto& engine : idle_) bytes += footprint(*engine);
+    return bytes;
+  }
+
+ private:
+  void Release(std::unique_ptr<Engine> engine) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(engine));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Engine>> idle_;
+};
+
+class DijkstraBackend final : public RoutingBackend {
+ public:
+  explicit DijkstraBackend(const RoadGraph& graph) : graph_(graph) {}
+
+  double Distance(NodeId from, NodeId to, Metric metric) override {
+    auto engine = AcquireEngine();
+    double d = engine->Distance(from, to, metric);
+    Account(engine->last_settled_count());
+    return d;
+  }
+
+  Path Route(NodeId from, NodeId to, Metric metric) override {
+    auto engine = AcquireEngine();
+    Path p = engine->ShortestPath(from, to, metric);
+    Account(engine->last_settled_count());
+    return p;
+  }
+
+  std::vector<double> DistancesToMany(NodeId src,
+                                      const std::vector<NodeId>& targets,
+                                      Metric metric) override {
+    auto engine = AcquireEngine();
+    std::vector<double> out = engine->DistancesToMany(src, targets, metric);
+    Account(engine->last_settled_count());
+    return out;
+  }
+
+  RoutingBackendKind kind() const override {
+    return RoutingBackendKind::kDijkstra;
+  }
+  std::size_t settled_count() const override {
+    return settled_.load(std::memory_order_relaxed);
+  }
+  std::size_t query_count() const override {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  std::size_t MemoryFootprint() const override {
+    return sizeof(*this) + pool_.IdleFootprint([](const DijkstraEngine& e) {
+      return e.MemoryFootprint();
+    });
+  }
+
+ private:
+  EnginePool<DijkstraEngine>::Lease AcquireEngine() {
+    return pool_.Acquire(
+        [this] { return std::make_unique<DijkstraEngine>(graph_); });
+  }
+  void Account(std::size_t settled) {
+    settled_.fetch_add(settled, std::memory_order_relaxed);
+    queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const RoadGraph& graph_;
+  EnginePool<DijkstraEngine> pool_;
+  std::atomic<std::size_t> settled_{0};
+  std::atomic<std::size_t> queries_{0};
+};
+
+class AStarBackend final : public RoutingBackend {
+ public:
+  explicit AStarBackend(const RoadGraph& graph) : graph_(graph) {}
+
+  double Distance(NodeId from, NodeId to, Metric metric) override {
+    auto engine = AcquireEngine();
+    double d = engine->Distance(from, to, metric);
+    Account(engine->last_settled_count());
+    return d;
+  }
+
+  Path Route(NodeId from, NodeId to, Metric metric) override {
+    auto engine = AcquireEngine();
+    Path p = engine->ShortestPath(from, to, metric);
+    Account(engine->last_settled_count());
+    return p;
+  }
+
+  RoutingBackendKind kind() const override { return RoutingBackendKind::kAStar; }
+  std::size_t settled_count() const override {
+    return settled_.load(std::memory_order_relaxed);
+  }
+  std::size_t query_count() const override {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  std::size_t MemoryFootprint() const override {
+    return sizeof(*this) + pool_.IdleFootprint([](const AStarEngine& e) {
+      return e.MemoryFootprint();
+    });
+  }
+
+ private:
+  EnginePool<AStarEngine>::Lease AcquireEngine() {
+    return pool_.Acquire(
+        [this] { return std::make_unique<AStarEngine>(graph_); });
+  }
+  void Account(std::size_t settled) {
+    settled_.fetch_add(settled, std::memory_order_relaxed);
+    queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const RoadGraph& graph_;
+  EnginePool<AStarEngine> pool_;
+  std::atomic<std::size_t> settled_{0};
+  std::atomic<std::size_t> queries_{0};
+};
+
+/// Shared scaffolding for the preprocessing backends (ALT, CH): one lazily
+/// built immutable product per metric (std::call_once so racing first
+/// queries — and TSan — see exactly one build), plus a workspace pool.
+class AltBackend final : public RoutingBackend {
+ public:
+  AltBackend(const RoadGraph& graph, std::size_t anchors)
+      : graph_(graph), anchors_(anchors) {}
+
+  double Distance(NodeId from, NodeId to, Metric metric) override {
+    PerMetric& pm = Ensure(metric);
+    auto engine = pm.pool.Acquire(
+        [&pm] { return std::make_unique<AltEngine>(*pm.prototype); });
+    double d = engine->Distance(from, to);
+    Account(engine->last_settled_count());
+    return d;
+  }
+
+  Path Route(NodeId from, NodeId to, Metric metric) override {
+    PerMetric& pm = Ensure(metric);
+    auto engine = pm.pool.Acquire(
+        [&pm] { return std::make_unique<AltEngine>(*pm.prototype); });
+    Path p = engine->ShortestPath(from, to);
+    Account(engine->last_settled_count());
+    return p;
+  }
+
+  void Prepare(Metric metric) override { Ensure(metric); }
+
+  RoutingBackendKind kind() const override { return RoutingBackendKind::kAlt; }
+  std::size_t settled_count() const override {
+    return settled_.load(std::memory_order_relaxed);
+  }
+  std::size_t query_count() const override {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  double preprocess_millis() const override {
+    return static_cast<double>(
+               preprocess_micros_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+  std::size_t MemoryFootprint() const override {
+    std::size_t bytes = sizeof(*this);
+    for (const PerMetric& pm : metrics_) {
+      // The prototype's footprint covers the shared tables; idle clones
+      // only add their workspaces, which the prototype's count mirrors.
+      if (pm.prototype) bytes += pm.prototype->MemoryFootprint();
+      bytes += pm.pool.IdleFootprint([](const AltEngine& e) {
+        return e.MemoryFootprint() / 2;  // tables shared with the prototype
+      });
+    }
+    return bytes;
+  }
+
+ private:
+  struct PerMetric {
+    std::once_flag once;
+    std::unique_ptr<AltEngine> prototype;
+    EnginePool<AltEngine> pool;
+  };
+
+  PerMetric& Ensure(Metric metric) {
+    PerMetric& pm = metrics_[MetricIndex(metric)];
+    std::call_once(pm.once, [this, &pm, metric] {
+      auto start = std::chrono::steady_clock::now();
+      pm.prototype = std::make_unique<AltEngine>(graph_, anchors_, metric);
+      auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      preprocess_micros_.fetch_add(micros, std::memory_order_relaxed);
+    });
+    return pm;
+  }
+  void Account(std::size_t settled) {
+    settled_.fetch_add(settled, std::memory_order_relaxed);
+    queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const RoadGraph& graph_;
+  std::size_t anchors_;
+  PerMetric metrics_[kNumMetrics];
+  std::atomic<std::size_t> settled_{0};
+  std::atomic<std::size_t> queries_{0};
+  std::atomic<std::int64_t> preprocess_micros_{0};
+};
+
+class ChBackend final : public RoutingBackend {
+ public:
+  ChBackend(const RoadGraph& graph, ChOptions options)
+      : graph_(graph), options_(options) {}
+
+  double Distance(NodeId from, NodeId to, Metric metric) override {
+    PerMetric& pm = Ensure(metric);
+    auto query = pm.pool.Acquire(
+        [&pm] { return std::make_unique<ChQuery>(*pm.hierarchy); });
+    double d = query->Distance(from, to);
+    Account(query->last_settled_count());
+    return d;
+  }
+
+  Path Route(NodeId from, NodeId to, Metric metric) override {
+    PerMetric& pm = Ensure(metric);
+    auto query = pm.pool.Acquire(
+        [&pm] { return std::make_unique<ChQuery>(*pm.hierarchy); });
+    Path p = query->Route(from, to);
+    Account(query->last_settled_count());
+    return p;
+  }
+
+  void Prepare(Metric metric) override { Ensure(metric); }
+
+  RoutingBackendKind kind() const override { return RoutingBackendKind::kCh; }
+  std::size_t settled_count() const override {
+    return settled_.load(std::memory_order_relaxed);
+  }
+  std::size_t query_count() const override {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  double preprocess_millis() const override {
+    return static_cast<double>(
+               preprocess_micros_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+  std::size_t MemoryFootprint() const override {
+    std::size_t bytes = sizeof(*this);
+    for (const PerMetric& pm : metrics_) {
+      if (pm.hierarchy) bytes += pm.hierarchy->MemoryFootprint();
+      bytes += pm.pool.IdleFootprint([](const ChQuery& q) {
+        return q.MemoryFootprint();
+      });
+    }
+    return bytes;
+  }
+
+ private:
+  struct PerMetric {
+    std::once_flag once;
+    std::unique_ptr<const ContractionHierarchy> hierarchy;
+    EnginePool<ChQuery> pool;
+  };
+
+  PerMetric& Ensure(Metric metric) {
+    PerMetric& pm = metrics_[MetricIndex(metric)];
+    std::call_once(pm.once, [this, &pm, metric] {
+      auto start = std::chrono::steady_clock::now();
+      pm.hierarchy =
+          std::make_unique<const ContractionHierarchy>(graph_, metric, options_);
+      auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      preprocess_micros_.fetch_add(micros, std::memory_order_relaxed);
+    });
+    return pm;
+  }
+  void Account(std::size_t settled) {
+    settled_.fetch_add(settled, std::memory_order_relaxed);
+    queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const RoadGraph& graph_;
+  ChOptions options_;
+  PerMetric metrics_[kNumMetrics];
+  std::atomic<std::size_t> settled_{0};
+  std::atomic<std::size_t> queries_{0};
+  std::atomic<std::int64_t> preprocess_micros_{0};
+};
+
+}  // namespace
+
+const char* RoutingBackendName(RoutingBackendKind kind) {
+  switch (kind) {
+    case RoutingBackendKind::kDijkstra:
+      return "dijkstra";
+    case RoutingBackendKind::kAStar:
+      return "astar";
+    case RoutingBackendKind::kAlt:
+      return "alt";
+    case RoutingBackendKind::kCh:
+      return "ch";
+  }
+  return "unknown";
+}
+
+std::optional<RoutingBackendKind> ParseRoutingBackend(std::string_view name) {
+  if (name == "dijkstra") return RoutingBackendKind::kDijkstra;
+  if (name == "astar") return RoutingBackendKind::kAStar;
+  if (name == "alt") return RoutingBackendKind::kAlt;
+  if (name == "ch") return RoutingBackendKind::kCh;
+  return std::nullopt;
+}
+
+std::unique_ptr<RoutingBackend> MakeRoutingBackend(
+    RoutingBackendKind kind, const RoadGraph& graph,
+    const RoutingBackendOptions& options) {
+  switch (kind) {
+    case RoutingBackendKind::kDijkstra:
+      return std::make_unique<DijkstraBackend>(graph);
+    case RoutingBackendKind::kAStar:
+      return std::make_unique<AStarBackend>(graph);
+    case RoutingBackendKind::kAlt:
+      return std::make_unique<AltBackend>(graph, options.alt_anchors);
+    case RoutingBackendKind::kCh:
+      return std::make_unique<ChBackend>(graph, options.ch);
+  }
+  return nullptr;
+}
+
+}  // namespace xar

@@ -1,0 +1,92 @@
+#ifndef XAR_GRAPH_ROUTING_BACKEND_H_
+#define XAR_GRAPH_ROUTING_BACKEND_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "graph/contraction_hierarchy.h"
+#include "graph/path.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+
+/// The shortest-path algorithm the oracle runs on a cache miss.
+enum class RoutingBackendKind {
+  kDijkstra,  ///< plain unidirectional Dijkstra (baseline; best one-to-many)
+  kAStar,     ///< A* with the geometric heuristic (no preprocessing)
+  kAlt,       ///< A* with landmark (anchor) lower bounds (light preprocessing)
+  kCh,        ///< contraction hierarchies (heavy preprocessing, fastest)
+};
+
+/// Stable lowercase name ("dijkstra", "astar", "alt", "ch") for logs/JSON.
+const char* RoutingBackendName(RoutingBackendKind kind);
+
+/// Inverse of RoutingBackendName; nullopt on unknown names.
+std::optional<RoutingBackendKind> ParseRoutingBackend(std::string_view name);
+
+struct RoutingBackendOptions {
+  /// Landmark count for the ALT backend.
+  std::size_t alt_anchors = 8;
+  /// Preprocessing knobs for the CH backend.
+  ChOptions ch;
+};
+
+/// Point-to-point routing engine behind the DistanceOracle.
+///
+/// A backend owns whatever preprocessing its algorithm needs (anchor tables,
+/// hierarchies) plus a pool of per-thread query workspaces, so every method
+/// is safe to call from any number of threads concurrently. Preprocessing
+/// is lazy per metric: the first query (or an explicit Prepare) under a
+/// metric pays the build, later queries reuse it.
+class RoutingBackend {
+ public:
+  virtual ~RoutingBackend() = default;
+
+  /// One-to-one distance under `metric`; +inf if unreachable.
+  virtual double Distance(NodeId from, NodeId to, Metric metric) = 0;
+
+  /// One-to-one path (original-graph nodes + both totals); empty path if
+  /// unreachable.
+  virtual Path Route(NodeId from, NodeId to, Metric metric) = 0;
+
+  /// Distance from `src` to each of `targets` (same order); +inf where
+  /// unreachable. Backends with a fast one-to-many (Dijkstra) override the
+  /// default point-to-point loop.
+  virtual std::vector<double> DistancesToMany(NodeId src,
+                                              const std::vector<NodeId>& targets,
+                                              Metric metric);
+
+  /// Forces any preprocessing for `metric` to run now (no-op for backends
+  /// without preprocessing). Used to build hierarchies off-thread before a
+  /// refresh swap so no query ever pays the build under a lock.
+  virtual void Prepare(Metric /*metric*/) {}
+
+  virtual RoutingBackendKind kind() const = 0;
+  const char* name() const { return RoutingBackendName(kind()); }
+
+  /// Cumulative nodes settled across all queries (all threads).
+  virtual std::size_t settled_count() const = 0;
+
+  /// Cumulative Distance/Route/DistancesToMany calls.
+  virtual std::size_t query_count() const = 0;
+
+  /// Total milliseconds spent in preprocessing so far (0 when none ran).
+  virtual double preprocess_millis() const { return 0.0; }
+
+  /// Rough bytes held: preprocessing products + pooled idle workspaces.
+  virtual std::size_t MemoryFootprint() const = 0;
+};
+
+/// Builds a backend of `kind` over `graph`. The graph must outlive the
+/// backend.
+std::unique_ptr<RoutingBackend> MakeRoutingBackend(
+    RoutingBackendKind kind, const RoadGraph& graph,
+    const RoutingBackendOptions& options = {});
+
+}  // namespace xar
+
+#endif  // XAR_GRAPH_ROUTING_BACKEND_H_

@@ -243,15 +243,19 @@ std::string CommandServer::HandleRefresh() {
 
 std::string CommandServer::HandleStats() {
   const RefreshStats& refresh = system_.refresh_stats();
-  char buf[224];
+  const DistanceOracle& oracle = system_.oracle();
+  char buf[352];
   std::snprintf(buf, sizeof(buf),
                 "OK STATS rides=%zu active=%zu bookings=%zu now=%.0f "
-                "index_bytes=%zu epoch=%llu refreshes=%zu rehomed=%zu",
+                "index_bytes=%zu epoch=%llu refreshes=%zu rehomed=%zu "
+                "backend=%s sp=%zu cache_hits=%zu settled=%zu",
                 system_.NumRides(), system_.NumActiveRides(),
                 system_.bookings().size(), system_.Now(),
                 system_.MemoryFootprint(),
                 static_cast<unsigned long long>(refresh.epoch),
-                refresh.refreshes, refresh.total_rides_rehomed);
+                refresh.refreshes, refresh.total_rides_rehomed,
+                oracle.backend_name(), oracle.computation_count(),
+                oracle.cache_hit_count(), oracle.settled_count());
   return buf;
 }
 

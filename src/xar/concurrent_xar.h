@@ -243,6 +243,13 @@ class ConcurrentXarSystem {
         delta.options.has_value() ? *delta.options : head_->index->options();
     std::shared_ptr<const RegionSnapshot> next = BuildRegionSnapshot(
         build_graph, *spatial_, build_options, head_->epoch + 1);
+    // Backend preprocessing for the incoming oracle (per-metric contraction
+    // hierarchies) also runs here, off-thread with no shard locks held, so
+    // the per-shard swap below adopts snapshot AND ready oracle together —
+    // no post-refresh query ever sees a stale hierarchy or pays a build.
+    Stopwatch prewarm_timer;
+    if (delta.oracle != nullptr) delta.oracle->Prewarm();
+    const double prewarm_ms = prewarm_timer.ElapsedMillis();
 
     std::size_t rehomed = 0;
     for (const std::unique_ptr<Shard>& shard : shards_) {
@@ -256,6 +263,7 @@ class ConcurrentXarSystem {
     refresh_stats_.epoch = head_->epoch;
     refresh_stats_.refreshes += 1;
     refresh_stats_.last_rebuild_ms = timer.ElapsedMillis();
+    refresh_stats_.last_prewarm_ms = prewarm_ms;
     refresh_stats_.last_rides_rehomed = rehomed;
     refresh_stats_.total_rides_rehomed += rehomed;
     return refresh_stats_;

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "graph/routing_backend.h"
+
 namespace xar {
 
 /// Runtime knobs of the XAR matching engine.
@@ -45,6 +47,14 @@ struct XarOptions {
   /// the previous one's candidates all went stale or the discretization
   /// epoch moved mid-search; 1 disables re-searching entirely.
   std::size_t search_and_book_rounds = 2;
+
+  /// Which shortest-path backend the GraphOracle serving this system runs
+  /// on cache misses. The system takes the oracle by reference, so this is
+  /// honored by whoever constructs the oracle (simulators, benches,
+  /// examples, the command-server main); contraction hierarchies are the
+  /// production default — order-of-magnitude fewer settled nodes per
+  /// booking once the lazy per-metric build has run.
+  RoutingBackendKind routing_backend = RoutingBackendKind::kCh;
 
   /// Ride-id assignment: the i-th created ride gets
   /// id = ride_id_offset + i * ride_id_stride. The defaults (0, 1) produce

@@ -44,6 +44,12 @@ RefreshStats XarSystem::RefreshDiscretization(const GraphDelta& delta) {
       delta.options.has_value() ? *delta.options : current->index->options();
   std::shared_ptr<const RegionSnapshot> next = BuildRegionSnapshot(
       build_graph, spatial_, build_options, current->epoch + 1);
+  // Build any backend preprocessing (per-metric hierarchies) for the
+  // incoming oracle now, so the swap below installs a ready oracle and no
+  // post-refresh query pays the build.
+  Stopwatch prewarm_timer;
+  if (delta.oracle != nullptr) delta.oracle->Prewarm();
+  refresh_stats_.last_prewarm_ms = prewarm_timer.ElapsedMillis();
   AdoptSnapshot(std::move(next), delta.graph, delta.oracle);
   refresh_stats_.last_rebuild_ms = timer.ElapsedMillis();
   return refresh_stats_;

@@ -146,6 +146,9 @@ class XarSystem {
   }
   const RefreshStats& refresh_stats() const { return refresh_stats_; }
   const XarOptions& options() const { return options_; }
+  /// The oracle answering this system's routing queries (swapped by
+  /// AdoptSnapshot on graph deltas). Exposed for the stats surface.
+  const DistanceOracle& oracle() const { return *oracle_; }
   const std::vector<BookingRecord>& bookings() const { return bookings_; }
 
   /// Bytes held by the ride index plus ride state (Fig. 3c numerator; add

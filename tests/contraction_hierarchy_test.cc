@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "common/rng.h"
@@ -103,6 +106,86 @@ TEST(ContractionHierarchyTest, RanksAreAPermutation) {
     ASSERT_LT(r, g.NumNodes());
     EXPECT_FALSE(seen[r]);
     seen[r] = true;
+  }
+}
+
+/// Unpacked routes must be real original-graph chains (every hop an actual
+/// edge under the metric) whose length equals the shortcut-level distance.
+TEST_P(ChCorrectnessTest, UnpackedRoutesMatchDistances) {
+  auto [seed, metric] = GetParam();
+  CityOptions opt;
+  opt.rows = 9;
+  opt.cols = 9;
+  opt.seed = seed;
+  RoadGraph g = GenerateCity(opt);
+  ContractionHierarchy ch(g, metric);
+  Rng rng(seed + 3);
+  int found = 0;
+  for (int i = 0; i < 40; ++i) {
+    NodeId a(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    NodeId b(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    const double dist = ch.Distance(a, b);
+    Path path = ch.Route(a, b);
+    if (std::isinf(dist)) {
+      EXPECT_FALSE(path.Found());
+      continue;
+    }
+    ++found;
+    ASSERT_TRUE(path.Found());
+    ASSERT_EQ(path.nodes.front(), a);
+    ASSERT_EQ(path.nodes.back(), b);
+    double sum = 0.0;
+    for (std::size_t h = 0; h + 1 < path.nodes.size(); ++h) {
+      double hop = std::numeric_limits<double>::infinity();
+      for (const RoadEdge& e : g.OutEdges(path.nodes[h])) {
+        if (e.to == path.nodes[h + 1]) {
+          hop = std::min(hop, RoadGraph::EdgeWeight(e, metric));
+        }
+      }
+      ASSERT_TRUE(std::isfinite(hop)) << "hop " << h << " is not an edge";
+      sum += hop;
+    }
+    EXPECT_NEAR(sum, dist, 1e-6 * std::max(1.0, dist));
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(ContractionHierarchyTest, RouteBetweenSameNodeIsZeroLengthSingleton) {
+  CityOptions opt;
+  opt.rows = 6;
+  opt.cols = 6;
+  opt.seed = 60;
+  RoadGraph g = GenerateCity(opt);
+  ContractionHierarchy ch(g);
+  Path path = ch.Route(NodeId(7), NodeId(7));
+  ASSERT_EQ(path.nodes.size(), 1u);
+  EXPECT_EQ(path.nodes.front(), NodeId(7));
+  EXPECT_DOUBLE_EQ(path.length_m, 0.0);
+  EXPECT_DOUBLE_EQ(path.time_s, 0.0);
+}
+
+/// Per-thread ChQuery workspaces over one shared immutable hierarchy must
+/// return the same answers as the hierarchy's own convenience query.
+TEST(ContractionHierarchyTest, SeparateQueryWorkspacesAgree) {
+  CityOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  opt.seed = 61;
+  RoadGraph g = GenerateCity(opt);
+  ContractionHierarchy ch(g);
+  ChQuery q1(ch), q2(ch);
+  Rng rng(62);
+  for (int i = 0; i < 30; ++i) {
+    NodeId a(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    NodeId b(static_cast<NodeId::underlying_type>(
+        rng.NextIndex(g.NumNodes())));
+    const double expect = ch.Distance(a, b);
+    EXPECT_DOUBLE_EQ(q1.Distance(a, b), expect);
+    EXPECT_DOUBLE_EQ(q2.Distance(a, b), expect);
+    EXPECT_EQ(q1.Route(a, b).nodes, ch.Route(a, b).nodes);
   }
 }
 
