@@ -51,6 +51,9 @@ struct BenchWorldOptions {
   /// Routing backend the world's oracle runs (XarOptions::routing_backend
   /// is honored by forwarding it here).
   RoutingBackendKind routing_backend = XarOptions{}.routing_backend;
+  /// Worker threads for backend preprocessing (0 = hardware concurrency);
+  /// forwarded like XarOptions::preprocess_threads.
+  std::size_t preprocess_threads = 0;
 };
 
 inline BenchWorld MakeBenchWorld(const BenchWorldOptions& opt = {}) {
@@ -69,9 +72,12 @@ inline BenchWorld MakeBenchWorld(const BenchWorldOptions& opt = {}) {
   world.region = std::make_unique<RegionIndex>(
       RegionIndex::Build(world.graph, *world.spatial, dopt));
 
+  XarOptions xar_options;
+  xar_options.routing_backend = opt.routing_backend;
+  xar_options.preprocess_threads = opt.preprocess_threads;
   world.oracle = std::make_unique<GraphOracle>(
       world.graph, /*cache_capacity=*/std::size_t{1} << 16,
-      opt.routing_backend);
+      opt.routing_backend, xar_options.BackendOptions());
 
   WorkloadOptions wopt;
   wopt.num_trips = opt.num_trips;

@@ -1,0 +1,175 @@
+// Contraction-hierarchy preprocessing scaling: wall time of the batched
+// independent-set contraction (src/graph/contraction_hierarchy.cc) at 1/2/4/8
+// worker threads on city-scale graphs, including the >= 50k-node point the
+// ROADMAP's city-growth item requires. Also re-verifies the determinism
+// contract on every point: each parallel build must produce the same
+// shortcut count and node order as the 1-thread build. Emits a table per
+// city and a JSON trajectory point (BENCH_ch_preprocess.json, see
+// bench/README.md).
+//
+// Like throughput_scaling, the recorded speedup is only meaningful relative
+// to `host_cores`: a 1-core container shows ~flat scaling by construction
+// (the >= 2.5x @ 4-thread target applies to a 4+ core host).
+
+#include <cstddef>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/contraction_hierarchy.h"
+#include "graph/generator.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+namespace bench {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+struct ThreadPoint {
+  std::size_t threads = 0;
+  double build_ms = 0.0;
+  std::size_t batches = 0;
+  std::size_t shortcuts = 0;
+  bool deterministic = true;  ///< ranks + shortcuts equal the 1-thread build
+};
+
+struct CityResult {
+  std::size_t rows = 0, cols = 0;
+  std::size_t nodes = 0, edges = 0;
+  std::vector<ThreadPoint> points;
+  double speedup_4t = 0.0;  ///< 1-thread ms / 4-thread ms
+};
+
+CityResult RunCity(std::size_t rows, std::size_t cols) {
+  CityOptions copt;
+  copt.rows = rows;
+  copt.cols = cols;
+  copt.seed = 1234;
+  RoadGraph g = GenerateCity(copt);
+
+  CityResult result;
+  result.rows = rows;
+  result.cols = cols;
+  result.nodes = g.NumNodes();
+  result.edges = g.NumEdges();
+
+  std::vector<std::size_t> reference_ranks;
+  double serial_ms = 0.0, quad_ms = 0.0;
+  for (std::size_t threads : kThreadCounts) {
+    ChOptions opt;
+    opt.preprocess_threads = threads;
+    ContractionHierarchy ch(g, Metric::kDriveDistance, opt);
+
+    ThreadPoint point;
+    point.threads = threads;
+    point.build_ms = ch.build_millis();
+    point.batches = ch.num_batches();
+    point.shortcuts = ch.NumShortcuts();
+    if (threads == 1) {
+      serial_ms = point.build_ms;
+      reference_ranks.reserve(g.NumNodes());
+      for (std::size_t v = 0; v < g.NumNodes(); ++v) {
+        reference_ranks.push_back(
+            ch.RankOf(NodeId(static_cast<NodeId::underlying_type>(v))));
+      }
+    } else {
+      for (std::size_t v = 0; v < g.NumNodes(); ++v) {
+        if (ch.RankOf(NodeId(static_cast<NodeId::underlying_type>(v))) !=
+            reference_ranks[v]) {
+          point.deterministic = false;
+          break;
+        }
+      }
+      point.deterministic =
+          point.deterministic &&
+          point.shortcuts == result.points.front().shortcuts &&
+          point.batches == result.points.front().batches;
+    }
+    if (threads == 4) quad_ms = point.build_ms;
+    result.points.push_back(point);
+    std::printf("  threads=%zu build_ms=%.0f batches=%zu shortcuts=%zu "
+                "deterministic=%s\n",
+                point.threads, point.build_ms, point.batches, point.shortcuts,
+                point.deterministic ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  result.speedup_4t = quad_ms > 0.0 ? serial_ms / quad_ms : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int Run() {
+  PrintHeader("CH PREPROCESS",
+              "parallel contraction-hierarchy build scaling (1/2/4/8 threads)");
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::printf("host cores: %u\n", host_cores);
+  if (host_cores <= 1) {
+    std::printf("warning: single-core host — thread scaling will be ~flat "
+                "by construction; the >= 2.5x @ 4-thread target applies to "
+                "a 4+ core machine.\n");
+  }
+
+  // The largest city clears the ROADMAP's >= 50k-node bar.
+  struct CitySpec {
+    std::size_t rows, cols;
+  };
+  const CitySpec cities[] = {{75, 75}, {140, 140}, {224, 224}};
+
+  std::vector<CityResult> results;
+  for (const CitySpec& spec : cities) {
+    std::printf("\ncity %zux%zu:\n", spec.rows, spec.cols);
+    CityResult r = RunCity(spec.rows, spec.cols);
+    std::printf("  %zu nodes, %zu edges: 1->4 thread speedup %.2fx\n",
+                r.nodes, r.edges, r.speedup_4t);
+    results.push_back(std::move(r));
+  }
+
+  const char* json_path = "BENCH_ch_preprocess.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"ch_preprocess\",\n");
+    std::fprintf(f, "  \"host_cores\": %u,\n", host_cores);
+    std::fprintf(f, "  \"metric\": \"drive_m\",\n");
+    std::fprintf(f, "  \"cities\": [\n");
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      const CityResult& r = results[c];
+      std::fprintf(f,
+                   "    {\"rows\": %zu, \"cols\": %zu, \"nodes\": %zu, "
+                   "\"edges\": %zu,\n     \"series\": [\n",
+                   r.rows, r.cols, r.nodes, r.edges);
+      for (std::size_t i = 0; i < r.points.size(); ++i) {
+        const ThreadPoint& p = r.points[i];
+        std::fprintf(f,
+                     "      {\"threads\": %zu, \"build_ms\": %.1f, "
+                     "\"batches\": %zu, \"shortcuts\": %zu, "
+                     "\"deterministic\": %s}%s\n",
+                     p.threads, p.build_ms, p.batches, p.shortcuts,
+                     p.deterministic ? "true" : "false",
+                     i + 1 < r.points.size() ? "," : "");
+      }
+      std::fprintf(f, "     ],\n     \"speedup_1_to_4_threads\": %.2f}%s\n",
+                   r.speedup_4t, c + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
+
+  bool all_deterministic = true;
+  for (const CityResult& r : results) {
+    for (const ThreadPoint& p : r.points) {
+      all_deterministic = all_deterministic && p.deterministic;
+    }
+  }
+  std::printf("determinism across thread counts: %s\n",
+              all_deterministic ? "PASS" : "FAIL");
+  return all_deterministic ? 0 : 1;
+}
+
+}  // namespace bench
+}  // namespace xar
+
+int main() { return xar::bench::Run(); }

@@ -120,7 +120,10 @@ int Run() {
   struct CitySpec {
     std::size_t rows, cols;
   };
-  const CitySpec cities[] = {{16, 16}, {28, 28}, {56, 56}};
+  // The largest city clears the ROADMAP's >= 50k-node bar for backend
+  // comparisons (parallel CH preprocessing is what makes its build
+  // tolerable; see bench/ch_preprocess.cc for the build-time scaling).
+  const CitySpec cities[] = {{16, 16}, {28, 28}, {56, 56}, {224, 224}};
 
   std::vector<CityResult> results;
   for (const CitySpec& spec : cities) {

@@ -16,6 +16,7 @@
 #include "bench/bench_common.h"
 #include "common/clock.h"
 #include "common/stats.h"
+#include "common/stats_registry.h"
 #include "common/thread_pool.h"
 #include "xar/concurrent_xar.h"
 
@@ -194,10 +195,19 @@ int Run() {
     std::printf("\nrefresh under load (%zu mixed ops, 8 threads, "
                 "2 rebuild+swap refreshes, final epoch %llu):\n",
                 mixed_ops, static_cast<unsigned long long>(xar.epoch()));
-    RetryStatsTable(xar.retry_stats()).Print();
-    RefreshStatsTable(xar.refresh_stats()).Print();
-    std::printf("\noracle (cumulative across all runs):\n");
-    OracleStatsTable(*world.oracle).Print();
+    // One registry, one render — retry/refresh/oracle/preprocess sections
+    // in a single pass instead of per-table Print calls.
+    StatsRegistry registry;
+    registry.Register("retry",
+                      [&] { return RetryStatsSection(xar.retry_stats()); });
+    registry.Register("refresh",
+                      [&] { return RefreshStatsSection(xar.refresh_stats()); });
+    registry.Register("oracle",
+                      [&] { return OracleStatsSection(*world.oracle); });
+    registry.Register("preprocess", [&] {
+      return PreprocessStatsSection(world.oracle->backend());
+    });
+    std::printf("%s\n", registry.RenderTables().c_str());
   }
 
   // JSON trajectory point. Relative speedups are what the scaling claim is

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "common/stats_registry.h"
 #include "common/table.h"
 #include "sim/simulator.h"
 #include "workload/trip_generator.h"
@@ -29,7 +30,7 @@ int main() {
 
   XarOptions options;
   GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
-                     options.routing_backend);
+                     options.routing_backend, options.BackendOptions());
   XarSystem xar(graph, spatial, region, oracle, options);
 
   std::printf("simulating %zu trips over a day "
@@ -76,7 +77,10 @@ int main() {
               static_cast<double>(region.MemoryFootprint()) / 1048576.0,
               static_cast<double>(xar.MemoryFootprint()) / 1048576.0);
 
-  std::printf("\noracle:\n");
-  OracleStatsTable(oracle).Print();
+  StatsRegistry registry;
+  registry.Register("oracle", [&] { return OracleStatsSection(oracle); });
+  registry.Register("preprocess",
+                    [&] { return PreprocessStatsSection(oracle.backend()); });
+  std::printf("\n%s\n", registry.RenderTables().c_str());
   return 0;
 }

@@ -34,7 +34,7 @@ int main() {
   //    RoutingBackendKind::kAStar for zero preprocessing.
   XarOptions options;
   GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
-                     options.routing_backend);
+                     options.routing_backend, options.BackendOptions());
   XarSystem xar(graph, spatial, region, oracle, options);
   std::printf("routing backend: %s\n", oracle.backend_name());
 

@@ -26,18 +26,25 @@ int main() {
   dopt.landmarks.num_candidates = 400;
   RegionIndex region = RegionIndex::Build(graph, spatial, dopt);
 
-  // XAR_ROUTING_BACKEND=dijkstra|astar|alt|ch overrides the default.
+  // XAR_ROUTING_BACKEND=dijkstra|astar|alt|ch overrides the default. A typo
+  // is a hard error, not a silent fall-through to the default backend.
   XarOptions options;
   if (const char* env = std::getenv("XAR_ROUTING_BACKEND")) {
-    if (auto kind = ParseRoutingBackend(env)) {
-      options.routing_backend = *kind;
-    } else {
-      std::printf("warning: unknown XAR_ROUTING_BACKEND '%s', using %s\n", env,
-                  RoutingBackendName(options.routing_backend));
+    Result<RoutingBackendKind> kind = RoutingBackendFromString(env);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "XAR_ROUTING_BACKEND: %s\n",
+                   kind.status().ToString().c_str());
+      return 1;
     }
+    options.routing_backend = kind.value();
+  }
+  // XAR_PREPROCESS_THREADS=N caps the CH build parallelism (0 = all cores).
+  if (const char* env = std::getenv("XAR_PREPROCESS_THREADS")) {
+    options.preprocess_threads =
+        static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
   }
   GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
-                     options.routing_backend);
+                     options.routing_backend, options.BackendOptions());
   XarSystem xar(graph, spatial, region, oracle, options);
   CommandServer server(xar);
 

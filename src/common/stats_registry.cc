@@ -1,0 +1,107 @@
+#include "common/stats_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xar {
+
+StatsMetric StatsMetric::Counter(std::string name, std::uint64_t v) {
+  return {std::move(name), Kind::kCounter, std::to_string(v)};
+}
+
+StatsMetric StatsMetric::Gauge(std::string name, double v, int precision) {
+  return {std::move(name), Kind::kGauge, TextTable::Num(v, precision)};
+}
+
+StatsMetric StatsMetric::Text(std::string name, std::string v) {
+  return {std::move(name), Kind::kText, std::move(v)};
+}
+
+TextTable StatsSectionTable(const StatsSection& section) {
+  std::vector<std::string> headers;
+  if (!section.rows.empty()) {
+    headers.reserve(section.rows.front().size());
+    for (const StatsMetric& m : section.rows.front()) {
+      headers.push_back(m.name);
+    }
+  }
+  TextTable table(std::move(headers));
+  for (const std::vector<StatsMetric>& row : section.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const StatsMetric& m : row) cells.push_back(m.value);
+    table.AddRow(std::move(cells));
+  }
+  return table;
+}
+
+void StatsRegistry::Register(std::string section, Provider provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : entries_) {
+    if (entry.name == section) {
+      entry.provider = std::move(provider);
+      return;
+    }
+  }
+  entries_.push_back(Entry{std::move(section), std::move(provider)});
+}
+
+void StatsRegistry::Unregister(std::string_view section) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& entry) {
+                                  return entry.name == section;
+                                }),
+                 entries_.end());
+}
+
+std::optional<StatsSection> StatsRegistry::Snapshot(
+    std::string_view section) const {
+  Provider provider;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& entry : entries_) {
+      if (entry.name == section) {
+        provider = entry.provider;
+        break;
+      }
+    }
+  }
+  // Invoke outside the lock: providers may take subsystem locks of their
+  // own, and snapshots must never serialize against registration.
+  if (!provider) return std::nullopt;
+  return provider();
+}
+
+std::vector<StatsSection> StatsRegistry::SnapshotAll() const {
+  std::vector<Provider> providers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    providers.reserve(entries_.size());
+    for (const Entry& entry : entries_) providers.push_back(entry.provider);
+  }
+  std::vector<StatsSection> sections;
+  sections.reserve(providers.size());
+  for (const Provider& provider : providers) sections.push_back(provider());
+  return sections;
+}
+
+std::vector<std::string> StatsRegistry::SectionNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+std::string StatsRegistry::RenderTables() const {
+  std::string out;
+  for (const StatsSection& section : SnapshotAll()) {
+    if (!out.empty()) out += "\n";
+    out += "[" + section.name + "]\n";
+    out += StatsSectionTable(section).ToString();
+  }
+  return out;
+}
+
+}  // namespace xar

@@ -1,0 +1,99 @@
+#ifndef XAR_COMMON_STATS_REGISTRY_H_
+#define XAR_COMMON_STATS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/table.h"
+
+namespace xar {
+
+/// One named value inside a stats section. Values are rendered to strings
+/// at snapshot time so consumers (tables, the command-server wire format,
+/// JSON writers) never need to re-interpret kinds.
+struct StatsMetric {
+  enum class Kind {
+    kCounter,  ///< monotone integral count
+    kGauge,    ///< point-in-time numeric reading
+    kText,     ///< identity/config string (backend name, metric name)
+  };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::string value;
+
+  static StatsMetric Counter(std::string name, std::uint64_t v);
+  static StatsMetric Gauge(std::string name, double v, int precision = 3);
+  static StatsMetric Text(std::string name, std::string v);
+};
+
+/// A named group of metrics captured at one instant, e.g. "oracle" or
+/// "refresh". Sections may carry several rows (the CH preprocessing section
+/// has one row per metric's hierarchy); most have exactly one.
+struct StatsSection {
+  std::string name;
+  std::vector<std::vector<StatsMetric>> rows;
+
+  /// Convenience for the common single-row case.
+  void AddRow(std::vector<StatsMetric> metrics) {
+    rows.push_back(std::move(metrics));
+  }
+};
+
+/// Renders one section as an aligned table (headers = metric names). The
+/// deprecated per-subsystem *StatsTable helpers are thin wrappers over
+/// this, so their output format is unchanged.
+TextTable StatsSectionTable(const StatsSection& section);
+
+/// The unified stats surface (ISSUE 4): subsystems register a named
+/// provider once, and every consumer — the command server's STATS verb,
+/// bench summaries, ad-hoc debugging — pulls consistent snapshots from one
+/// place instead of each hand-concatenating per-subsystem tables.
+///
+/// Providers are called at snapshot time (no background sampling) and must
+/// be safe to invoke from the snapshotting thread; they typically read
+/// atomics or take the owning subsystem's own lock. The registry's mutex
+/// only guards the provider list, so registration and snapshots are
+/// thread-safe but a provider must not call back into the registry.
+class StatsRegistry {
+ public:
+  using Provider = std::function<StatsSection()>;
+
+  /// Registers (or replaces) the provider for `section`. Sections render
+  /// in first-registration order.
+  void Register(std::string section, Provider provider);
+
+  /// Removes a section; unknown names are ignored.
+  void Unregister(std::string_view section);
+
+  /// Snapshot of one section; nullopt if no such section is registered.
+  std::optional<StatsSection> Snapshot(std::string_view section) const;
+
+  /// Snapshots every section in registration order.
+  std::vector<StatsSection> SnapshotAll() const;
+
+  /// Registered section names, in registration order.
+  std::vector<std::string> SectionNames() const;
+
+  /// Single entry point for the human-readable surface: every section as a
+  /// titled aligned table, separated by blank lines.
+  std::string RenderTables() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Provider provider;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_COMMON_STATS_REGISTRY_H_

@@ -27,15 +27,21 @@ std::shared_ptr<const RegionSnapshot> BuildRegionSnapshot(
   return snapshot;
 }
 
+StatsSection RefreshStatsSection(const RefreshStats& stats) {
+  StatsSection section;
+  section.name = "refresh";
+  section.AddRow(
+      {StatsMetric::Counter("epoch", stats.epoch),
+       StatsMetric::Counter("refreshes", stats.refreshes),
+       StatsMetric::Gauge("last_rebuild_ms", stats.last_rebuild_ms, 1),
+       StatsMetric::Gauge("last_prewarm_ms", stats.last_prewarm_ms, 1),
+       StatsMetric::Counter("last_rehomed", stats.last_rides_rehomed),
+       StatsMetric::Counter("total_rehomed", stats.total_rides_rehomed)});
+  return section;
+}
+
 TextTable RefreshStatsTable(const RefreshStats& stats) {
-  TextTable table({"epoch", "refreshes", "last_rebuild_ms", "last_prewarm_ms",
-                   "last_rehomed", "total_rehomed"});
-  table.AddRow({std::to_string(stats.epoch), std::to_string(stats.refreshes),
-                TextTable::Num(stats.last_rebuild_ms, 1),
-                TextTable::Num(stats.last_prewarm_ms, 1),
-                std::to_string(stats.last_rides_rehomed),
-                std::to_string(stats.total_rides_rehomed)});
-  return table;
+  return StatsSectionTable(RefreshStatsSection(stats));
 }
 
 }  // namespace xar

@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/stats_registry.h"
 #include "common/table.h"
 #include "discretize/region_index.h"
 #include "graph/road_graph.h"
@@ -66,7 +67,11 @@ struct RefreshStats {
   std::size_t total_rides_rehomed = 0;
 };
 
-/// One-row table for the stats surface (command server, benches).
+/// "refresh" stats section for the unified StatsRegistry surface.
+StatsSection RefreshStatsSection(const RefreshStats& stats);
+
+/// Deprecated: use RefreshStatsSection with a StatsRegistry. Thin wrapper
+/// with identical output, kept so call sites migrate in place.
 TextTable RefreshStatsTable(const RefreshStats& stats);
 
 }  // namespace xar

@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <thread>
 #include <utility>
 
+#include "common/clock.h"
+#include "common/thread_pool.h"
 #include "graph/path_profile.h"
 
 namespace xar {
@@ -16,14 +22,14 @@ ContractionHierarchy::ContractionHierarchy(const RoadGraph& graph,
       options_(options),
       fwd_(n_),
       bwd_(n_),
-      contracted_(n_, false),
+      contracted_(n_, 0),
+      in_batch_(n_, 0),
       contracted_neighbors_(n_, 0),
+      priority_(n_, 0.0),
       rank_(n_, 0),
       up_(n_),
-      down_(n_),
-      wit_dist_(n_, kInf),
-      wit_mark_(n_, 0),
-      wit_heap_(n_) {
+      down_(n_) {
+  Stopwatch build_timer;
   // Base adjacency under the chosen metric (lightest parallel arc only).
   for (std::size_t u = 0; u < n_; ++u) {
     for (const RoadEdge& e :
@@ -51,27 +57,7 @@ ContractionHierarchy::ContractionHierarchy(const RoadGraph& graph,
     dedup(bwd_[u]);
   }
 
-  // Lazy-update contraction order on (edge difference + contracted
-  // neighbors).
-  IndexedMinHeap order(n_);
-  for (std::size_t v = 0; v < n_; ++v) {
-    order.Push(v, ContractPriority(static_cast<std::uint32_t>(v)));
-  }
-  std::size_t next_rank = 0;
-  while (!order.empty()) {
-    std::uint32_t v = static_cast<std::uint32_t>(order.PopMin());
-    // Lazy re-evaluation: if the priority rose, re-insert.
-    double fresh = ContractPriority(v);
-    if (!order.empty() && fresh > order.MinKey()) {
-      order.Push(v, fresh);
-      continue;
-    }
-    rank_[v] = next_rank++;
-    (void)SimulateContract(v, /*apply=*/true);
-    contracted_[v] = true;
-    for (const Arc& a : fwd_[v]) ++contracted_neighbors_[a.to];
-    for (const Arc& a : bwd_[v]) ++contracted_neighbors_[a.to];
-  }
+  Contract();
 
   // Assemble the upward/downward search graphs from the final arc sets
   // (originals + shortcuts accumulated into fwd_/bwd_), and the unpack map
@@ -95,75 +81,213 @@ ContractionHierarchy::ContractionHierarchy(const RoadGraph& graph,
   // reads up_/down_/unpack_/rank_ only.
   std::vector<std::vector<Arc>>().swap(fwd_);
   std::vector<std::vector<Arc>>().swap(bwd_);
-  std::vector<bool>().swap(contracted_);
+  std::vector<std::uint8_t>().swap(contracted_);
+  std::vector<std::uint8_t>().swap(in_batch_);
   std::vector<std::uint32_t>().swap(contracted_neighbors_);
-  std::vector<double>().swap(wit_dist_);
-  std::vector<std::uint32_t>().swap(wit_mark_);
-  wit_heap_ = IndexedMinHeap(0);
+  std::vector<double>().swap(priority_);
+  build_millis_ = build_timer.ElapsedMillis();
 }
 
 ContractionHierarchy::~ContractionHierarchy() = default;
 
-double ContractionHierarchy::WitnessDistance(std::uint32_t from,
-                                             std::uint32_t target,
-                                             std::uint32_t excluded,
-                                             double cutoff) {
-  ++wit_generation_;
-  wit_heap_.Clear();
-  auto dist = [&](std::uint32_t v) {
-    return wit_mark_[v] == wit_generation_ ? wit_dist_[v] : kInf;
+void ContractionHierarchy::Contract() {
+  std::size_t threads = options_.preprocess_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (n_ > 0) threads = std::min(threads, n_);
+  threads_used_ = std::max<std::size_t>(1, threads);
+
+  std::vector<WitnessSpace> spaces;
+  spaces.reserve(threads_used_);
+  for (std::size_t t = 0; t < threads_used_; ++t) spaces.emplace_back(n_);
+  // Extra workers only; chunk 0 always runs on the calling thread, so a
+  // 1-thread build spawns nothing.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads_used_ > 1) {
+    pool = std::make_unique<ThreadPool>(threads_used_ - 1);
+  }
+
+  // Runs fn(space, i) for i in [0, count), statically chunked so each chunk
+  // owns one witness space. The phases below only ever write per-index
+  // slots (priority_[v], shortcut lists), so results are independent of the
+  // chunking; joining the futures sequences each phase before the next.
+  auto parallel_for = [&](std::size_t count, auto&& fn) {
+    const std::size_t chunks = std::min(threads_used_, std::max<std::size_t>(
+                                                           1, count));
+    const std::size_t per = (count + chunks - 1) / chunks;
+    std::vector<std::future<void>> helpers;
+    helpers.reserve(chunks > 0 ? chunks - 1 : 0);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(count, begin + per);
+      if (begin >= end) break;
+      helpers.push_back(pool->Submit([&, begin, end, c] {
+        for (std::size_t i = begin; i < end; ++i) fn(spaces[c], i);
+      }));
+    }
+    const std::size_t end0 = std::min(count, per);
+    for (std::size_t i = 0; i < end0; ++i) fn(spaces[0], i);
+    for (std::future<void>& helper : helpers) helper.get();
   };
-  wit_dist_[from] = 0;
-  wit_mark_[from] = wit_generation_;
-  wit_heap_.Push(from, 0);
+
+  // Initial priorities for every node.
+  parallel_for(n_, [&](WitnessSpace& space, std::size_t v) {
+    priority_[v] = ContractPriority(space, static_cast<std::uint32_t>(v));
+  });
+
+  // `a` strictly before `b` in the contraction order (id tie-break keeps
+  // batch selection — and hence the whole hierarchy — deterministic).
+  auto before = [&](std::uint32_t a, std::uint32_t b) {
+    if (priority_[a] != priority_[b]) return priority_[a] < priority_[b];
+    return a < b;
+  };
+
+  std::vector<std::uint32_t> alive(n_);
+  std::iota(alive.begin(), alive.end(), 0);
+  std::vector<std::uint32_t> batch;
+  std::vector<std::vector<std::pair<Arc, std::uint32_t>>> batch_shortcuts;
+  std::vector<std::uint32_t> dirty;
+  std::size_t next_rank = 0;
+
+  while (!alive.empty()) {
+    ++num_batches_;
+    // Select the independent set: uncontracted nodes that order before all
+    // their uncontracted neighbors. The global minimum always qualifies, so
+    // every round makes progress; two neighbors can never both qualify.
+    batch.clear();
+    for (std::uint32_t v : alive) {
+      bool is_min = true;
+      for (const Arc& a : fwd_[v]) {
+        if (!contracted_[a.to] && before(a.to, v)) {
+          is_min = false;
+          break;
+        }
+      }
+      if (is_min) {
+        for (const Arc& a : bwd_[v]) {
+          if (!contracted_[a.to] && before(a.to, v)) {
+            is_min = false;
+            break;
+          }
+        }
+      }
+      if (is_min) batch.push_back(v);
+    }
+    for (std::uint32_t v : batch) in_batch_[v] = 1;
+
+    // Simulate all batch contractions in parallel against the same
+    // pre-batch graph. Witness searches avoid every batch member, so a
+    // skipped shortcut always has a surviving witness path no matter which
+    // order the batch lands in (equal-weight witnesses through two batch
+    // members could otherwise cancel each other's shortcuts).
+    batch_shortcuts.assign(batch.size(), {});
+    parallel_for(batch.size(), [&](WitnessSpace& space, std::size_t i) {
+      batch_shortcuts[i] = SimulateContract(space, batch[i]);
+    });
+
+    // Apply in ascending node id (the selection scan order): ranks,
+    // shortcut arcs and counters land exactly as a serial replay would.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::uint32_t v = batch[i];
+      rank_[v] = next_rank++;
+      for (const auto& [arc, from] : batch_shortcuts[i]) {
+        fwd_[from].push_back(arc);
+        bwd_[arc.to].push_back(Arc{from, arc.weight, arc.via});
+        ++num_shortcuts_;
+      }
+      contracted_[v] = 1;
+    }
+
+    // Lazy re-evaluation: only neighbors of the batch changed (lost a
+    // neighbor and/or gained shortcut arcs) — refresh just their priorities.
+    dirty.clear();
+    for (std::uint32_t v : batch) {
+      in_batch_[v] = 0;
+      for (const Arc& a : fwd_[v]) {
+        ++contracted_neighbors_[a.to];
+        if (!contracted_[a.to]) dirty.push_back(a.to);
+      }
+      for (const Arc& a : bwd_[v]) {
+        ++contracted_neighbors_[a.to];
+        if (!contracted_[a.to]) dirty.push_back(a.to);
+      }
+    }
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    parallel_for(dirty.size(), [&](WitnessSpace& space, std::size_t i) {
+      priority_[dirty[i]] = ContractPriority(space, dirty[i]);
+    });
+
+    alive.erase(std::remove_if(alive.begin(), alive.end(),
+                               [&](std::uint32_t v) {
+                                 return contracted_[v] != 0;
+                               }),
+                alive.end());
+  }
+}
+
+void ContractionHierarchy::WitnessSearch(WitnessSpace& space,
+                                         std::uint32_t from,
+                                         std::uint32_t excluded,
+                                         double cutoff) const {
+  ++space.generation;
+  space.heap.Clear();
+  space.dist[from] = 0;
+  space.mark[from] = space.generation;
+  space.heap.Push(from, 0);
   std::size_t settled = 0;
-  while (!wit_heap_.empty() && settled < options_.witness_search_limit) {
-    std::uint32_t u = static_cast<std::uint32_t>(wit_heap_.PopMin());
+  while (!space.heap.empty() && settled < options_.witness_search_limit) {
+    std::uint32_t u = static_cast<std::uint32_t>(space.heap.PopMin());
     ++settled;
-    double du = dist(u);
-    if (u == target || du > cutoff) break;
+    double du = WitnessLabel(space, u);
+    if (du > cutoff) break;
     for (const Arc& a : fwd_[u]) {
-      if (a.to == excluded || contracted_[a.to]) continue;
+      if (a.to == excluded || contracted_[a.to] || in_batch_[a.to]) continue;
       double nd = du + a.weight;
-      if (nd < dist(a.to) && nd <= cutoff) {
-        wit_dist_[a.to] = nd;
-        wit_mark_[a.to] = wit_generation_;
-        wit_heap_.PushOrDecrease(a.to, nd);
+      if (nd < WitnessLabel(space, a.to) && nd <= cutoff) {
+        space.dist[a.to] = nd;
+        space.mark[a.to] = space.generation;
+        space.heap.PushOrDecrease(a.to, nd);
       }
     }
   }
-  return dist(target);
 }
 
 std::vector<std::pair<ContractionHierarchy::Arc, std::uint32_t>>
-ContractionHierarchy::SimulateContract(std::uint32_t v, bool apply) {
+ContractionHierarchy::SimulateContract(WitnessSpace& space,
+                                       std::uint32_t v) const {
   std::vector<std::pair<Arc, std::uint32_t>> shortcuts;  // (arc, from)
   for (const Arc& in : bwd_[v]) {
     if (contracted_[in.to]) continue;
+    // One bounded Dijkstra from this incoming neighbor serves every
+    // outgoing target (cutoff = the longest candidate via-path), instead of
+    // one search per (in, out) pair.
+    double max_out = -1.0;
+    for (const Arc& out : fwd_[v]) {
+      if (contracted_[out.to] || out.to == in.to) continue;
+      max_out = std::max(max_out, out.weight);
+    }
+    if (max_out < 0.0) continue;
+    WitnessSearch(space, in.to, v, in.weight + max_out);
     for (const Arc& out : fwd_[v]) {
       if (contracted_[out.to] || out.to == in.to) continue;
       double via = in.weight + out.weight;
-      double witness = WitnessDistance(in.to, out.to, v, via);
-      if (witness <= via) continue;  // a path avoiding v is as good
+      if (WitnessLabel(space, out.to) <= via) continue;  // witness path found
       shortcuts.push_back({Arc{out.to, via, v}, in.to});
-    }
-  }
-  if (apply) {
-    for (const auto& [arc, from] : shortcuts) {
-      fwd_[from].push_back(arc);
-      bwd_[arc.to].push_back(Arc{from, arc.weight, arc.via});
-      ++num_shortcuts_;
     }
   }
   return shortcuts;
 }
 
-double ContractionHierarchy::ContractPriority(std::uint32_t v) {
+double ContractionHierarchy::ContractPriority(WitnessSpace& space,
+                                              std::uint32_t v) const {
   if (contracted_[v]) return kInf;
   std::size_t removed = 0;
   for (const Arc& a : fwd_[v]) removed += contracted_[a.to] ? 0 : 1;
   for (const Arc& a : bwd_[v]) removed += contracted_[a.to] ? 0 : 1;
-  std::size_t added = SimulateContract(v, /*apply=*/false).size();
+  std::size_t added = SimulateContract(space, v).size();
   return static_cast<double>(added) - static_cast<double>(removed) +
          2.0 * static_cast<double>(contracted_neighbors_[v]);
 }

@@ -20,6 +20,11 @@ struct ChOptions {
   /// Cap on nodes settled by each witness search; smaller builds faster but
   /// inserts more (harmless) shortcuts.
   std::size_t witness_search_limit = 60;
+
+  /// Worker threads for the contraction loop (0 = hardware concurrency).
+  /// The hierarchy produced is byte-identical for every thread count: batch
+  /// membership, shortcut decisions and ranks depend only on the graph.
+  std::size_t preprocess_threads = 0;
 };
 
 /// Contraction Hierarchies (Geisberger et al. 2008) over one metric of a
@@ -38,6 +43,14 @@ struct ChOptions {
 /// workspaces may read it concurrently. The Distance/Route methods on this
 /// class delegate to one lazily created internal ChQuery and are therefore
 /// convenience API for single-threaded use only.
+///
+/// Preprocessing contracts *batches* of independent nodes (pairwise
+/// non-adjacent local priority minima) in parallel across
+/// ChOptions::preprocess_threads workers, each with its own witness-search
+/// workspace. Ties break on node id and witness searches during a batch
+/// avoid every batch member, so the resulting hierarchy — ranks, shortcuts,
+/// unpack map, and therefore every query answer — is identical for any
+/// thread count (see DESIGN.md "Parallel preprocessing").
 class ContractionHierarchy {
  public:
   explicit ContractionHierarchy(const RoadGraph& graph,
@@ -70,6 +83,14 @@ class ContractionHierarchy {
   Metric metric() const { return metric_; }
   std::size_t NumNodes() const { return n_; }
 
+  /// Wall time the contraction loop took, and the worker-thread count it
+  /// ran with (after resolving preprocess_threads == 0). For the stats
+  /// surface and the preprocessing bench.
+  double build_millis() const { return build_millis_; }
+  std::size_t threads_used() const { return threads_used_; }
+  /// Independent-set batches the contraction ran in (parallelism rounds).
+  std::size_t num_batches() const { return num_batches_; }
+
   std::size_t MemoryFootprint() const;
 
  private:
@@ -89,17 +110,43 @@ class ContractionHierarchy {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
-  /// Witness search: shortest u->w distance in the remaining graph avoiding
-  /// `excluded`, capped at `limit` settled nodes and `cutoff` distance.
-  double WitnessDistance(std::uint32_t from, std::uint32_t target,
-                         std::uint32_t excluded, double cutoff);
+  /// Per-thread witness-search scratch: distance labels, generation marks
+  /// and the search heap. One per preprocessing worker; reads the shared
+  /// remaining graph, writes only itself.
+  struct WitnessSpace {
+    explicit WitnessSpace(std::size_t n)
+        : dist(n, kInf), mark(n, 0), heap(n) {}
+    std::vector<double> dist;
+    std::vector<std::uint32_t> mark;
+    std::uint32_t generation = 0;
+    IndexedMinHeap heap;
+  };
+
+  /// One witness search in `space`: bounded Dijkstra from `from` through
+  /// the remaining graph avoiding `excluded` and every current batch
+  /// member, capped at the witness settle limit and `cutoff` distance.
+  /// Labels stay in `space` afterwards (read with WitnessLabel) so a single
+  /// search serves every outgoing target of the node being simulated.
+  void WitnessSearch(WitnessSpace& space, std::uint32_t from,
+                     std::uint32_t excluded, double cutoff) const;
+
+  /// Distance label of `v` from the most recent WitnessSearch (kInf if
+  /// unreached).
+  static double WitnessLabel(const WitnessSpace& space, std::uint32_t v) {
+    return space.mark[v] == space.generation ? space.dist[v] : kInf;
+  }
 
   /// Shortcuts needed if `v` were contracted now (returned, not applied).
+  /// Read-only on the shared graph state; safe to run concurrently for
+  /// distinct batch members with distinct spaces.
   std::vector<std::pair<Arc, std::uint32_t>> SimulateContract(
-      std::uint32_t v, bool apply);
+      WitnessSpace& space, std::uint32_t v) const;
 
   /// Priority term: edge difference + contracted-neighbor count.
-  double ContractPriority(std::uint32_t v);
+  double ContractPriority(WitnessSpace& space, std::uint32_t v) const;
+
+  /// Runs the batched independent-set contraction loop (constructor body).
+  void Contract();
 
   ChQuery& DefaultQuery();
 
@@ -112,8 +159,12 @@ class ContractionHierarchy {
   // Freed once the final search graphs are assembled.
   std::vector<std::vector<Arc>> fwd_;
   std::vector<std::vector<Arc>> bwd_;
-  std::vector<bool> contracted_;
+  // uint8 rather than vector<bool> so parallel witness searches read plain
+  // bytes (no proxy objects); both are written only between batches.
+  std::vector<std::uint8_t> contracted_;
+  std::vector<std::uint8_t> in_batch_;
   std::vector<std::uint32_t> contracted_neighbors_;
+  std::vector<double> priority_;
   std::vector<std::size_t> rank_;
 
   // Final search graphs: upward arcs for the forward search, and upward
@@ -127,13 +178,10 @@ class ContractionHierarchy {
   // recursive expansion always terminates at original edges.
   std::unordered_map<std::uint64_t, Arc> unpack_;
 
-  // Witness-search state (construction only; freed afterwards).
-  std::vector<double> wit_dist_;
-  std::vector<std::uint32_t> wit_mark_;
-  std::uint32_t wit_generation_ = 0;
-  IndexedMinHeap wit_heap_;
-
   std::size_t num_shortcuts_ = 0;
+  double build_millis_ = 0.0;
+  std::size_t threads_used_ = 1;
+  std::size_t num_batches_ = 0;
   std::unique_ptr<ChQuery> default_query_;
 };
 

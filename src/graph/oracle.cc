@@ -125,18 +125,38 @@ Path HaversineOracle::DriveRoute(NodeId from, NodeId to) {
   return p;
 }
 
-TextTable OracleStatsTable(const DistanceOracle& oracle) {
-  TextTable table({"backend", "computations", "cache_hits", "hit_rate",
-                   "settled_nodes"});
+StatsSection OracleStatsSection(const DistanceOracle& oracle) {
   std::size_t computations = oracle.computation_count();
   std::size_t hits = oracle.cache_hit_count();
   std::size_t lookups = computations + hits;
   double hit_rate =
       lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
-  table.AddRow({oracle.backend_name(), std::to_string(computations),
-                std::to_string(hits), TextTable::Num(hit_rate),
-                std::to_string(oracle.settled_count())});
-  return table;
+  StatsSection section;
+  section.name = "oracle";
+  section.AddRow({StatsMetric::Text("backend", oracle.backend_name()),
+                  StatsMetric::Counter("computations", computations),
+                  StatsMetric::Counter("cache_hits", hits),
+                  StatsMetric::Gauge("hit_rate", hit_rate),
+                  StatsMetric::Counter("settled_nodes",
+                                       oracle.settled_count())});
+  return section;
+}
+
+StatsSection PreprocessStatsSection(const RoutingBackend& backend) {
+  StatsSection section;
+  section.name = "preprocess";
+  for (const PreprocessTiming& t : backend.preprocess_timings()) {
+    section.AddRow({StatsMetric::Text("metric", MetricName(t.metric)),
+                    StatsMetric::Gauge("build_ms", t.build_ms, 1),
+                    StatsMetric::Counter("threads", t.threads),
+                    StatsMetric::Counter("batches", t.batches),
+                    StatsMetric::Counter("shortcuts", t.shortcuts)});
+  }
+  return section;
+}
+
+TextTable OracleStatsTable(const DistanceOracle& oracle) {
+  return StatsSectionTable(OracleStatsSection(oracle));
 }
 
 }  // namespace xar

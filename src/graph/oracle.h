@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats_registry.h"
 #include "common/table.h"
 #include "graph/path.h"
 #include "graph/road_graph.h"
@@ -60,6 +61,12 @@ class DistanceOracle {
   /// for all metrics) to run now. Refresh paths call this off-thread, with
   /// no locks held, so the first post-swap query never pays a build.
   virtual void Prewarm() {}
+
+  /// The routing backend answering cache misses, when there is one
+  /// (GraphOracle); nullptr for backend-less oracles (haversine, doubles).
+  /// Lets the stats surface reach preprocessing timings through the
+  /// DistanceOracle interface the systems hold.
+  virtual const RoutingBackend* routing_backend() const { return nullptr; }
 };
 
 /// Cache key of one (from, to, metric) distance query. `from` and `to` use
@@ -143,6 +150,9 @@ class GraphOracle : public DistanceOracle {
 
   RoutingBackend& backend() { return *backend_; }
   const RoutingBackend& backend() const { return *backend_; }
+  const RoutingBackend* routing_backend() const override {
+    return backend_.get();
+  }
 
  private:
   struct CacheEntry {
@@ -192,10 +202,19 @@ class HaversineOracle : public DistanceOracle {
   double drive_speed_mps_;
 };
 
-/// One-row table of an oracle's counters (backend, computations, cache
-/// hits, hit rate, settled nodes) — the observability the ROADMAP's
-/// striped-cache question asks for. Benches and the command server print
-/// this next to RetryStatsTable/RefreshStatsTable.
+/// "oracle" stats section (backend, computations, cache hits, hit rate,
+/// settled nodes) — the observability the ROADMAP's striped-cache question
+/// asks for. Register on a StatsRegistry:
+///   registry.Register("oracle", [&] { return OracleStatsSection(oracle); });
+StatsSection OracleStatsSection(const DistanceOracle& oracle);
+
+/// "preprocess" stats section: one row per completed backend preprocessing
+/// build (metric, build ms, worker threads, batches, shortcuts). Empty for
+/// preprocessing-free backends.
+StatsSection PreprocessStatsSection(const RoutingBackend& backend);
+
+/// Deprecated: use OracleStatsSection with a StatsRegistry. Kept as a thin
+/// wrapper (identical output) so existing call sites migrate in place.
 TextTable OracleStatsTable(const DistanceOracle& oracle);
 
 }  // namespace xar

@@ -307,6 +307,21 @@ class ChBackend final : public RoutingBackend {
                preprocess_micros_.load(std::memory_order_relaxed)) /
            1000.0;
   }
+  std::vector<PreprocessTiming> preprocess_timings() const override {
+    std::vector<PreprocessTiming> timings;
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+      const PerMetric& pm = metrics_[i];
+      if (!pm.ready.load(std::memory_order_acquire)) continue;
+      PreprocessTiming t;
+      t.metric = static_cast<Metric>(i);
+      t.build_ms = pm.hierarchy->build_millis();
+      t.threads = pm.hierarchy->threads_used();
+      t.batches = pm.hierarchy->num_batches();
+      t.shortcuts = pm.hierarchy->NumShortcuts();
+      timings.push_back(t);
+    }
+    return timings;
+  }
   std::size_t MemoryFootprint() const override {
     std::size_t bytes = sizeof(*this);
     for (const PerMetric& pm : metrics_) {
@@ -322,6 +337,9 @@ class ChBackend final : public RoutingBackend {
   struct PerMetric {
     std::once_flag once;
     std::unique_ptr<const ContractionHierarchy> hierarchy;
+    /// Set (release) after `hierarchy` is fully built, so stats readers can
+    /// observe finished builds without racing the call_once.
+    std::atomic<bool> ready{false};
     EnginePool<ChQuery> pool;
   };
 
@@ -335,6 +353,7 @@ class ChBackend final : public RoutingBackend {
                         std::chrono::steady_clock::now() - start)
                         .count();
       preprocess_micros_.fetch_add(micros, std::memory_order_relaxed);
+      pm.ready.store(true, std::memory_order_release);
     });
     return pm;
   }
@@ -373,6 +392,27 @@ std::optional<RoutingBackendKind> ParseRoutingBackend(std::string_view name) {
   if (name == "alt") return RoutingBackendKind::kAlt;
   if (name == "ch") return RoutingBackendKind::kCh;
   return std::nullopt;
+}
+
+Result<RoutingBackendKind> RoutingBackendFromString(std::string_view name) {
+  if (std::optional<RoutingBackendKind> kind = ParseRoutingBackend(name)) {
+    return *kind;
+  }
+  return Status::InvalidArgument("unknown routing backend \"" +
+                                 std::string(name) +
+                                 "\" (valid: dijkstra, astar, alt, ch)");
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kDriveDistance:
+      return "drive_m";
+    case Metric::kDriveTime:
+      return "drive_s";
+    case Metric::kWalkDistance:
+      return "walk_m";
+  }
+  return "unknown";
 }
 
 std::unique_ptr<RoutingBackend> MakeRoutingBackend(

@@ -8,11 +8,16 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/result.h"
 #include "graph/contraction_hierarchy.h"
 #include "graph/path.h"
 #include "graph/road_graph.h"
 
 namespace xar {
+
+/// Stable lowercase name of a metric ("drive_m", "drive_s", "walk_m") for
+/// logs, stats sections and bench JSON.
+const char* MetricName(Metric metric);
 
 /// The shortest-path algorithm the oracle runs on a cache miss.
 enum class RoutingBackendKind {
@@ -27,6 +32,23 @@ const char* RoutingBackendName(RoutingBackendKind kind);
 
 /// Inverse of RoutingBackendName; nullopt on unknown names.
 std::optional<RoutingBackendKind> ParseRoutingBackend(std::string_view name);
+
+/// Like ParseRoutingBackend, but unknown names yield an InvalidArgument
+/// status that lists the valid names. Use this wherever the name comes
+/// from user input (CLI flags, environment variables, config files) so a
+/// typo is an error instead of a silent fall-through to the default.
+Result<RoutingBackendKind> RoutingBackendFromString(std::string_view name);
+
+/// One completed preprocessing build (e.g. one metric's contraction
+/// hierarchy): what was built, how long it took and with how many worker
+/// threads. The stats surface renders these under the "preprocess" section.
+struct PreprocessTiming {
+  Metric metric = Metric::kDriveDistance;
+  double build_ms = 0.0;
+  std::size_t threads = 1;   ///< worker threads the build ran with
+  std::size_t batches = 0;   ///< independent-set rounds (CH; 0 otherwise)
+  std::size_t shortcuts = 0; ///< shortcut arcs added (CH; 0 otherwise)
+};
 
 struct RoutingBackendOptions {
   /// Landmark count for the ALT backend.
@@ -76,6 +98,12 @@ class RoutingBackend {
 
   /// Total milliseconds spent in preprocessing so far (0 when none ran).
   virtual double preprocess_millis() const { return 0.0; }
+
+  /// Per-build preprocessing timings completed so far (one entry per
+  /// metric whose build has run). Empty for preprocessing-free backends.
+  virtual std::vector<PreprocessTiming> preprocess_timings() const {
+    return {};
+  }
 
   /// Rough bytes held: preprocessing products + pooled idle workspaces.
   virtual std::size_t MemoryFootprint() const = 0;

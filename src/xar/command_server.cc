@@ -50,9 +50,35 @@ constexpr char kHelp[] =
     "ADVANCE <now_s>\n"
     "RIDE <ride_id>\n"
     "REFRESH\n"
-    "STATS";
+    "STATS [section]";
 
 }  // namespace
+
+CommandServer::CommandServer(XarSystem& system) : system_(system) {
+  // One provider per stats section; STATS snapshots them on demand.
+  stats_registry_.Register("system", [this] {
+    StatsSection section;
+    section.name = "system";
+    section.AddRow(
+        {StatsMetric::Counter("rides", system_.NumRides()),
+         StatsMetric::Counter("active", system_.NumActiveRides()),
+         StatsMetric::Counter("bookings", system_.bookings().size()),
+         StatsMetric::Gauge("now", system_.Now(), 0),
+         StatsMetric::Counter("index_bytes", system_.MemoryFootprint())});
+    return section;
+  });
+  stats_registry_.Register(
+      "refresh", [this] { return RefreshStatsSection(system_.refresh_stats()); });
+  stats_registry_.Register(
+      "oracle", [this] { return OracleStatsSection(system_.oracle()); });
+  stats_registry_.Register("preprocess", [this] {
+    const RoutingBackend* backend = system_.oracle().routing_backend();
+    if (backend != nullptr) return PreprocessStatsSection(*backend);
+    StatsSection section;
+    section.name = "preprocess";
+    return section;
+  });
+}
 
 std::string CommandServer::Execute(const std::string& line) {
   std::vector<std::string> tokens = Tokenize(line);
@@ -67,7 +93,7 @@ std::string CommandServer::Execute(const std::string& line) {
   if (cmd == "ADVANCE") return HandleAdvance(args);
   if (cmd == "RIDE") return HandleRide(args);
   if (cmd == "REFRESH") return HandleRefresh();
-  if (cmd == "STATS") return HandleStats();
+  if (cmd == "STATS") return HandleStats(args);
   if (cmd == "HELP") return kHelp;
   return Err("unknown command " + cmd + " (try HELP)");
 }
@@ -241,22 +267,34 @@ std::string CommandServer::HandleRefresh() {
   return buf;
 }
 
-std::string CommandServer::HandleStats() {
-  const RefreshStats& refresh = system_.refresh_stats();
-  const DistanceOracle& oracle = system_.oracle();
-  char buf[352];
-  std::snprintf(buf, sizeof(buf),
-                "OK STATS rides=%zu active=%zu bookings=%zu now=%.0f "
-                "index_bytes=%zu epoch=%llu refreshes=%zu rehomed=%zu "
-                "backend=%s sp=%zu cache_hits=%zu settled=%zu",
-                system_.NumRides(), system_.NumActiveRides(),
-                system_.bookings().size(), system_.Now(),
-                system_.MemoryFootprint(),
-                static_cast<unsigned long long>(refresh.epoch),
-                refresh.refreshes, refresh.total_rides_rehomed,
-                oracle.backend_name(), oracle.computation_count(),
-                oracle.cache_hit_count(), oracle.settled_count());
-  return buf;
+std::string CommandServer::HandleStats(
+    const std::vector<std::string>& args) {
+  if (args.size() > 1) return Err("usage: STATS [section]");
+  auto render = [](const StatsSection& section) {
+    std::string out;
+    for (const std::vector<StatsMetric>& row : section.rows) {
+      out += "\n" + section.name;
+      for (const StatsMetric& m : row) out += " " + m.name + "=" + m.value;
+    }
+    return out;
+  };
+  if (args.size() == 1) {
+    std::optional<StatsSection> section = stats_registry_.Snapshot(args[0]);
+    if (!section) {
+      std::string names;
+      for (const std::string& name : stats_registry_.SectionNames()) {
+        names += (names.empty() ? "" : ", ") + name;
+      }
+      return Err("unknown stats section \"" + args[0] + "\" (sections: " +
+                 names + ")");
+    }
+    return "OK STATS" + render(*section);
+  }
+  std::string out = "OK STATS";
+  for (const StatsSection& section : stats_registry_.SnapshotAll()) {
+    out += render(section);
+  }
+  return out;
 }
 
 }  // namespace xar

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats_registry.h"
 #include "xar/xar_system.h"
 
 namespace xar {
@@ -23,7 +24,7 @@ namespace xar {
 ///   ADVANCE <now_s>
 ///   RIDE <ride_id>
 ///   REFRESH
-///   STATS
+///   STATS [section]
 ///   HELP
 ///
 /// BOOK resolves the match from the most recent SEARCH for that request id
@@ -31,9 +32,15 @@ namespace xar {
 ///
 /// REFRESH rebuilds the region discretization in place (epoch bump); BOOKs
 /// against searches issued before the refresh fail as stale — re-SEARCH.
+///
+/// STATS iterates a StatsRegistry (sections: system, refresh, oracle,
+/// preprocess) instead of hand-concatenating per-subsystem tables; the
+/// optional argument filters the response to one section. The response is
+/// `OK STATS` followed by one `<section> key=value ...` line per section
+/// row.
 class CommandServer {
  public:
-  explicit CommandServer(XarSystem& system) : system_(system) {}
+  explicit CommandServer(XarSystem& system);
 
   CommandServer(const CommandServer&) = delete;
   CommandServer& operator=(const CommandServer&) = delete;
@@ -56,9 +63,10 @@ class CommandServer {
   std::string HandleAdvance(const std::vector<std::string>& args);
   std::string HandleRide(const std::vector<std::string>& args);
   std::string HandleRefresh();
-  std::string HandleStats();
+  std::string HandleStats(const std::vector<std::string>& args);
 
   XarSystem& system_;
+  StatsRegistry stats_registry_;
   std::unordered_map<RequestId, PendingSearch> pending_;
 };
 

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats_registry.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "discretize/region_snapshot.h"
@@ -32,15 +33,23 @@ struct RetryStats {
   std::size_t unmatched = 0;             ///< SearchAndBook returned NotFound
 };
 
-/// One-row table for the stats surface (command server, benches).
+/// "retry" stats section for the unified StatsRegistry surface.
+inline StatsSection RetryStatsSection(const RetryStats& stats) {
+  StatsSection section;
+  section.name = "retry";
+  section.AddRow(
+      {StatsMetric::Counter("booked_first_try", stats.booked_first_try),
+       StatsMetric::Counter("booked_after_research",
+                            stats.booked_after_research),
+       StatsMetric::Counter("stale_rejections", stats.stale_rejections),
+       StatsMetric::Counter("unmatched", stats.unmatched)});
+  return section;
+}
+
+/// Deprecated: use RetryStatsSection with a StatsRegistry. Thin wrapper
+/// with identical output, kept so call sites migrate in place.
 inline TextTable RetryStatsTable(const RetryStats& stats) {
-  TextTable table({"booked_first_try", "booked_after_research",
-                   "stale_rejections", "unmatched"});
-  table.AddRow({std::to_string(stats.booked_first_try),
-                std::to_string(stats.booked_after_research),
-                std::to_string(stats.stale_rejections),
-                std::to_string(stats.unmatched)});
-  return table;
+  return StatsSectionTable(RetryStatsSection(stats));
 }
 
 /// Thread-safe sharded deployment of XarSystem.

@@ -56,6 +56,22 @@ struct XarOptions {
   /// booking once the lazy per-metric build has run.
   RoutingBackendKind routing_backend = RoutingBackendKind::kCh;
 
+  /// Worker threads for backend preprocessing (contraction-hierarchy
+  /// builds); 0 = hardware concurrency. Honored wherever the oracle is
+  /// constructed (see BackendOptions()), including the off-thread Prewarm a
+  /// RefreshDiscretization runs before swapping snapshots — the build is
+  /// deterministic, so thread count never changes a route.
+  std::size_t preprocess_threads = 0;
+
+  /// RoutingBackendOptions carrying this struct's backend knobs; pass to
+  /// GraphOracle / MakeRoutingBackend so simulators, benches and servers
+  /// construct identically-configured backends.
+  RoutingBackendOptions BackendOptions() const {
+    RoutingBackendOptions backend_options;
+    backend_options.ch.preprocess_threads = preprocess_threads;
+    return backend_options;
+  }
+
   /// Ride-id assignment: the i-th created ride gets
   /// id = ride_id_offset + i * ride_id_stride. The defaults (0, 1) produce
   /// the dense 0,1,2,... ids of a standalone system. A sharded deployment

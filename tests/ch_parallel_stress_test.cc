@@ -1,0 +1,106 @@
+// Stress suite for parallel contraction-hierarchy preprocessing (run under
+// ThreadSanitizer: -DXAR_SANITIZE=thread, ctest -L stress). Hammers the
+// batched contraction loop with many concurrent builds and verifies the
+// determinism contract held under load: every parallel build must equal the
+// serial one bit-for-bit, on the hierarchy and on query answers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "graph/contraction_hierarchy.h"
+#include "graph/generator.h"
+#include "graph/road_graph.h"
+
+namespace xar {
+namespace {
+
+RoadGraph MakePerturbedLattice(std::size_t rows, std::size_t cols,
+                               std::uint64_t seed) {
+  CityOptions opt;
+  opt.rows = rows;
+  opt.cols = cols;
+  opt.seed = seed;
+  return PerturbEdgeWeights(GenerateCity(opt), /*spread=*/0.4, seed + 1);
+}
+
+std::vector<std::pair<NodeId, NodeId>> SamplePairs(const RoadGraph& g,
+                                                   std::size_t n,
+                                                   std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> pick(
+      0, static_cast<std::uint32_t>(g.NumNodes() - 1));
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  while (pairs.size() < n) {
+    NodeId a(pick(rng)), b(pick(rng));
+    if (a != b) pairs.emplace_back(a, b);
+  }
+  return pairs;
+}
+
+// Many worker threads inside one build: TSan watches the independent-set
+// simulation, the per-thread witness workspaces and the phase joins.
+TEST(ChParallelStressTest, ManyThreadsOneBuildMatchesSerial) {
+  RoadGraph g = MakePerturbedLattice(22, 22, 901);
+  ChOptions serial;
+  serial.preprocess_threads = 1;
+  ContractionHierarchy reference(g, Metric::kDriveDistance, serial);
+
+  for (std::size_t threads : {2, 4, 8, 16}) {
+    ChOptions opt;
+    opt.preprocess_threads = threads;
+    ContractionHierarchy ch(g, Metric::kDriveDistance, opt);
+    ASSERT_EQ(ch.NumShortcuts(), reference.NumShortcuts());
+    ASSERT_EQ(ch.num_batches(), reference.num_batches());
+    for (std::size_t v = 0; v < g.NumNodes(); ++v) {
+      NodeId node(static_cast<NodeId::underlying_type>(v));
+      ASSERT_EQ(ch.RankOf(node), reference.RankOf(node)) << v;
+    }
+    ChQuery query(ch);
+    ChQuery ref_query(reference);
+    for (auto [a, b] : SamplePairs(g, 50, 903)) {
+      ASSERT_EQ(query.Distance(a, b), ref_query.Distance(a, b));
+    }
+  }
+}
+
+// Concurrent parallel builds over distinct graphs: no shared mutable state
+// between hierarchies, so builds must not interfere (each also races its
+// own internal phases for TSan to inspect).
+TEST(ChParallelStressTest, ConcurrentParallelBuildsAreIndependent) {
+  constexpr std::size_t kBuilds = 4;
+  std::vector<RoadGraph> graphs;
+  graphs.reserve(kBuilds);
+  for (std::size_t i = 0; i < kBuilds; ++i) {
+    graphs.push_back(MakePerturbedLattice(14, 14, 911 + i));
+  }
+
+  std::vector<std::future<std::unique_ptr<ContractionHierarchy>>> builds;
+  for (std::size_t i = 0; i < kBuilds; ++i) {
+    builds.push_back(std::async(std::launch::async, [&graphs, i] {
+      ChOptions opt;
+      opt.preprocess_threads = 4;
+      return std::make_unique<ContractionHierarchy>(
+          graphs[i], Metric::kDriveDistance, opt);
+    }));
+  }
+  for (std::size_t i = 0; i < kBuilds; ++i) {
+    std::unique_ptr<ContractionHierarchy> ch = builds[i].get();
+    ChOptions serial;
+    serial.preprocess_threads = 1;
+    ContractionHierarchy reference(graphs[i], Metric::kDriveDistance, serial);
+    ASSERT_EQ(ch->NumShortcuts(), reference.NumShortcuts());
+    ChQuery query(*ch);
+    ChQuery ref_query(reference);
+    for (auto [a, b] : SamplePairs(graphs[i], 30, 921 + i)) {
+      ASSERT_EQ(query.Distance(a, b), ref_query.Distance(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xar

@@ -105,17 +105,55 @@ TEST_F(CommandServerTest, SearchRespectsOptionalWalkAndK) {
 TEST_F(CommandServerTest, RefreshBumpsEpochAndShowsInStats) {
   server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28800");
   std::string before = server_.Execute("STATS");
-  EXPECT_NE(before.find("epoch=0 refreshes=0 rehomed=0"), std::string::npos)
+  EXPECT_NE(before.find("refresh epoch=0 refreshes=0"), std::string::npos)
       << before;
+  EXPECT_NE(before.find("total_rehomed=0"), std::string::npos) << before;
 
   std::string refreshed = server_.Execute("REFRESH");
   EXPECT_EQ(refreshed.rfind("OK REFRESH epoch=1 rehomed=1", 0), 0u)
       << refreshed;
 
   std::string after = server_.Execute("STATS");
-  EXPECT_NE(after.find("epoch=1 refreshes=1 rehomed=1"), std::string::npos)
+  EXPECT_NE(after.find("refresh epoch=1 refreshes=1"), std::string::npos)
       << after;
+  EXPECT_NE(after.find("total_rehomed=1"), std::string::npos) << after;
   EXPECT_EQ(xar_.epoch(), 1u);
+}
+
+TEST_F(CommandServerTest, StatsIteratesRegistrySections) {
+  std::string stats = server_.Execute("STATS");
+  EXPECT_EQ(stats.rfind("OK STATS", 0), 0u);
+  // One line per section row, tagged with the section name.
+  EXPECT_NE(stats.find("\nsystem rides="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\nrefresh epoch="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\noracle backend="), std::string::npos) << stats;
+}
+
+TEST_F(CommandServerTest, StatsSectionFilter) {
+  std::string oracle_only = server_.Execute("STATS oracle");
+  EXPECT_EQ(oracle_only.rfind("OK STATS", 0), 0u);
+  EXPECT_NE(oracle_only.find("\noracle backend="), std::string::npos)
+      << oracle_only;
+  EXPECT_EQ(oracle_only.find("\nsystem "), std::string::npos) << oracle_only;
+  EXPECT_EQ(oracle_only.find("\nrefresh "), std::string::npos) << oracle_only;
+
+  std::string unknown = server_.Execute("STATS bogus");
+  EXPECT_EQ(unknown.rfind("ERR", 0), 0u) << unknown;
+  EXPECT_NE(unknown.find("system"), std::string::npos) << unknown;
+}
+
+TEST_F(CommandServerTest, StatsPreprocessSectionAppearsAfterQueries) {
+  // The default CH backend builds lazily; a search forces distance queries,
+  // after which the preprocess section reports the per-metric builds.
+  server_.Execute("CREATE " + At(0.1, 0.1) + " " + At(0.9, 0.9) + " 28800");
+  server_.Execute("SEARCH 3 " + At(0.35, 0.35) + " " + At(0.7, 0.7) +
+                  " 28800 30600");
+  std::string stats = server_.Execute("STATS preprocess");
+  EXPECT_EQ(stats.rfind("OK STATS", 0), 0u);
+  EXPECT_NE(stats.find("preprocess metric=drive_m build_ms="),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("threads="), std::string::npos) << stats;
 }
 
 TEST_F(CommandServerTest, BookAgainstPreRefreshSearchIsStale) {

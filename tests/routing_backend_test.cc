@@ -247,6 +247,103 @@ TEST(RoutingBackendTest, ChOracleAgreesWithDijkstraAfterRefresh) {
   EXPECT_GT(ch_oracle.cache_hit_count(), 0u);
 }
 
+TEST(RoutingBackendTest, FromStringReportsUnknownNames) {
+  for (RoutingBackendKind kind : kAllKinds) {
+    Result<RoutingBackendKind> parsed =
+        RoutingBackendFromString(RoutingBackendName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  Result<RoutingBackendKind> typo = RoutingBackendFromString("chh");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_EQ(typo.status().code(), StatusCode::kInvalidArgument);
+  // The error names the typo and the valid spellings.
+  EXPECT_NE(typo.status().ToString().find("chh"), std::string::npos);
+  EXPECT_NE(typo.status().ToString().find("dijkstra"), std::string::npos);
+}
+
+// The parallel preprocessing contract: the hierarchy (node order, shortcut
+// count) and every query answer are BYTE-identical regardless of thread
+// count — EXPECT_EQ on doubles, no tolerance.
+TEST(RoutingBackendTest, ChHierarchyIdenticalAcrossThreadCounts) {
+  const std::size_t kThreadCounts[] = {1, 2, 8};
+  for (std::uint64_t seed : {401ull, 402ull}) {
+    RoadGraph g = MakePerturbedLattice(9, 12, seed);
+    auto pairs = SamplePairs(g, 25, seed + 7);
+    for (Metric metric : kAllMetrics) {
+      ChOptions base;
+      base.preprocess_threads = 1;
+      ContractionHierarchy reference(g, metric, base);
+      for (std::size_t threads : kThreadCounts) {
+        ChOptions opt;
+        opt.preprocess_threads = threads;
+        ContractionHierarchy ch(g, metric, opt);
+        EXPECT_EQ(ch.threads_used(), std::min(threads, g.NumNodes()));
+        EXPECT_EQ(ch.NumShortcuts(), reference.NumShortcuts());
+        EXPECT_EQ(ch.num_batches(), reference.num_batches());
+        for (std::size_t v = 0; v < g.NumNodes(); ++v) {
+          ASSERT_EQ(ch.RankOf(NodeId(static_cast<NodeId::underlying_type>(v))),
+                    reference.RankOf(
+                        NodeId(static_cast<NodeId::underlying_type>(v))))
+              << "rank diverged at node " << v << " with " << threads
+              << " threads";
+        }
+        ChQuery query(ch);
+        ChQuery ref_query(reference);
+        for (auto [a, b] : pairs) {
+          EXPECT_EQ(query.Distance(a, b), ref_query.Distance(a, b))
+              << a.value() << "->" << b.value() << " @" << threads
+              << " threads";
+        }
+      }
+    }
+  }
+}
+
+// Same contract through the refresh path: a GraphDelta swap onto an oracle
+// whose CH builds with 8 threads must serve exactly the distances of a
+// 1-thread build on the same perturbed graph.
+TEST(RoutingBackendTest, ChRefreshIdenticalAcrossThreadCounts) {
+  testing::TestCity city = testing::MakeTestCity(10, 10);
+  XarSystem xar(city.graph, *city.spatial, *city.region, *city.oracle);
+
+  RoadGraph perturbed = PerturbEdgeWeights(city.graph, 0.3, 411);
+  XarOptions options;
+  options.preprocess_threads = 8;
+  GraphOracle parallel_oracle(perturbed, /*cache_capacity=*/0,
+                              options.routing_backend,
+                              options.BackendOptions());
+
+  GraphDelta delta;
+  delta.graph = &perturbed;
+  delta.oracle = &parallel_oracle;
+  RefreshStats stats = xar.RefreshDiscretization(delta);
+  EXPECT_EQ(stats.epoch, 1u);
+
+  RoutingBackendOptions serial;
+  serial.ch.preprocess_threads = 1;
+  auto reference =
+      MakeRoutingBackend(RoutingBackendKind::kCh, perturbed, serial);
+  for (auto [a, b] : SamplePairs(perturbed, 25, 413)) {
+    EXPECT_EQ(parallel_oracle.DriveDistance(a, b),
+              reference->Distance(a, b, Metric::kDriveDistance));
+    EXPECT_EQ(parallel_oracle.DriveTime(a, b),
+              reference->Distance(a, b, Metric::kDriveTime));
+    EXPECT_EQ(parallel_oracle.WalkDistance(a, b),
+              reference->Distance(a, b, Metric::kWalkDistance));
+  }
+
+  // The stats surface reports the parallel builds (one row per metric).
+  std::vector<PreprocessTiming> timings =
+      parallel_oracle.backend().preprocess_timings();
+  ASSERT_EQ(timings.size(), 3u);
+  for (const PreprocessTiming& t : timings) {
+    EXPECT_GT(t.build_ms, 0.0);
+    EXPECT_EQ(t.threads, 8u);
+    EXPECT_GT(t.batches, 0u);
+  }
+}
+
 TEST(RoutingBackendTest, OracleStatsTableNamesTheBackend) {
   RoadGraph g = MakePerturbedLattice(6, 6, 361);
   GraphOracle oracle(g, /*cache_capacity=*/64, RoutingBackendKind::kAlt);
