@@ -43,17 +43,30 @@ int main() {
     options.preprocess_threads =
         static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
   }
+  // XAR_ORACLE_CACHE=clock|striped_lru picks the oracle's distance-cache
+  // policy; a typo is a hard error, same as the backend override.
+  if (const char* env = std::getenv("XAR_ORACLE_CACHE")) {
+    Result<OracleCachePolicy> policy = OracleCachePolicyFromString(env);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "XAR_ORACLE_CACHE: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    options.oracle_cache = policy.value();
+  }
   GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
-                     options.routing_backend, options.BackendOptions());
+                     options.routing_backend, options.BackendOptions(),
+                     options.oracle_cache);
   XarSystem xar(graph, spatial, region, oracle, options);
   CommandServer server(xar);
 
   const BoundingBox& b = graph.bounds();
   std::printf("XAR shell — city bounds lat [%.4f, %.4f], lng [%.4f, %.4f]\n",
               b.min_lat, b.max_lat, b.min_lng, b.max_lng);
-  std::printf("%zu clusters, epsilon %.0f m, %s routing. "
+  std::printf("%zu clusters, epsilon %.0f m, %s routing, %s cache. "
               "Type HELP for commands.\n",
-              region.NumClusters(), region.epsilon(), oracle.backend_name());
+              region.NumClusters(), region.epsilon(), oracle.backend_name(),
+              oracle.cache_policy_name());
 
   char line[512];
   while (true) {

@@ -40,8 +40,4 @@ StatsSection RefreshStatsSection(const RefreshStats& stats) {
   return section;
 }
 
-TextTable RefreshStatsTable(const RefreshStats& stats) {
-  return StatsSectionTable(RefreshStatsSection(stats));
-}
-
 }  // namespace xar

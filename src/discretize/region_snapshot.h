@@ -70,10 +70,6 @@ struct RefreshStats {
 /// "refresh" stats section for the unified StatsRegistry surface.
 StatsSection RefreshStatsSection(const RefreshStats& stats);
 
-/// Deprecated: use RefreshStatsSection with a StatsRegistry. Thin wrapper
-/// with identical output, kept so call sites migrate in place.
-TextTable RefreshStatsTable(const RefreshStats& stats);
-
 }  // namespace xar
 
 #endif  // XAR_DISCRETIZE_REGION_SNAPSHOT_H_

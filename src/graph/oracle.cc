@@ -25,18 +25,26 @@ std::size_t StripeCountFor(std::size_t cache_capacity) {
 
 GraphOracle::GraphOracle(const RoadGraph& graph, std::size_t cache_capacity,
                          RoutingBackendKind backend,
-                         const RoutingBackendOptions& backend_options)
+                         const RoutingBackendOptions& backend_options,
+                         OracleCachePolicy cache_policy)
     : GraphOracle(graph, MakeRoutingBackend(backend, graph, backend_options),
-                  cache_capacity) {}
+                  cache_capacity, cache_policy) {}
 
 GraphOracle::GraphOracle(const RoadGraph& graph,
                          std::unique_ptr<RoutingBackend> backend,
-                         std::size_t cache_capacity)
+                         std::size_t cache_capacity,
+                         OracleCachePolicy cache_policy)
     : graph_(graph),
       backend_(std::move(backend)),
-      cache_capacity_(cache_capacity) {
-  std::size_t num_stripes = StripeCountFor(cache_capacity);
-  stripe_capacity_ = std::max<std::size_t>(1, cache_capacity / num_stripes);
+      cache_capacity_(cache_capacity),
+      policy_(cache_policy) {
+  if (cache_capacity_ == 0) return;
+  if (policy_ == OracleCachePolicy::kClock) {
+    clock_cache_ = std::make_unique<OracleClockCache>(cache_capacity_);
+    return;
+  }
+  std::size_t num_stripes = StripeCountFor(cache_capacity_);
+  stripe_capacity_ = std::max<std::size_t>(1, cache_capacity_ / num_stripes);
   stripes_.reserve(num_stripes);
   for (std::size_t s = 0; s < num_stripes; ++s) {
     stripes_.push_back(std::make_unique<Stripe>());
@@ -49,12 +57,38 @@ void GraphOracle::Prewarm() {
   backend_->Prepare(Metric::kWalkDistance);
 }
 
+OracleCacheCounters GraphOracle::cache_counters() const {
+  if (clock_cache_ != nullptr) return clock_cache_->counters();
+  OracleCacheCounters c;
+  c.insertions = lru_insertions_.load(std::memory_order_relaxed);
+  c.evictions = lru_evictions_.load(std::memory_order_relaxed);
+  c.races = lru_races_.load(std::memory_order_relaxed);
+  return c;
+}
+
 double GraphOracle::CachedDistance(NodeId from, NodeId to, Metric metric) {
   if (cache_capacity_ == 0) {
     computations_.fetch_add(1, std::memory_order_relaxed);
     return backend_->Distance(from, to, metric);
   }
   OracleCacheKey key = MakeOracleCacheKey(from, to, metric);
+  if (clock_cache_ != nullptr) {
+    if (std::optional<double> cached = clock_cache_->Lookup(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *cached;
+    }
+    computations_.fetch_add(1, std::memory_order_relaxed);
+    double d = backend_->Distance(from, to, metric);
+    // Lossy: a lost race or an all-hot window simply drops the entry — the
+    // next miss recomputes. Correctness never depends on the insert landing.
+    (void)clock_cache_->Insert(key, d);
+    return d;
+  }
+  return StripedLruDistance(key, from, to, metric);
+}
+
+double GraphOracle::StripedLruDistance(const OracleCacheKey& key, NodeId from,
+                                       NodeId to, Metric metric) {
   Stripe& stripe = StripeOf(key);
   {
     std::lock_guard<std::mutex> lock(stripe.mutex);
@@ -73,13 +107,16 @@ double GraphOracle::CachedDistance(NodeId from, NodeId to, Metric metric) {
   auto it = stripe.map.find(key);
   if (it != stripe.map.end()) {
     // A racing thread inserted the same key first; keep its entry.
+    lru_races_.fetch_add(1, std::memory_order_relaxed);
     return it->second.distance;
   }
   stripe.lru.push_front(key);
   stripe.map.emplace(key, CacheEntry{d, stripe.lru.begin()});
+  lru_insertions_.fetch_add(1, std::memory_order_relaxed);
   if (stripe.map.size() > stripe_capacity_) {
     stripe.map.erase(stripe.lru.back());
     stripe.lru.pop_back();
+    lru_evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   return d;
 }
@@ -131,14 +168,20 @@ StatsSection OracleStatsSection(const DistanceOracle& oracle) {
   std::size_t lookups = computations + hits;
   double hit_rate =
       lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  OracleCacheCounters cache = oracle.cache_counters();
   StatsSection section;
   section.name = "oracle";
   section.AddRow({StatsMetric::Text("backend", oracle.backend_name()),
+                  StatsMetric::Text("cache", oracle.cache_policy_name()),
                   StatsMetric::Counter("computations", computations),
                   StatsMetric::Counter("cache_hits", hits),
                   StatsMetric::Gauge("hit_rate", hit_rate),
                   StatsMetric::Counter("settled_nodes",
-                                       oracle.settled_count())});
+                                       oracle.settled_count()),
+                  StatsMetric::Counter("cache_insertions", cache.insertions),
+                  StatsMetric::Counter("cache_evictions", cache.evictions),
+                  StatsMetric::Counter("cache_drops", cache.drops),
+                  StatsMetric::Counter("cache_races", cache.races)});
   return section;
 }
 
@@ -153,10 +196,6 @@ StatsSection PreprocessStatsSection(const RoutingBackend& backend) {
                     StatsMetric::Counter("shortcuts", t.shortcuts)});
   }
   return section;
-}
-
-TextTable OracleStatsTable(const DistanceOracle& oracle) {
-  return StatsSectionTable(OracleStatsSection(oracle));
 }
 
 }  // namespace xar

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/stats_registry.h"
-#include "common/table.h"
+#include "graph/oracle_cache.h"
 #include "graph/path.h"
 #include "graph/road_graph.h"
 #include "graph/routing_backend.h"
@@ -57,6 +57,14 @@ class DistanceOracle {
   /// Stable name of the routing backend answering cache misses.
   virtual const char* backend_name() const { return "none"; }
 
+  /// Stable name of the distance-cache policy ("none" for cache-less
+  /// oracles); see OracleCachePolicy.
+  virtual const char* cache_policy_name() const { return "none"; }
+
+  /// Insert-path counters of the distance cache (all zero for cache-less
+  /// oracles); see OracleCacheCounters.
+  virtual OracleCacheCounters cache_counters() const { return {}; }
+
   /// Forces any lazy backend preprocessing (e.g. contraction hierarchies
   /// for all metrics) to run now. Refresh paths call this off-thread, with
   /// no locks held, so the first post-swap query never pays a build.
@@ -69,67 +77,45 @@ class DistanceOracle {
   virtual const RoutingBackend* routing_backend() const { return nullptr; }
 };
 
-/// Cache key of one (from, to, metric) distance query. `from` and `to` use
-/// the full 32 bits each: the old single-uint64 packing (`from << 34 |
-/// to << 2 | metric`) silently dropped the top bits of `from` for node ids
-/// >= 2^30, aliasing distinct queries onto one cache slot.
-struct OracleCacheKey {
-  std::uint64_t nodes = 0;  ///< from in the high 32 bits, to in the low 32
-  std::uint32_t metric = 0;
-
-  friend bool operator==(const OracleCacheKey& a, const OracleCacheKey& b) {
-    return a.nodes == b.nodes && a.metric == b.metric;
-  }
-};
-
-inline OracleCacheKey MakeOracleCacheKey(NodeId from, NodeId to,
-                                         Metric metric) {
-  OracleCacheKey key;
-  key.nodes = (static_cast<std::uint64_t>(from.value()) << 32) |
-              static_cast<std::uint64_t>(to.value());
-  key.metric = static_cast<std::uint32_t>(metric);
-  return key;
-}
-
-struct OracleCacheKeyHash {
-  std::size_t operator()(const OracleCacheKey& key) const noexcept {
-    // splitmix64-style mix of both fields.
-    std::uint64_t h = key.nodes + 0x9e3779b97f4a7c15ull * (key.metric + 1);
-    h ^= h >> 30;
-    h *= 0xbf58476d1ce4e5b9ull;
-    h ^= h >> 27;
-    h *= 0x94d049bb133111ebull;
-    h ^= h >> 31;
-    return static_cast<std::size_t>(h);
-  }
-};
-
 /// Exact oracle backed by a pluggable RoutingBackend over a RoadGraph, with
-/// a striped LRU result cache (distance queries only; routes are always
-/// computed). The default backend is contraction hierarchies — the fastest
-/// per query once its lazy per-metric build has run; pass
+/// a distance result cache in front of it (distance queries only; routes are
+/// always computed). The default backend is contraction hierarchies — the
+/// fastest per query once its lazy per-metric build has run; pass
 /// RoutingBackendKind::kAStar for the preprocessing-free behaviour this
 /// class had before backends were pluggable.
 ///
-/// Thread-safe: the cache is striped (each stripe has its own mutex and LRU
-/// list, hot-path locks are per-stripe and never held during a shortest-path
-/// computation) and the backend leases per-thread workspaces internally, so
-/// any number of threads can query concurrently. Two threads racing on the
-/// same cold key may both compute it; computation_count() reports real
-/// computations, so single-threaded counts are exactly as before.
+/// The cache is policy-pluggable (OracleCachePolicy):
+///  - kClock (default): lossy lock-free CLOCK approximation — no locks on
+///    the read or insert path, so same-bucket insertions never serialize.
+///    Losing an insert race drops the entry and the backend recomputes;
+///    returned distances are bit-identical either way because the backend
+///    is a pure function of (from, to, metric).
+///  - kStripedLru: the previous exact striped LRU (per-stripe mutex and LRU
+///    list; hot-path locks are per-stripe and never held during a
+///    shortest-path computation). Kept behind the policy enum so
+///    differential tests can compare both.
+///
+/// Thread-safe under either policy: the backend leases per-thread
+/// workspaces internally, so any number of threads can query concurrently.
+/// Two threads racing on the same cold key may both compute it;
+/// computation_count() reports real computations, so single-threaded
+/// counts are exactly as before.
 class GraphOracle : public DistanceOracle {
  public:
-  /// `cache_capacity` = max cached (src,dst,metric) distance entries across
-  /// all stripes; 0 disables caching. Small capacities use a single stripe
-  /// so eviction order stays strict LRU.
+  /// `cache_capacity` = max cached (src,dst,metric) distance entries;
+  /// 0 disables caching. For kStripedLru, small capacities use a single
+  /// stripe so eviction order stays strict LRU.
   explicit GraphOracle(const RoadGraph& graph,
                        std::size_t cache_capacity = 1 << 16,
                        RoutingBackendKind backend = RoutingBackendKind::kCh,
-                       const RoutingBackendOptions& backend_options = {});
+                       const RoutingBackendOptions& backend_options = {},
+                       OracleCachePolicy cache_policy =
+                           OracleCachePolicy::kClock);
 
   /// Takes ownership of a caller-built backend (tests, unusual configs).
   GraphOracle(const RoadGraph& graph, std::unique_ptr<RoutingBackend> backend,
-              std::size_t cache_capacity = 1 << 16);
+              std::size_t cache_capacity = 1 << 16,
+              OracleCachePolicy cache_policy = OracleCachePolicy::kClock);
 
   double DriveDistance(NodeId from, NodeId to) override;
   double DriveTime(NodeId from, NodeId to) override;
@@ -146,8 +132,13 @@ class GraphOracle : public DistanceOracle {
     return backend_->settled_count();
   }
   const char* backend_name() const override { return backend_->name(); }
+  const char* cache_policy_name() const override {
+    return cache_capacity_ == 0 ? "none" : OracleCachePolicyName(policy_);
+  }
+  OracleCacheCounters cache_counters() const override;
   void Prewarm() override;
 
+  OracleCachePolicy cache_policy() const { return policy_; }
   RoutingBackend& backend() { return *backend_; }
   const RoutingBackend& backend() const { return *backend_; }
   const RoutingBackend* routing_backend() const override {
@@ -166,6 +157,8 @@ class GraphOracle : public DistanceOracle {
   };
 
   double CachedDistance(NodeId from, NodeId to, Metric metric);
+  double StripedLruDistance(const OracleCacheKey& key, NodeId from, NodeId to,
+                            Metric metric);
   Stripe& StripeOf(const OracleCacheKey& key) {
     return *stripes_[OracleCacheKeyHash{}(key) % stripes_.size()];
   }
@@ -173,8 +166,17 @@ class GraphOracle : public DistanceOracle {
   const RoadGraph& graph_;
   std::unique_ptr<RoutingBackend> backend_;
   std::size_t cache_capacity_;
-  std::size_t stripe_capacity_;
+  OracleCachePolicy policy_;
+
+  // kClock state.
+  std::unique_ptr<OracleClockCache> clock_cache_;
+
+  // kStripedLru state.
+  std::size_t stripe_capacity_ = 0;
   std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<std::uint64_t> lru_insertions_{0};
+  std::atomic<std::uint64_t> lru_evictions_{0};
+  std::atomic<std::uint64_t> lru_races_{0};
 
   std::atomic<std::size_t> computations_{0};
   std::atomic<std::size_t> cache_hits_{0};
@@ -202,9 +204,9 @@ class HaversineOracle : public DistanceOracle {
   double drive_speed_mps_;
 };
 
-/// "oracle" stats section (backend, computations, cache hits, hit rate,
-/// settled nodes) — the observability the ROADMAP's striped-cache question
-/// asks for. Register on a StatsRegistry:
+/// "oracle" stats section (backend, cache policy, computations, cache hits,
+/// hit rate, settled nodes, insert-path counters) — the observability the
+/// ROADMAP's striped-cache question asked for. Register on a StatsRegistry:
 ///   registry.Register("oracle", [&] { return OracleStatsSection(oracle); });
 StatsSection OracleStatsSection(const DistanceOracle& oracle);
 
@@ -212,10 +214,6 @@ StatsSection OracleStatsSection(const DistanceOracle& oracle);
 /// build (metric, build ms, worker threads, batches, shortcuts). Empty for
 /// preprocessing-free backends.
 StatsSection PreprocessStatsSection(const RoutingBackend& backend);
-
-/// Deprecated: use OracleStatsSection with a StatsRegistry. Kept as a thin
-/// wrapper (identical output) so existing call sites migrate in place.
-TextTable OracleStatsTable(const DistanceOracle& oracle);
 
 }  // namespace xar
 

@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "common/stats_registry.h"
-#include "common/table.h"
 #include "common/thread_pool.h"
 #include "discretize/region_snapshot.h"
 #include "xar/xar_system.h"
@@ -44,12 +43,6 @@ inline StatsSection RetryStatsSection(const RetryStats& stats) {
        StatsMetric::Counter("stale_rejections", stats.stale_rejections),
        StatsMetric::Counter("unmatched", stats.unmatched)});
   return section;
-}
-
-/// Deprecated: use RetryStatsSection with a StatsRegistry. Thin wrapper
-/// with identical output, kept so call sites migrate in place.
-inline TextTable RetryStatsTable(const RetryStats& stats) {
-  return StatsSectionTable(RetryStatsSection(stats));
 }
 
 /// Thread-safe sharded deployment of XarSystem.

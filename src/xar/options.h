@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "graph/oracle_cache.h"
 #include "graph/routing_backend.h"
 
 namespace xar {
@@ -55,6 +56,14 @@ struct XarOptions {
   /// production default — order-of-magnitude fewer settled nodes per
   /// booking once the lazy per-metric build has run.
   RoutingBackendKind routing_backend = RoutingBackendKind::kCh;
+
+  /// Which distance-cache implementation the GraphOracle serving this
+  /// system runs in front of the routing backend. Like routing_backend,
+  /// honored by whoever constructs the oracle. kClock (lossy lock-free
+  /// CLOCK approximation) is the production default — same-bucket
+  /// insertions never serialize on a stripe mutex; kStripedLru keeps the
+  /// exact striped LRU for differential comparison.
+  OracleCachePolicy oracle_cache = OracleCachePolicy::kClock;
 
   /// Worker threads for backend preprocessing (contraction-hierarchy
   /// builds); 0 = hardware concurrency. Honored wherever the oracle is

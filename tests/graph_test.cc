@@ -271,13 +271,17 @@ TEST(OracleTest, CacheHitsOnRepeatedQueries) {
   EXPECT_EQ(oracle.cache_hit_count(), 1u);
 }
 
+// Strict-LRU eviction order is a kStripedLru property (the lossy CLOCK
+// cache evicts approximately — see tests/oracle_cache_test.cc for its
+// eviction suite), so this test pins the policy explicitly.
 TEST(OracleTest, CacheEvictsAtCapacity) {
   CityOptions opt;
   opt.rows = 8;
   opt.cols = 8;
   opt.seed = 15;
   RoadGraph g = GenerateCity(opt);
-  GraphOracle oracle(g, 4);
+  GraphOracle oracle(g, 4, RoutingBackendKind::kCh, {},
+                     OracleCachePolicy::kStripedLru);
   for (std::uint32_t i = 1; i <= 10; ++i) {
     oracle.DriveDistance(NodeId(0), NodeId(i));
   }

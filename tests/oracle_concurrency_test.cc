@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "graph/generator.h"
 #include "graph/oracle.h"
+#include "graph/oracle_cache.h"
 
 namespace xar {
 namespace {
@@ -91,6 +94,119 @@ TEST(OracleConcurrencyTest, ParallelQueriesMatchSerialReference) {
   // Hits + real computations account for every query made.
   EXPECT_EQ(shared.computation_count() + shared.cache_hit_count(),
             kThreads * pairs.size());
+}
+
+// Many-thread mixed hit/insert/evict torture for the lock-free CLOCK cache
+// itself (runs under the TSan job with the rest of this suite). The table is
+// much smaller than the key pool, so every thread continuously races
+// lookups against inserts and CLOCK evictions. A hit must always return
+// exactly the value deterministically derived from its key — a torn read,
+// an ABA slot reuse or a misplaced entry all surface as a value mismatch.
+TEST(OracleConcurrencyTest, ClockCacheTortureLoop) {
+  OracleClockCache cache(128);
+  constexpr std::size_t kKeyPool = 1024;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+
+  // Value is a pure function of the key, so any (key -> value) pairing that
+  // survives publication is either exactly right or a protocol bug.
+  auto value_of = [](std::uint32_t from, std::uint32_t to) {
+    return static_cast<double>(from) * 4096.0 + static_cast<double>(to);
+  };
+
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0xC0FFEEu + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kIterations; ++i) {
+        std::uint32_t from =
+            static_cast<std::uint32_t>(rng.NextIndex(kKeyPool));
+        std::uint32_t to = static_cast<std::uint32_t>(rng.NextIndex(64));
+        OracleCacheKey key =
+            MakeOracleCacheKey(NodeId(from), NodeId(to),
+                               Metric::kDriveDistance);
+        if (std::optional<double> got = cache.Lookup(key)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+          if (*got != value_of(from, to)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          cache.Insert(key, value_of(from, to));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_LE(cache.occupied(), cache.capacity());
+  OracleCacheCounters c = cache.counters();
+  EXPECT_GT(c.insertions, 0u);
+  EXPECT_LE(c.evictions, c.insertions);
+  // Post-quiescence the table still answers exactly for whatever survived.
+  std::size_t surviving = 0;
+  for (std::uint32_t from = 0; from < kKeyPool; ++from) {
+    for (std::uint32_t to = 0; to < 64; ++to) {
+      OracleCacheKey key = MakeOracleCacheKey(NodeId(from), NodeId(to),
+                                              Metric::kDriveDistance);
+      if (std::optional<double> got = cache.Lookup(key)) {
+        ++surviving;
+        ASSERT_EQ(*got, value_of(from, to));
+      }
+    }
+  }
+  EXPECT_LE(surviving, cache.capacity());
+}
+
+// The GraphOracle-level differential under eviction/drop churn: a tiny
+// CLOCK cache shared by several threads walking the same pair list must
+// still produce bit-identical distances to a fresh uncached oracle, and the
+// hits-plus-computations accounting must cover every query even when racing
+// inserts are dropped.
+TEST(OracleConcurrencyTest, ClockPolicyParallelMatchesSerialUnderEviction) {
+  RoadGraph g = SmallCity();
+  const std::size_t n = g.NumNodes();
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  Rng rng(123);
+  for (int i = 0; i < 300; ++i) {
+    pairs.emplace_back(
+        NodeId(static_cast<NodeId::underlying_type>(rng.NextIndex(n))),
+        NodeId(static_cast<NodeId::underlying_type>(rng.NextIndex(n))));
+  }
+  GraphOracle reference(g, /*cache_capacity=*/0);
+  std::vector<double> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [from, to] : pairs) {
+    expected.push_back(reference.DriveDistance(from, to));
+  }
+
+  // Capacity far below the working set keeps the CLOCK hand moving.
+  GraphOracle shared(g, /*cache_capacity=*/32, RoutingBackendKind::kCh, {},
+                     OracleCachePolicy::kClock);
+  constexpr int kThreads = 8;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        std::size_t j = (i + static_cast<std::size_t>(t) * 37) % pairs.size();
+        double d = shared.DriveDistance(pairs[j].first, pairs[j].second);
+        if (d != expected[j]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(shared.computation_count() + shared.cache_hit_count(),
+            kThreads * pairs.size());
+  OracleCacheCounters c = shared.cache_counters();
+  EXPECT_GT(c.evictions, 0u) << "capacity 32 over 300 pairs must churn";
 }
 
 TEST(OracleConcurrencyTest, ConcurrentRoutesAreIndependent) {

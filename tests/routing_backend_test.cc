@@ -344,14 +344,16 @@ TEST(RoutingBackendTest, ChRefreshIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(RoutingBackendTest, OracleStatsTableNamesTheBackend) {
+TEST(RoutingBackendTest, OracleStatsSectionNamesTheBackend) {
   RoadGraph g = MakePerturbedLattice(6, 6, 361);
   GraphOracle oracle(g, /*cache_capacity=*/64, RoutingBackendKind::kAlt);
   (void)oracle.DriveDistance(NodeId(0), NodeId(5));
   (void)oracle.DriveDistance(NodeId(0), NodeId(5));
-  std::string table = OracleStatsTable(oracle).ToString();
+  std::string table = StatsSectionTable(OracleStatsSection(oracle)).ToString();
   EXPECT_NE(table.find("alt"), std::string::npos);
   EXPECT_NE(table.find("cache_hits"), std::string::npos);
+  // The cache policy is named alongside the backend.
+  EXPECT_NE(table.find("clock"), std::string::npos);
 }
 
 }  // namespace
