@@ -1,0 +1,188 @@
+// Bucket-CH many-to-many vs per-pair CH on the batch-pricing shape: |S|
+// sources (a wave's distinct splice-leg tails) against k candidate targets,
+// at the candidate counts the booking hot path actually sees. The bucket
+// path pays one backward search per target and one forward scan per source
+// instead of |S| * k bidirectional searches, so it must pull ahead as k
+// grows — the acceptance point is a recorded speedup > 1 at k >= 32.
+// Emits a table per city and a JSON trajectory point
+// (BENCH_many_to_many.json, see bench/README.md).
+
+#include <cstddef>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/clock.h"
+#include "graph/contraction_hierarchy.h"
+#include "graph/generator.h"
+
+namespace xar {
+namespace bench {
+namespace {
+
+constexpr std::size_t kSources = 8;  ///< distinct leg tails of a typical wave
+constexpr std::size_t kCandidateCounts[] = {8, 16, 32, 64, 128};
+
+struct SizePoint {
+  std::size_t candidates = 0;
+  double per_pair_ms = 0.0;
+  double bucket_ms = 0.0;
+  double speedup = 0.0;  ///< per_pair_ms / bucket_ms
+};
+
+struct CityResult {
+  std::size_t rows = 0, cols = 0;
+  std::size_t nodes = 0;
+  double preprocess_ms = 0.0;
+  std::vector<SizePoint> points;
+};
+
+std::vector<NodeId> SampleNodes(const RoadGraph& g, std::size_t n,
+                                std::mt19937_64* rng) {
+  std::uniform_int_distribution<std::uint32_t> pick(
+      0, static_cast<std::uint32_t>(g.NumNodes() - 1));
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) nodes.emplace_back(NodeId(pick(*rng)));
+  return nodes;
+}
+
+CityResult RunCity(std::size_t rows, std::size_t cols, std::size_t reps) {
+  CityOptions copt;
+  copt.rows = rows;
+  copt.cols = cols;
+  copt.seed = 1234;
+  RoadGraph g = GenerateCity(copt);
+
+  Stopwatch build;
+  ContractionHierarchy ch(g, Metric::kDriveDistance);
+  ChQuery query(ch);
+
+  CityResult result;
+  result.rows = rows;
+  result.cols = cols;
+  result.nodes = g.NumNodes();
+  result.preprocess_ms = build.ElapsedMillis();
+
+  std::mt19937_64 rng(4321);
+  for (std::size_t k : kCandidateCounts) {
+    SizePoint point;
+    point.candidates = k;
+    double per_pair_ms = 0.0;
+    double bucket_ms = 0.0;
+    double checksum = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) {
+      std::vector<NodeId> sources = SampleNodes(g, kSources, &rng);
+      std::vector<NodeId> targets = SampleNodes(g, k, &rng);
+
+      Stopwatch pp;
+      for (NodeId s : sources) {
+        for (NodeId t : targets) checksum += query.Distance(s, t);
+      }
+      per_pair_ms += pp.ElapsedMillis();
+
+      Stopwatch bk;
+      std::vector<double> batch = query.ManyToMany(sources, targets);
+      bucket_ms += bk.ElapsedMillis();
+      for (double d : batch) checksum -= d;
+    }
+    if (checksum > 1e-3 || checksum < -1e-3) {
+      std::printf("WARNING: bucket batch diverged from per-pair "
+                  "(checksum %.6f) — results invalid\n", checksum);
+    }
+    point.per_pair_ms = per_pair_ms / static_cast<double>(reps);
+    point.bucket_ms = bucket_ms / static_cast<double>(reps);
+    point.speedup =
+        point.bucket_ms > 0.0 ? point.per_pair_ms / point.bucket_ms : 0.0;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace
+
+int Run() {
+  PrintHeader("MANY-TO-MANY",
+              "per-pair CH vs bucket-CH batch at several candidate counts");
+  const double scale = BenchScale();
+  const std::size_t reps = static_cast<std::size_t>(30 * scale);
+
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::printf("host cores: %u | sources per batch: %zu | reps per point: "
+              "%zu\n", host_cores, kSources, reps);
+  if (host_cores <= 1) {
+    std::printf("WARNING: only %u hardware core(s) visible — timings on a "
+                "time-sliced core are noisier; read speedups, not absolute "
+                "ms.\n", host_cores);
+  }
+
+  struct CitySpec {
+    std::size_t rows, cols;
+  };
+  const CitySpec cities[] = {{16, 16}, {56, 56}};
+
+  std::vector<CityResult> results;
+  for (const CitySpec& spec : cities) {
+    CityResult r = RunCity(spec.rows, spec.cols, reps);
+    std::printf("\ncity %zux%zu — %zu nodes (CH build %.0f ms), "
+                "%zu sources per batch:\n",
+                r.rows, r.cols, r.nodes, r.preprocess_ms, kSources);
+    std::printf("%12s %16s %14s %10s\n", "candidates", "per-pair ms",
+                "bucket ms", "speedup");
+    for (const SizePoint& p : r.points) {
+      std::printf("%12zu %16.3f %14.3f %9.1fx\n", p.candidates,
+                  p.per_pair_ms, p.bucket_ms, p.speedup);
+    }
+    results.push_back(std::move(r));
+  }
+
+  // Acceptance point: the largest city's k = 32 speedup.
+  double speedup_at_32 = 0.0;
+  for (const SizePoint& p : results.back().points) {
+    if (p.candidates == 32) speedup_at_32 = p.speedup;
+  }
+  std::printf("\nlargest city (%zux%zu): bucket-CH speedup at 32 candidates "
+              "%.1fx (acceptance floor: >1x)\n",
+              results.back().rows, results.back().cols, speedup_at_32);
+
+  const char* json_path = "BENCH_many_to_many.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"many_to_many\",\n");
+    std::fprintf(f, "  \"scale\": %.2f,\n", scale);
+    std::fprintf(f, "  \"host_cores\": %u,\n", host_cores);
+    std::fprintf(f, "  \"sources_per_batch\": %zu,\n", kSources);
+    std::fprintf(f, "  \"reps_per_point\": %zu,\n", reps);
+    std::fprintf(f, "  \"cities\": [\n");
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      const CityResult& r = results[c];
+      std::fprintf(f,
+                   "    {\"rows\": %zu, \"cols\": %zu, \"nodes\": %zu, "
+                   "\"ch_preprocess_ms\": %.1f,\n     \"points\": [\n",
+                   r.rows, r.cols, r.nodes, r.preprocess_ms);
+      for (std::size_t i = 0; i < r.points.size(); ++i) {
+        const SizePoint& p = r.points[i];
+        std::fprintf(f,
+                     "      {\"candidates\": %zu, \"per_pair_ms\": %.4f, "
+                     "\"bucket_ms\": %.4f, \"speedup\": %.2f}%s\n",
+                     p.candidates, p.per_pair_ms, p.bucket_ms, p.speedup,
+                     i + 1 < r.points.size() ? "," : "");
+      }
+      std::fprintf(f, "     ]}%s\n", c + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"largest_city_speedup_at_32\": %.2f\n",
+                 speedup_at_32);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace xar
+
+int main() { return xar::bench::Run(); }

@@ -24,10 +24,10 @@ class DistanceMatrix {
   DistanceMatrix() = default;
 
   /// Pairwise driving distances between landmark nodes, symmetrized by max.
-  /// Rows come from `backend->DistancesToMany` (one one-to-many query per
-  /// landmark); when `backend` is null an internal Dijkstra backend — the
-  /// fastest for one-to-many — is used, which matches the historical
-  /// behaviour exactly.
+  /// All rows come from ONE `backend->ManyToMany` batch (bucket CH when the
+  /// backend is a prepared CH backend); when `backend` is null an internal
+  /// Dijkstra backend is used, whose batch is the same one-to-many per row
+  /// the build always ran — byte-identical to the historical behaviour.
   static DistanceMatrix FromGraph(const RoadGraph& graph,
                                   const std::vector<Landmark>& landmarks,
                                   RoutingBackend* backend = nullptr);
@@ -44,6 +44,10 @@ class DistanceMatrix {
   double At(std::size_t i, std::size_t j) const { return d_[i * n_ + j]; }
   double MaxValue() const;
 
+  /// Wall time FromGraph spent computing the rows (0 for the other
+  /// factories). Surfaced as RefreshStats::last_matrix_ms.
+  double build_millis() const { return build_millis_; }
+
   /// Row-major backing store (n*n values); exposed for serialization.
   const std::vector<double>& values() const { return d_; }
 
@@ -54,6 +58,7 @@ class DistanceMatrix {
  private:
   std::size_t n_ = 0;
   std::vector<double> d_;
+  double build_millis_ = 0.0;
 };
 
 }  // namespace xar

@@ -63,7 +63,8 @@ std::size_t RegionIndex::MemoryFootprint() const {
 
 RegionIndex RegionIndex::Build(const RoadGraph& graph,
                                const SpatialNodeIndex& spatial,
-                               const DiscretizationOptions& options) {
+                               const DiscretizationOptions& options,
+                               RoutingBackend* backend) {
   RegionIndex index;
   index.options_ = options;
   index.grid_ = GridSpec(graph.bounds(), options.grid_cell_m);
@@ -73,7 +74,8 @@ RegionIndex RegionIndex::Build(const RoadGraph& graph,
   assert(!index.landmarks_.empty());
 
   // --- Tier 3: clusters via GREEDYSEARCH ----------------------------------
-  index.landmark_metric_ = DistanceMatrix::FromGraph(graph, index.landmarks_);
+  index.landmark_metric_ =
+      DistanceMatrix::FromGraph(graph, index.landmarks_, backend);
   GreedySearchResult gs =
       GreedySearchClustering(index.landmark_metric_, options.delta_m);
   index.clustering_ = std::move(gs.clustering);

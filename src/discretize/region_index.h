@@ -54,10 +54,13 @@ class RegionIndex {
  public:
   /// Runs the full pre-processing pipeline: landmark extraction, landmark
   /// metric, GREEDYSEARCH clustering with δ, grid→landmark assignment and
-  /// walkable-cluster lists.
+  /// walkable-cluster lists. When `backend` is non-null the landmark metric
+  /// is computed with one batch query on it (bucket CH when prepared);
+  /// null keeps the internal Dijkstra build.
   static RegionIndex Build(const RoadGraph& graph,
                            const SpatialNodeIndex& spatial,
-                           const DiscretizationOptions& options);
+                           const DiscretizationOptions& options,
+                           RoutingBackend* backend = nullptr);
 
   // --- Geometry / hierarchy resolution ---------------------------------
 

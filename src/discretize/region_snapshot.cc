@@ -19,10 +19,11 @@ std::shared_ptr<const RegionSnapshot> BorrowRegionSnapshot(
 
 std::shared_ptr<const RegionSnapshot> BuildRegionSnapshot(
     const RoadGraph& graph, const SpatialNodeIndex& spatial,
-    const DiscretizationOptions& options, std::uint64_t epoch) {
+    const DiscretizationOptions& options, std::uint64_t epoch,
+    RoutingBackend* backend) {
   auto snapshot = std::make_shared<RegionSnapshot>();
   snapshot->index = std::make_shared<const RegionIndex>(
-      RegionIndex::Build(graph, spatial, options));
+      RegionIndex::Build(graph, spatial, options, backend));
   snapshot->epoch = epoch;
   return snapshot;
 }
@@ -35,6 +36,7 @@ StatsSection RefreshStatsSection(const RefreshStats& stats) {
        StatsMetric::Counter("refreshes", stats.refreshes),
        StatsMetric::Gauge("last_rebuild_ms", stats.last_rebuild_ms, 1),
        StatsMetric::Gauge("last_prewarm_ms", stats.last_prewarm_ms, 1),
+       StatsMetric::Gauge("last_matrix_ms", stats.last_matrix_ms, 1),
        StatsMetric::Counter("last_rehomed", stats.last_rides_rehomed),
        StatsMetric::Counter("total_rehomed", stats.total_rides_rehomed)});
   return section;

@@ -35,10 +35,13 @@ std::shared_ptr<const RegionSnapshot> BorrowRegionSnapshot(
 
 /// Runs the full pre-processing pipeline and wraps the result in an owning
 /// snapshot tagged with `epoch`. Pure function of its inputs; safe to call
-/// on a background thread with no system locks held.
+/// on a background thread with no system locks held. `backend`, when
+/// non-null, answers the landmark-metric batch (bucket CH when prepared);
+/// it must route over `graph`.
 std::shared_ptr<const RegionSnapshot> BuildRegionSnapshot(
     const RoadGraph& graph, const SpatialNodeIndex& spatial,
-    const DiscretizationOptions& options, std::uint64_t epoch);
+    const DiscretizationOptions& options, std::uint64_t epoch,
+    RoutingBackend* backend = nullptr);
 
 /// What changed underneath the discretization. All fields optional: an empty
 /// delta requests a rebuild of the current region over the current graph
@@ -63,6 +66,9 @@ struct RefreshStats {
   /// per-metric contraction hierarchies) — runs off-thread with no locks
   /// held, before the snapshot is adopted.
   double last_prewarm_ms = 0.0;
+  /// Wall time of the last rebuild's landmark-metric batch (inside
+  /// last_rebuild_ms): the part the bucket-CH many-to-many path speeds up.
+  double last_matrix_ms = 0.0;
   std::size_t last_rides_rehomed = 0; ///< live rides re-homed by the last swap
   std::size_t total_rides_rehomed = 0;
 };

@@ -432,6 +432,113 @@ double ChQuery::Distance(NodeId src, NodeId dst) {
   return Run(src, dst, /*record_parents=*/false, &meet);
 }
 
+void ChQuery::BuildBuckets(const std::vector<NodeId>& targets) {
+  using Arc = ContractionHierarchy::Arc;
+  if (buckets_.empty()) buckets_.resize(ch_.n_);
+  for (std::uint32_t v : bucket_nodes_) buckets_[v].clear();
+  bucket_nodes_.clear();
+
+  auto bdist = [&](std::uint32_t v) {
+    return bwd_mark_[v] == generation_ ? bwd_dist_[v] : kInf;
+  };
+
+  // One full backward upward search per target (no best-distance pruning —
+  // every settled node serves every future source). A node stalled by a
+  // higher-ranked neighbor cannot be the apex of a shortest up-down path,
+  // so skipping its bucket entry never loses the minimum.
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    ++generation_;
+    bwd_heap_.Clear();
+    std::uint32_t dst = targets[t].value();
+    bwd_dist_[dst] = 0;
+    bwd_mark_[dst] = generation_;
+    bwd_heap_.Push(dst, 0);
+    while (!bwd_heap_.empty()) {
+      std::uint32_t u = static_cast<std::uint32_t>(bwd_heap_.PopMin());
+      ++last_settled_count_;
+      double du = bdist(u);
+      bool stalled = false;
+      for (const Arc& a : ch_.up_[u]) {
+        if (bdist(a.to) + a.weight < du) {
+          stalled = true;
+          break;
+        }
+      }
+      if (stalled) continue;
+      if (buckets_[u].empty()) bucket_nodes_.push_back(u);
+      buckets_[u].push_back(
+          BucketEntry{static_cast<std::uint32_t>(t), du});
+      for (const Arc& a : ch_.down_[u]) {
+        double nd = du + a.weight;
+        if (nd < bdist(a.to)) {
+          bwd_dist_[a.to] = nd;
+          bwd_mark_[a.to] = generation_;
+          bwd_heap_.PushOrDecrease(a.to, nd);
+        }
+      }
+    }
+  }
+}
+
+void ChQuery::ScanBuckets(NodeId src, double* row) {
+  using Arc = ContractionHierarchy::Arc;
+  ++generation_;
+  fwd_heap_.Clear();
+
+  auto fdist = [&](std::uint32_t v) {
+    return fwd_mark_[v] == generation_ ? fwd_dist_[v] : kInf;
+  };
+
+  fwd_dist_[src.value()] = 0;
+  fwd_mark_[src.value()] = generation_;
+  fwd_heap_.Push(src.value(), 0);
+  while (!fwd_heap_.empty()) {
+    std::uint32_t u = static_cast<std::uint32_t>(fwd_heap_.PopMin());
+    ++last_settled_count_;
+    double du = fdist(u);
+    bool stalled = false;
+    for (const Arc& a : ch_.down_[u]) {
+      if (fdist(a.to) + a.weight < du) {
+        stalled = true;
+        break;
+      }
+    }
+    if (stalled) continue;
+    for (const BucketEntry& e : buckets_[u]) {
+      double d = du + e.dist;
+      if (d < row[e.target]) row[e.target] = d;
+    }
+    for (const Arc& a : ch_.up_[u]) {
+      double nd = du + a.weight;
+      if (nd < fdist(a.to)) {
+        fwd_dist_[a.to] = nd;
+        fwd_mark_[a.to] = generation_;
+        fwd_heap_.PushOrDecrease(a.to, nd);
+      }
+    }
+  }
+}
+
+std::vector<double> ChQuery::DistancesToMany(
+    NodeId src, const std::vector<NodeId>& targets) {
+  last_settled_count_ = 0;
+  BuildBuckets(targets);
+  std::vector<double> out(targets.size(), kInf);
+  ScanBuckets(src, out.data());
+  return out;
+}
+
+std::vector<double> ChQuery::ManyToMany(const std::vector<NodeId>& sources,
+                                        const std::vector<NodeId>& targets) {
+  last_settled_count_ = 0;
+  BuildBuckets(targets);
+  std::vector<double> out(sources.size() * targets.size(), kInf);
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    ScanBuckets(sources[s], out.data() + s * targets.size());
+  }
+  return out;
+}
+
 void ChQuery::AppendUnpacked(std::uint32_t from, std::uint32_t to,
                              std::vector<NodeId>* out) const {
   // Explicit stack; pushing (a, via) after (via, b) keeps emission
@@ -488,12 +595,19 @@ Path ChQuery::Route(NodeId src, NodeId dst) {
 }
 
 std::size_t ChQuery::MemoryFootprint() const {
-  return sizeof(*this) +
-         (fwd_dist_.capacity() + bwd_dist_.capacity()) * sizeof(double) +
-         (fwd_mark_.capacity() + bwd_mark_.capacity() +
-          fwd_parent_.capacity() + bwd_parent_.capacity()) *
-             sizeof(std::uint32_t) +
-         ch_.NumNodes() * 4 * sizeof(std::size_t);  // both heaps, approx
+  std::size_t bytes =
+      sizeof(*this) +
+      (fwd_dist_.capacity() + bwd_dist_.capacity()) * sizeof(double) +
+      (fwd_mark_.capacity() + bwd_mark_.capacity() +
+       fwd_parent_.capacity() + bwd_parent_.capacity()) *
+          sizeof(std::uint32_t) +
+      ch_.NumNodes() * 4 * sizeof(std::size_t);  // both heaps, approx
+  bytes += buckets_.capacity() * sizeof(std::vector<BucketEntry>);
+  for (const std::vector<BucketEntry>& b : buckets_) {
+    bytes += b.capacity() * sizeof(BucketEntry);
+  }
+  bytes += bucket_nodes_.capacity() * sizeof(std::uint32_t);
+  return bytes;
 }
 
 }  // namespace xar

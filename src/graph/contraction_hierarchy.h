@@ -201,7 +201,23 @@ class ChQuery {
   /// path if unreachable.
   Path Route(NodeId src, NodeId dst);
 
-  /// Nodes settled by the most recent query (both directions).
+  /// One-to-many distances via target buckets (Knopp et al.): one backward
+  /// upward search per target deposits (target, dist) entries in per-node
+  /// buckets, then one forward upward search from `src` scans the buckets
+  /// of every node it settles. Answers match Distance() exactly — stalling
+  /// a node only suppresses bucket entries that a cheaper up-down path
+  /// already covers. Returns one distance per target (+inf if unreachable).
+  std::vector<double> DistancesToMany(NodeId src,
+                                      const std::vector<NodeId>& targets);
+
+  /// Many-to-many distances, row-major |sources| x |targets|. The target
+  /// buckets are built once and scanned by one forward search per source,
+  /// so the per-source cost is independent of the target count.
+  std::vector<double> ManyToMany(const std::vector<NodeId>& sources,
+                                 const std::vector<NodeId>& targets);
+
+  /// Nodes settled by the most recent query (both directions; for the batch
+  /// queries, summed over every backward and forward search).
   std::size_t last_settled_count() const { return last_settled_count_; }
 
   std::size_t MemoryFootprint() const;
@@ -220,6 +236,23 @@ class ChQuery {
   void AppendUnpacked(std::uint32_t from, std::uint32_t to,
                       std::vector<NodeId>* out) const;
 
+  /// One bucket entry: a target (by index into the batch's target list)
+  /// reachable from the bucket's node by a downward path of length `dist`.
+  struct BucketEntry {
+    std::uint32_t target;
+    double dist;
+  };
+
+  /// Clears the previous batch's buckets (O(touched)) and repopulates them
+  /// with one backward upward search per target. Adds to
+  /// last_settled_count_.
+  void BuildBuckets(const std::vector<NodeId>& targets);
+
+  /// Forward upward search from `src` scanning the current buckets; writes
+  /// one distance per target of the batch into `row` (sized and pre-filled
+  /// with kInf by the caller). Adds to last_settled_count_.
+  void ScanBuckets(NodeId src, double* row);
+
   const ContractionHierarchy& ch_;
 
   IndexedMinHeap fwd_heap_;
@@ -232,6 +265,12 @@ class ChQuery {
   std::vector<std::uint32_t> bwd_parent_;
   std::uint32_t generation_ = 0;
   std::size_t last_settled_count_ = 0;
+
+  // Bucket workspace for the batch queries, allocated on first use.
+  // buckets_ is indexed by node; bucket_nodes_ lists the nodes with
+  // non-empty buckets so the next batch clears in O(touched).
+  std::vector<std::vector<BucketEntry>> buckets_;
+  std::vector<std::uint32_t> bucket_nodes_;
 };
 
 }  // namespace xar

@@ -23,6 +23,25 @@ std::size_t StripeCountFor(std::size_t cache_capacity) {
 
 }  // namespace
 
+std::vector<double> DistanceOracle::DriveDistancesToMany(
+    NodeId from, const std::vector<NodeId>& targets) {
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (NodeId t : targets) out.push_back(DriveDistance(from, t));
+  return out;
+}
+
+std::vector<double> DistanceOracle::DriveDistanceMatrix(
+    const std::vector<NodeId>& sources, const std::vector<NodeId>& targets) {
+  std::vector<double> out;
+  out.reserve(sources.size() * targets.size());
+  for (NodeId s : sources) {
+    std::vector<double> row = DriveDistancesToMany(s, targets);
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
 GraphOracle::GraphOracle(const RoadGraph& graph, std::size_t cache_capacity,
                          RoutingBackendKind backend,
                          const RoutingBackendOptions& backend_options,
@@ -121,6 +140,111 @@ double GraphOracle::StripedLruDistance(const OracleCacheKey& key, NodeId from,
   return d;
 }
 
+std::optional<double> GraphOracle::CacheProbe(const OracleCacheKey& key) {
+  if (cache_capacity_ == 0) return std::nullopt;
+  if (clock_cache_ != nullptr) return clock_cache_->Lookup(key);
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.map.find(key);
+  if (it == stripe.map.end()) return std::nullopt;
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
+  return it->second.distance;
+}
+
+void GraphOracle::CacheInsert(const OracleCacheKey& key, double distance) {
+  if (cache_capacity_ == 0) return;
+  if (clock_cache_ != nullptr) {
+    (void)clock_cache_->Insert(key, distance);
+    return;
+  }
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (stripe.map.find(key) != stripe.map.end()) {
+    lru_races_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stripe.lru.push_front(key);
+  stripe.map.emplace(key, CacheEntry{distance, stripe.lru.begin()});
+  lru_insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (stripe.map.size() > stripe_capacity_) {
+    stripe.map.erase(stripe.lru.back());
+    stripe.lru.pop_back();
+    lru_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> GraphOracle::DriveDistancesToMany(
+    NodeId from, const std::vector<NodeId>& targets) {
+  return DriveDistanceMatrix({from}, targets);
+}
+
+std::vector<double> GraphOracle::DriveDistanceMatrix(
+    const std::vector<NodeId>& sources, const std::vector<NodeId>& targets) {
+  const Metric metric = Metric::kDriveDistance;
+  const std::size_t s_count = sources.size();
+  const std::size_t t_count = targets.size();
+  std::vector<double> out(s_count * t_count, 0.0);
+  if (s_count == 0 || t_count == 0) return out;
+
+  // Probe the cache per pair; remember which rows/columns still owe a
+  // distance so the backend batch covers exactly the missing span.
+  std::vector<char> missing(s_count * t_count, 0);
+  std::vector<char> src_missing(s_count, 0);
+  std::vector<char> tgt_missing(t_count, 0);
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  for (std::size_t s = 0; s < s_count; ++s) {
+    for (std::size_t t = 0; t < t_count; ++t) {
+      OracleCacheKey key = MakeOracleCacheKey(sources[s], targets[t], metric);
+      if (std::optional<double> cached = CacheProbe(key)) {
+        out[s * t_count + t] = *cached;
+        ++hits;
+      } else {
+        missing[s * t_count + t] = 1;
+        src_missing[s] = 1;
+        tgt_missing[t] = 1;
+        ++misses;
+      }
+    }
+  }
+  cache_hits_.fetch_add(hits, std::memory_order_relaxed);
+  if (misses == 0) return out;
+  computations_.fetch_add(misses, std::memory_order_relaxed);
+
+  // One backend many-to-many over the rows/columns with at least one miss.
+  // The submatrix may recompute a few cached pairs — harmless; a bucket-CH
+  // source scan costs the same regardless of how many of its targets are
+  // wanted.
+  std::vector<NodeId> miss_sources;
+  std::vector<std::size_t> src_at(s_count, 0);
+  for (std::size_t s = 0; s < s_count; ++s) {
+    if (src_missing[s]) {
+      src_at[s] = miss_sources.size();
+      miss_sources.push_back(sources[s]);
+    }
+  }
+  std::vector<NodeId> miss_targets;
+  std::vector<std::size_t> tgt_at(t_count, 0);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    if (tgt_missing[t]) {
+      tgt_at[t] = miss_targets.size();
+      miss_targets.push_back(targets[t]);
+    }
+  }
+  std::vector<double> sub =
+      backend_->ManyToMany(miss_sources, miss_targets, metric);
+
+  for (std::size_t s = 0; s < s_count; ++s) {
+    for (std::size_t t = 0; t < t_count; ++t) {
+      if (!missing[s * t_count + t]) continue;
+      double d = sub[src_at[s] * miss_targets.size() + tgt_at[t]];
+      out[s * t_count + t] = d;
+      CacheInsert(MakeOracleCacheKey(sources[s], targets[t], metric), d);
+    }
+  }
+  return out;
+}
+
 double GraphOracle::DriveDistance(NodeId from, NodeId to) {
   return CachedDistance(from, to, Metric::kDriveDistance);
 }
@@ -169,6 +293,7 @@ StatsSection OracleStatsSection(const DistanceOracle& oracle) {
   double hit_rate =
       lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
   OracleCacheCounters cache = oracle.cache_counters();
+  const RoutingBackend* backend = oracle.routing_backend();
   StatsSection section;
   section.name = "oracle";
   section.AddRow({StatsMetric::Text("backend", oracle.backend_name()),
@@ -178,6 +303,12 @@ StatsSection OracleStatsSection(const DistanceOracle& oracle) {
                   StatsMetric::Gauge("hit_rate", hit_rate),
                   StatsMetric::Counter("settled_nodes",
                                        oracle.settled_count()),
+                  StatsMetric::Counter("m2m_batch_queries",
+                                       backend ? backend->m2m_batch_count()
+                                               : 0),
+                  StatsMetric::Counter("m2m_fallback_queries",
+                                       backend ? backend->m2m_fallback_count()
+                                               : 0),
                   StatsMetric::Counter("cache_insertions", cache.insertions),
                   StatsMetric::Counter("cache_evictions", cache.evictions),
                   StatsMetric::Counter("cache_drops", cache.drops),

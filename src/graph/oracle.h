@@ -7,6 +7,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +45,19 @@ class DistanceOracle {
   /// Full driving route (shortest by distance). Empty path if unreachable.
   virtual Path DriveRoute(NodeId from, NodeId to) = 0;
 
+  /// Driving distance from `from` to each of `targets` (same order); +inf
+  /// where unreachable. Default: one DriveDistance per target, so every
+  /// oracle (haversine, test doubles) supports the batch API.
+  virtual std::vector<double> DriveDistancesToMany(
+      NodeId from, const std::vector<NodeId>& targets);
+
+  /// Batch driving distances, row-major |sources| x |targets|. GraphOracle
+  /// probes its cache per pair and answers all misses with ONE backend
+  /// many-to-many call (CH target buckets); the default loops
+  /// DriveDistance.
+  virtual std::vector<double> DriveDistanceMatrix(
+      const std::vector<NodeId>& sources, const std::vector<NodeId>& targets);
+
   /// Number of real shortest-path computations performed (cache misses).
   /// Lets benchmarks report how many shortest paths each operation cost.
   virtual std::size_t computation_count() const { return 0; }
@@ -75,6 +89,10 @@ class DistanceOracle {
   /// Lets the stats surface reach preprocessing timings through the
   /// DistanceOracle interface the systems hold.
   virtual const RoutingBackend* routing_backend() const { return nullptr; }
+
+  /// Mutable variant, for callers that route batch work through the
+  /// backend directly (the landmark-matrix rebuild during a refresh).
+  virtual RoutingBackend* mutable_routing_backend() { return nullptr; }
 };
 
 /// Exact oracle backed by a pluggable RoutingBackend over a RoadGraph, with
@@ -122,6 +140,12 @@ class GraphOracle : public DistanceOracle {
   double WalkDistance(NodeId from, NodeId to) override;
   Path DriveRoute(NodeId from, NodeId to) override;
 
+  std::vector<double> DriveDistancesToMany(
+      NodeId from, const std::vector<NodeId>& targets) override;
+  std::vector<double> DriveDistanceMatrix(
+      const std::vector<NodeId>& sources,
+      const std::vector<NodeId>& targets) override;
+
   std::size_t computation_count() const override {
     return computations_.load(std::memory_order_relaxed);
   }
@@ -144,6 +168,7 @@ class GraphOracle : public DistanceOracle {
   const RoutingBackend* routing_backend() const override {
     return backend_.get();
   }
+  RoutingBackend* mutable_routing_backend() override { return backend_.get(); }
 
  private:
   struct CacheEntry {
@@ -159,6 +184,11 @@ class GraphOracle : public DistanceOracle {
   double CachedDistance(NodeId from, NodeId to, Metric metric);
   double StripedLruDistance(const OracleCacheKey& key, NodeId from, NodeId to,
                             Metric metric);
+  /// Probe-only cache read (either policy); no counters, no computation.
+  std::optional<double> CacheProbe(const OracleCacheKey& key);
+  /// Insert-only cache write (either policy); keeps the insert-path
+  /// counters of the active policy.
+  void CacheInsert(const OracleCacheKey& key, double distance);
   Stripe& StripeOf(const OracleCacheKey& key) {
     return *stripes_[OracleCacheKeyHash{}(key) % stripes_.size()];
   }

@@ -13,9 +13,24 @@ namespace xar {
 
 std::vector<double> RoutingBackend::DistancesToMany(
     NodeId src, const std::vector<NodeId>& targets, Metric metric) {
+  CountFallbackQuery();
   std::vector<double> out;
   out.reserve(targets.size());
   for (NodeId t : targets) out.push_back(Distance(src, t, metric));
+  return out;
+}
+
+std::vector<double> RoutingBackend::ManyToMany(
+    const std::vector<NodeId>& sources, const std::vector<NodeId>& targets,
+    Metric metric) {
+  // Fallback shape: one one-to-many per source (each row counts itself via
+  // the DistancesToMany override it lands in).
+  std::vector<double> out;
+  out.reserve(sources.size() * targets.size());
+  for (NodeId s : sources) {
+    std::vector<double> row = DistancesToMany(s, targets, metric);
+    out.insert(out.end(), row.begin(), row.end());
+  }
   return out;
 }
 
@@ -101,9 +116,27 @@ class DijkstraBackend final : public RoutingBackend {
   std::vector<double> DistancesToMany(NodeId src,
                                       const std::vector<NodeId>& targets,
                                       Metric metric) override {
+    CountFallbackQuery();
     auto engine = AcquireEngine();
     std::vector<double> out = engine->DistancesToMany(src, targets, metric);
     Account(engine->last_settled_count());
+    return out;
+  }
+
+  std::vector<double> ManyToMany(const std::vector<NodeId>& sources,
+                                 const std::vector<NodeId>& targets,
+                                 Metric metric) override {
+    // One leased engine serves every row; each row is still a native
+    // single-source search, so it counts as a fallback query.
+    auto engine = AcquireEngine();
+    std::vector<double> out;
+    out.reserve(sources.size() * targets.size());
+    for (NodeId s : sources) {
+      CountFallbackQuery();
+      std::vector<double> row = engine->DistancesToMany(s, targets, metric);
+      Account(engine->last_settled_count());
+      out.insert(out.end(), row.begin(), row.end());
+    }
     return out;
   }
 
@@ -154,6 +187,24 @@ class AStarBackend final : public RoutingBackend {
     Path p = engine->ShortestPath(from, to, metric);
     Account(engine->last_settled_count());
     return p;
+  }
+
+  std::vector<double> DistancesToMany(NodeId src,
+                                      const std::vector<NodeId>& targets,
+                                      Metric metric) override {
+    // Per-pair A* (no one-to-many structure), but through ONE leased engine
+    // so the loop does not pay a pool round-trip per target.
+    CountFallbackQuery();
+    auto engine = AcquireEngine();
+    std::vector<double> out;
+    out.reserve(targets.size());
+    std::size_t settled = 0;
+    for (NodeId t : targets) {
+      out.push_back(engine->Distance(src, t, metric));
+      settled += engine->last_settled_count();
+    }
+    Account(settled);
+    return out;
   }
 
   RoutingBackendKind kind() const override { return RoutingBackendKind::kAStar; }
@@ -209,6 +260,25 @@ class AltBackend final : public RoutingBackend {
     Path p = engine->ShortestPath(from, to);
     Account(engine->last_settled_count());
     return p;
+  }
+
+  std::vector<double> DistancesToMany(NodeId src,
+                                      const std::vector<NodeId>& targets,
+                                      Metric metric) override {
+    // Per-pair ALT through one leased engine (see AStarBackend).
+    CountFallbackQuery();
+    PerMetric& pm = Ensure(metric);
+    auto engine = pm.pool.Acquire(
+        [&pm] { return std::make_unique<AltEngine>(*pm.prototype); });
+    std::vector<double> out;
+    out.reserve(targets.size());
+    std::size_t settled = 0;
+    for (NodeId t : targets) {
+      out.push_back(engine->Distance(src, t));
+      settled += engine->last_settled_count();
+    }
+    Account(settled);
+    return out;
   }
 
   void Prepare(Metric metric) override { Ensure(metric); }
@@ -291,6 +361,30 @@ class ChBackend final : public RoutingBackend {
     Path p = query->Route(from, to);
     Account(query->last_settled_count());
     return p;
+  }
+
+  std::vector<double> DistancesToMany(NodeId src,
+                                      const std::vector<NodeId>& targets,
+                                      Metric metric) override {
+    CountBatchQuery();
+    PerMetric& pm = Ensure(metric);
+    auto query = pm.pool.Acquire(
+        [&pm] { return std::make_unique<ChQuery>(*pm.hierarchy); });
+    std::vector<double> out = query->DistancesToMany(src, targets);
+    Account(query->last_settled_count());
+    return out;
+  }
+
+  std::vector<double> ManyToMany(const std::vector<NodeId>& sources,
+                                 const std::vector<NodeId>& targets,
+                                 Metric metric) override {
+    CountBatchQuery();
+    PerMetric& pm = Ensure(metric);
+    auto query = pm.pool.Acquire(
+        [&pm] { return std::make_unique<ChQuery>(*pm.hierarchy); });
+    std::vector<double> out = query->ManyToMany(sources, targets);
+    Account(query->last_settled_count());
+    return out;
   }
 
   void Prepare(Metric metric) override { Ensure(metric); }

@@ -1,6 +1,7 @@
 #ifndef XAR_GRAPH_ROUTING_BACKEND_H_
 #define XAR_GRAPH_ROUTING_BACKEND_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -76,11 +77,20 @@ class RoutingBackend {
   virtual Path Route(NodeId from, NodeId to, Metric metric) = 0;
 
   /// Distance from `src` to each of `targets` (same order); +inf where
-  /// unreachable. Backends with a fast one-to-many (Dijkstra) override the
-  /// default point-to-point loop.
+  /// unreachable. Backends with a fast one-to-many (Dijkstra's native
+  /// search, CH target buckets) override the default point-to-point loop.
   virtual std::vector<double> DistancesToMany(NodeId src,
                                               const std::vector<NodeId>& targets,
                                               Metric metric);
+
+  /// Batch distances from every source to every target, row-major
+  /// |sources| x |targets| (+inf where unreachable). The CH backend answers
+  /// the whole batch with one bucket structure (build the target buckets
+  /// once, scan them once per source); everything else falls back to one
+  /// DistancesToMany per source.
+  virtual std::vector<double> ManyToMany(const std::vector<NodeId>& sources,
+                                         const std::vector<NodeId>& targets,
+                                         Metric metric);
 
   /// Forces any preprocessing for `metric` to run now (no-op for backends
   /// without preprocessing). Used to build hierarchies off-thread before a
@@ -107,6 +117,32 @@ class RoutingBackend {
 
   /// Rough bytes held: preprocessing products + pooled idle workspaces.
   virtual std::size_t MemoryFootprint() const = 0;
+
+  /// Batch calls (DistancesToMany / ManyToMany) answered by a true
+  /// many-to-many structure — the CH target buckets. One increment per
+  /// batch call, regardless of its size.
+  std::size_t m2m_batch_count() const {
+    return m2m_batch_.load(std::memory_order_relaxed);
+  }
+
+  /// One-to-many requests served by a fallback loop (per-pair or native
+  /// single-source). A ManyToMany falling back counts once per source row —
+  /// that is what it actually costs.
+  std::size_t m2m_fallback_count() const {
+    return m2m_fallback_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void CountBatchQuery() {
+    m2m_batch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountFallbackQuery() {
+    m2m_fallback_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> m2m_batch_{0};
+  std::atomic<std::size_t> m2m_fallback_{0};
 };
 
 /// Builds a backend of `kind` over `graph`. The graph must outlive the

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
 #include "schedule/kinetic_tree.h"
 #include "xar/route_utils.h"
@@ -42,14 +44,23 @@ RefreshStats XarSystem::RefreshDiscretization(const GraphDelta& delta) {
       delta.graph != nullptr ? *delta.graph : *graph_;
   const DiscretizationOptions& build_options =
       delta.options.has_value() ? *delta.options : current->index->options();
-  std::shared_ptr<const RegionSnapshot> next = BuildRegionSnapshot(
-      build_graph, spatial_, build_options, current->epoch + 1);
   // Build any backend preprocessing (per-metric hierarchies) for the
-  // incoming oracle now, so the swap below installs a ready oracle and no
+  // incoming oracle first: the snapshot rebuild below batches its landmark
+  // metric on that backend, and the swap installs a ready oracle so no
   // post-refresh query pays the build.
   Stopwatch prewarm_timer;
   if (delta.oracle != nullptr) delta.oracle->Prewarm();
   refresh_stats_.last_prewarm_ms = prewarm_timer.ElapsedMillis();
+  // The incoming oracle routes over the incoming graph, so its backend can
+  // batch the landmark rows; a delta without an oracle keeps the internal
+  // Dijkstra build (the current oracle may still route the old weights).
+  RoutingBackend* matrix_backend =
+      delta.oracle != nullptr ? delta.oracle->mutable_routing_backend()
+                              : nullptr;
+  std::shared_ptr<const RegionSnapshot> next =
+      BuildRegionSnapshot(build_graph, spatial_, build_options,
+                          current->epoch + 1, matrix_backend);
+  refresh_stats_.last_matrix_ms = next->index->landmark_metric().build_millis();
   AdoptSnapshot(std::move(next), delta.graph, delta.oracle);
   refresh_stats_.last_rebuild_ms = timer.ElapsedMillis();
   return refresh_stats_;
@@ -149,7 +160,7 @@ Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
 
 void XarSystem::CollectSideCandidates(
     const RegionIndex& region, const LatLng& location, double walk_limit_m,
-    double eta_begin, double eta_end,
+    double eta_begin, double eta_end, std::size_t per_ride,
     std::vector<std::pair<RideId, SideCandidate>>* out) const {
   GridId grid = region.GridOfPoint(location);
   // Walkable clusters are sorted by walking distance: scan the prefix within
@@ -163,19 +174,49 @@ void XarSystem::CollectSideCandidates(
                                                wc.nearest_landmark});
     }
   }
-  // Keep, per ride, the candidate with the least walking (ties: earlier ETA)
-  // — the list is small; sort + unique keeps it allocation-light.
+  // Keep, per ride, the `per_ride` least-walk candidates (ties: earlier ETA)
+  // with distinct landmarks — the list is small; sort + compact keeps it
+  // allocation-light.
   std::sort(out->begin(), out->end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first < b.first;
     if (a.second.walk_m != b.second.walk_m)
       return a.second.walk_m < b.second.walk_m;
     return a.second.eta_s < b.second.eta_s;
   });
-  out->erase(std::unique(out->begin(), out->end(),
-                         [](const auto& a, const auto& b) {
-                           return a.first == b.first;
-                         }),
-             out->end());
+  if (per_ride <= 1) {
+    out->erase(std::unique(out->begin(), out->end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               out->end());
+    return;
+  }
+  // Meeting points: in-place compaction keeping up to per_ride entries per
+  // ride. Kept entries of the current ride live in [run_begin, w), so the
+  // distinct-landmark scan is O(per_ride) per entry.
+  std::size_t w = 0;
+  std::size_t run_begin = 0;
+  std::size_t kept_in_run = 0;
+  RideId current = RideId::Invalid();
+  for (std::size_t r = 0; r < out->size(); ++r) {
+    if (w == 0 || (*out)[r].first != current) {
+      current = (*out)[r].first;
+      run_begin = w;
+      kept_in_run = 0;
+    }
+    if (kept_in_run >= per_ride) continue;
+    bool duplicate_landmark = false;
+    for (std::size_t p = run_begin; p < w; ++p) {
+      if ((*out)[p].second.landmark == (*out)[r].second.landmark) {
+        duplicate_landmark = true;
+        break;
+      }
+    }
+    if (duplicate_landmark) continue;
+    (*out)[w++] = (*out)[r];
+    ++kept_in_run;
+  }
+  out->resize(w);
 }
 
 std::vector<RideMatch> XarSystem::Search(const RideRequest& request) const {
@@ -186,6 +227,14 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
                                              std::size_t k) const {
   double walk_limit = request.walk_limit_m >= 0 ? request.walk_limit_m
                                                 : options_.default_walk_limit_m;
+
+  // Meeting points (XarOptions::meeting_points): keep several candidate
+  // landmarks per ride and side instead of only the least-walk one. 1 is
+  // the classic scenario and reproduces it exactly.
+  const std::size_t per_ride =
+      options_.meeting_points
+          ? std::max<std::size_t>(1, options_.meeting_point_candidates)
+          : 1;
 
   // Pin the snapshot for the whole search: every region probe below resolves
   // against one epoch even if a refresh swaps the snapshot mid-flight.
@@ -201,7 +250,7 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
                             options_.eta_window_slack_s,
                         request.latest_departure_s +
                             options_.eta_window_slack_s,
-                        &source_side);
+                        per_ride, &source_side);
 
   // Step 2: candidate rides around the destination; the drop-off may happen
   // any time between the window start and the onboard bound.
@@ -209,58 +258,76 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
   CollectSideCandidates(region, request.destination, walk_limit,
                         request.earliest_departure_s,
                         request.latest_departure_s + options_.max_onboard_s,
-                        &dest_side);
+                        per_ride, &dest_side);
 
   // Intersection R' = R1 ∩ R2 on sorted ride ids, then the final walking &
-  // detour threshold checks (paper Section VII).
+  // detour threshold checks (paper Section VII). Both sides hold runs of up
+  // to per_ride entries per ride (least-walk first); each feasible
+  // cross-combination of a run pair is a distinct meeting-point match, at
+  // most per_ride of them per ride.
   std::vector<RideMatch> matches;
   std::size_t i = 0;
   std::size_t j = 0;
   while (i < source_side.size() && j < dest_side.size()) {
     if (source_side[i].first < dest_side[j].first) {
       ++i;
-    } else if (dest_side[j].first < source_side[i].first) {
-      ++j;
-    } else {
-      const SideCandidate& s = source_side[i].second;
-      const SideCandidate& d = dest_side[j].second;
-      RideId ride_id = source_side[i].first;
-      ++i;
-      ++j;
-      const Ride& ride = rides_[LocalIndex(ride_id)];
-      if (!ride.active || ride.seats_available < request.seats) continue;
-      // The ride must reach the pickup cluster before the drop-off cluster,
-      // and they must differ (same-cluster trips are below system
-      // resolution).
-      if (s.cluster == d.cluster || s.eta_s > d.eta_s) continue;
-      if (s.walk_m + d.walk_m > walk_limit) continue;
-      // Combined detour check (paper Section VII, final step) with the
-      // joint cluster-level estimate — pure index lookups, no shortest
-      // paths.
-      std::size_t seg_s = 0;
-      std::size_t seg_d = 0;
-      double joint_detour = 0.0;
-      if (!index_->ChooseInsertionSegments(ride, s.cluster, s.landmark,
-                                           d.cluster, d.landmark, &seg_s,
-                                           &seg_d, &joint_detour)) {
-        continue;
-      }
-      if (joint_detour > ride.RemainingDetourBudget()) continue;
-
-      RideMatch m;
-      m.ride = ride_id;
-      m.walk_source_m = s.walk_m;
-      m.walk_dest_m = d.walk_m;
-      m.eta_source_s = s.eta_s;
-      m.eta_dest_s = d.eta_s;
-      m.detour_estimate_m = joint_detour;
-      m.source_cluster = s.cluster;
-      m.dest_cluster = d.cluster;
-      m.pickup_landmark = s.landmark;
-      m.dropoff_landmark = d.landmark;
-      m.epoch = pinned->epoch;
-      matches.push_back(m);
+      continue;
     }
+    if (dest_side[j].first < source_side[i].first) {
+      ++j;
+      continue;
+    }
+    const RideId ride_id = source_side[i].first;
+    std::size_t i_end = i;
+    while (i_end < source_side.size() && source_side[i_end].first == ride_id)
+      ++i_end;
+    std::size_t j_end = j;
+    while (j_end < dest_side.size() && dest_side[j_end].first == ride_id)
+      ++j_end;
+    const Ride& ride = rides_[LocalIndex(ride_id)];
+    std::size_t emitted = 0;
+    if (ride.active && ride.seats_available >= request.seats) {
+      for (std::size_t ii = i; ii < i_end && emitted < per_ride; ++ii) {
+        const SideCandidate& s = source_side[ii].second;
+        for (std::size_t jj = j; jj < j_end && emitted < per_ride; ++jj) {
+          const SideCandidate& d = dest_side[jj].second;
+          // The ride must reach the pickup cluster before the drop-off
+          // cluster, and they must differ (same-cluster trips are below
+          // system resolution).
+          if (s.cluster == d.cluster || s.eta_s > d.eta_s) continue;
+          if (s.walk_m + d.walk_m > walk_limit) continue;
+          // Combined detour check (paper Section VII, final step) with the
+          // joint cluster-level estimate — pure index lookups, no shortest
+          // paths.
+          std::size_t seg_s = 0;
+          std::size_t seg_d = 0;
+          double joint_detour = 0.0;
+          if (!index_->ChooseInsertionSegments(ride, s.cluster, s.landmark,
+                                               d.cluster, d.landmark, &seg_s,
+                                               &seg_d, &joint_detour)) {
+            continue;
+          }
+          if (joint_detour > ride.RemainingDetourBudget()) continue;
+
+          RideMatch m;
+          m.ride = ride_id;
+          m.walk_source_m = s.walk_m;
+          m.walk_dest_m = d.walk_m;
+          m.eta_source_s = s.eta_s;
+          m.eta_dest_s = d.eta_s;
+          m.detour_estimate_m = joint_detour;
+          m.source_cluster = s.cluster;
+          m.dest_cluster = d.cluster;
+          m.pickup_landmark = s.landmark;
+          m.dropoff_landmark = d.landmark;
+          m.epoch = pinned->epoch;
+          matches.push_back(m);
+          ++emitted;
+        }
+      }
+    }
+    i = i_end;
+    j = j_end;
   }
 
   std::sort(matches.begin(), matches.end(),
@@ -461,6 +528,128 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
   }
   bookings_.push_back(record);
   return record;
+}
+
+bool XarSystem::CollectPricingLegs(const RideMatch& match,
+                                   std::vector<std::pair<NodeId, NodeId>>* legs,
+                                   double* replaced_m) const {
+  legs->clear();
+  *replaced_m = 0.0;
+  if (!OwnsRide(match.ride)) return false;
+  std::shared_ptr<const RegionSnapshot> pinned =
+      snapshot_.load(std::memory_order_acquire);
+  if (match.epoch != pinned->epoch) return false;
+  const Ride& ride = rides_[LocalIndex(match.ride)];
+  if (!ride.active) return false;
+
+  std::size_t s = 0;
+  std::size_t d = 0;
+  double joint_estimate = 0.0;
+  if (!index_->ChooseInsertionSegments(ride, match.source_cluster,
+                                       match.pickup_landmark,
+                                       match.dest_cluster,
+                                       match.dropoff_landmark, &s, &d,
+                                       &joint_estimate)) {
+    return false;
+  }
+  NodeId pickup = pinned->index->GetLandmark(match.pickup_landmark).node;
+  NodeId dropoff = pinned->index->GetLandmark(match.dropoff_landmark).node;
+
+  // Route length currently covered by the spliced-out segment(s).
+  auto span_m = [&](std::size_t seg) {
+    return ride.route_cum_dist_m[ride.via_route_index[seg + 1]] -
+           ride.route_cum_dist_m[ride.via_route_index[seg]];
+  };
+  // Book's splice_leg skips zero-length legs, so pricing must too.
+  auto add_leg = [&](NodeId from, NodeId to) {
+    if (from != to) legs->emplace_back(from, to);
+  };
+  if (s == d) {
+    add_leg(ride.via_points[s].node, pickup);
+    add_leg(pickup, dropoff);
+    add_leg(dropoff, ride.via_points[s + 1].node);
+    *replaced_m = span_m(s);
+  } else {
+    add_leg(ride.via_points[s].node, pickup);
+    add_leg(pickup, ride.via_points[s + 1].node);
+    add_leg(ride.via_points[d].node, dropoff);
+    add_leg(dropoff, ride.via_points[d + 1].node);
+    *replaced_m = span_m(s) + span_m(d);
+  }
+  return true;
+}
+
+std::size_t XarSystem::PriceMatches(std::vector<RideMatch>* matches) {
+  if (matches->empty()) return 0;
+
+  struct MatchLegs {
+    std::vector<std::pair<NodeId, NodeId>> legs;
+    double replaced_m = 0.0;
+    bool ok = false;
+  };
+  std::vector<MatchLegs> per_match(matches->size());
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;
+  std::unordered_map<NodeId::underlying_type, std::size_t> src_at;
+  std::unordered_map<NodeId::underlying_type, std::size_t> tgt_at;
+  bool any = false;
+  for (std::size_t m = 0; m < matches->size(); ++m) {
+    MatchLegs& ml = per_match[m];
+    ml.ok = CollectPricingLegs((*matches)[m], &ml.legs, &ml.replaced_m);
+    if (!ml.ok) continue;
+    any = true;
+    for (const auto& [from, to] : ml.legs) {
+      if (src_at.emplace(from.value(), sources.size()).second)
+        sources.push_back(from);
+      if (tgt_at.emplace(to.value(), targets.size()).second)
+        targets.push_back(to);
+    }
+  }
+  if (!any) return 0;
+
+  // ONE oracle batch prices every leg of the wave: cache hits are filled
+  // from the distance cache inside the oracle, the misses go down in a
+  // single many-to-many backend call (bucket CH on the default backend).
+  std::vector<double> dist = oracle_->DriveDistanceMatrix(sources, targets);
+
+  std::size_t dropped = 0;
+  std::vector<RideMatch> kept;
+  kept.reserve(matches->size());
+  for (std::size_t m = 0; m < matches->size(); ++m) {
+    RideMatch match = (*matches)[m];
+    const MatchLegs& ml = per_match[m];
+    if (ml.ok) {
+      double spliced = 0.0;
+      for (const auto& [from, to] : ml.legs) {
+        spliced += dist[src_at.at(from.value()) * targets.size() +
+                        tgt_at.at(to.value())];
+      }
+      if (!std::isfinite(spliced)) {
+        // An unreachable splice leg: Book could only fail on it. The only
+        // matches pricing is allowed to drop — budget checks stay against
+        // the cluster estimate, so booking outcomes are unchanged.
+        ++dropped;
+        continue;
+      }
+      match.priced_detour_m = std::max(0.0, spliced - ml.replaced_m);
+    }
+    kept.push_back(match);
+  }
+  *matches = std::move(kept);
+  pricing_stats_.waves += 1;
+  pricing_stats_.candidates += per_match.size();
+  pricing_stats_.dropped += dropped;
+  return dropped;
+}
+
+Result<BookingRecord> XarSystem::SearchAndBook(const RideRequest& request) {
+  std::vector<RideMatch> matches = Search(request);
+  if (options_.batch_pricing) PriceMatches(&matches);
+  for (const RideMatch& match : matches) {
+    Result<BookingRecord> booked = Book(match.ride, request, match);
+    if (booked.ok()) return booked;
+  }
+  return Status::NotFound("no bookable ride for request");
 }
 
 Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
