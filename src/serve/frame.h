@@ -1,0 +1,216 @@
+#ifndef XAR_SERVE_FRAME_H_
+#define XAR_SERVE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xar {
+namespace serve {
+
+/// Wire protocol of the serving layer (DESIGN.md "Serving layer"): a stream
+/// of length-prefixed binary frames, identical framing in both directions.
+///
+///   frame    := u32 body_len (LE) | body
+///   request  := u64 tag | u8 verb   | payload
+///   response := u64 tag | u8 status | payload
+///
+/// `body_len` counts the body only (tag + code + payload), so the minimum
+/// legal value is 9. The tag is an opaque client-chosen correlation id
+/// echoed verbatim in the response — responses to pipelined requests on one
+/// connection may arrive out of order (they are handled by different
+/// workers), and the tag is how the client re-associates them. All integers
+/// are little-endian; doubles are IEEE-754 bit patterns in little-endian
+/// byte order.
+///
+/// Framing errors (body_len < 9 or > the server's max_frame_bytes) are
+/// unrecoverable — the byte stream has desynced — so the server answers a
+/// single MALFORMED response (tag 0) and closes the connection. Payload
+/// errors inside a well-formed frame are recoverable: the server answers
+/// MALFORMED with the frame's tag and keeps the connection open.
+
+/// Request verbs.
+enum class Verb : std::uint8_t {
+  kSearch = 1,         ///< SearchPayload -> SearchResult
+  kBook = 2,           ///< BookPayload -> BookingResult (look-then-book)
+  kSearchAndBook = 3,  ///< SearchPayload -> BookingResult (atomic)
+  kStats = 4,          ///< optional section name (text) -> text
+  kRefresh = 5,        ///< empty -> RefreshResult
+};
+
+/// Response status codes (first byte of every response body).
+enum class RespStatus : std::uint8_t {
+  kOk = 0,
+  kBusy = 1,         ///< load shed: worker queue full, retry later
+  kMalformed = 2,    ///< framing or payload decode error
+  kFailed = 3,       ///< application error; payload = status message text
+  kUnknownVerb = 4,  ///< verb byte not recognized
+};
+
+const char* RespStatusName(RespStatus status);
+
+constexpr std::size_t kFrameHeaderBytes = 4;  ///< the u32 length prefix
+constexpr std::size_t kMinBodyBytes = 9;      ///< u64 tag + u8 code
+constexpr std::size_t kDefaultMaxBodyBytes = 1 << 20;
+
+/// One decoded frame (request or response; `code` is a Verb or RespStatus
+/// depending on direction).
+struct Frame {
+  std::uint64_t tag = 0;
+  std::uint8_t code = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// --- Bounds-checked little-endian readers/writers -------------------------
+
+/// Appends little-endian primitives to a byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>* out) : out_(out) {}
+
+  void PutU8(std::uint8_t v) { out_->push_back(v); }
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutF64(double v);
+  void PutBytes(const void* data, std::size_t n);
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Reads little-endian primitives from a byte span; every getter returns
+/// false (and reads nothing) once the span is exhausted.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t n)
+      : data_(data), size_(n) {}
+
+  bool GetU8(std::uint8_t* v);
+  bool GetU32(std::uint32_t* v);
+  bool GetU64(std::uint64_t* v);
+  bool GetF64(double* v);
+  std::size_t remaining() const { return size_ - pos_; }
+  const std::uint8_t* cursor() const { return data_ + pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Appends one complete frame (header + body) to `out`.
+void AppendFrame(std::uint64_t tag, std::uint8_t code,
+                 const std::uint8_t* payload, std::size_t payload_len,
+                 std::vector<std::uint8_t>* out);
+
+inline void AppendFrame(std::uint64_t tag, std::uint8_t code,
+                        const std::vector<std::uint8_t>& payload,
+                        std::vector<std::uint8_t>* out) {
+  AppendFrame(tag, code, payload.data(), payload.size(), out);
+}
+
+/// Incremental frame parser: feed raw socket bytes in arbitrary chunks
+/// (partial reads, coalesced frames), pop complete frames. A framing error
+/// (undersized or oversized length prefix) is sticky: the stream has
+/// desynced and the connection must be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_body_bytes = kDefaultMaxBodyBytes)
+      : max_body_bytes_(max_body_bytes) {}
+
+  void Feed(const std::uint8_t* data, std::size_t n);
+
+  enum class Next {
+    kFrame,     ///< *out holds the next complete frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< framing error; see error(); sticky
+  };
+  Next Pop(Frame* out);
+
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed (diagnostics).
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_body_bytes_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- Payload codecs --------------------------------------------------------
+// Every Decode* requires the payload to be exactly consumed (trailing bytes
+// are a decode error) so a malformed client can't smuggle garbage.
+
+/// SEARCH / SEARCH_AND_BOOK request payload.
+struct SearchPayload {
+  std::uint32_t rider_id = 0;      ///< request id (pending-search key)
+  double source_lat = 0.0, source_lng = 0.0;
+  double dest_lat = 0.0, dest_lng = 0.0;
+  double earliest_departure_s = 0.0;
+  double latest_departure_s = 0.0;
+  double walk_limit_m = -1.0;      ///< -1 = system default
+  std::uint32_t top_k = 0;         ///< 0 = all matches
+};
+
+void EncodeSearch(const SearchPayload& p, std::vector<std::uint8_t>* out);
+bool DecodeSearch(const std::uint8_t* data, std::size_t n, SearchPayload* p);
+
+/// BOOK request payload: books `ride_id` from the connection's most recent
+/// SEARCH for `rider_id` (the look-then-book flow).
+struct BookPayload {
+  std::uint32_t rider_id = 0;
+  std::uint32_t ride_id = 0;
+};
+
+void EncodeBook(const BookPayload& p, std::vector<std::uint8_t>* out);
+bool DecodeBook(const std::uint8_t* data, std::size_t n, BookPayload* p);
+
+/// One row of a SEARCH response.
+struct MatchRow {
+  std::uint32_t ride_id = 0;
+  double walk_m = 0.0;
+  double eta_s = 0.0;
+  double detour_m = 0.0;
+};
+
+/// SEARCH response payload.
+struct SearchResult {
+  std::vector<MatchRow> matches;
+};
+
+void EncodeSearchResult(const SearchResult& r, std::vector<std::uint8_t>* out);
+bool DecodeSearchResult(const std::uint8_t* data, std::size_t n,
+                        SearchResult* r);
+
+/// BOOK / SEARCH_AND_BOOK success payload.
+struct BookingResult {
+  std::uint32_t ride_id = 0;
+  double pickup_eta_s = 0.0;
+  double dropoff_eta_s = 0.0;
+  double detour_m = 0.0;
+  double walk_m = 0.0;
+};
+
+void EncodeBookingResult(const BookingResult& r,
+                         std::vector<std::uint8_t>* out);
+bool DecodeBookingResult(const std::uint8_t* data, std::size_t n,
+                         BookingResult* r);
+
+/// REFRESH success payload.
+struct RefreshResult {
+  std::uint64_t epoch = 0;
+  double rebuild_ms = 0.0;
+};
+
+void EncodeRefreshResult(const RefreshResult& r,
+                         std::vector<std::uint8_t>* out);
+bool DecodeRefreshResult(const std::uint8_t* data, std::size_t n,
+                         RefreshResult* r);
+
+}  // namespace serve
+}  // namespace xar
+
+#endif  // XAR_SERVE_FRAME_H_

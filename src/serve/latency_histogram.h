@@ -1,0 +1,125 @@
+#ifndef XAR_SERVE_LATENCY_HISTOGRAM_H_
+#define XAR_SERVE_LATENCY_HISTOGRAM_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xar {
+namespace serve {
+
+/// Lock-free log-linear latency histogram (HdrHistogram-style): microsecond
+/// values land in one of 16 sub-buckets per power of two, giving ~6%
+/// relative resolution across 1 µs .. ~9.5 h with a fixed 544-slot atomic
+/// array. Record() is a single relaxed fetch_add, safe from any number of
+/// worker threads; Snapshot() is approximate under concurrent writes (each
+/// counter is read once), which is fine for the trend series the soak
+/// harness records.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kMaxExp = 36;  ///< values cap at 2^36 us (~19 h)
+  static constexpr std::size_t kBuckets =
+      kSubBuckets + static_cast<std::size_t>(kMaxExp - 4) * kSubBuckets;
+
+  void Record(double micros) {
+    std::uint64_t us =
+        micros <= 0.0 ? 0 : static_cast<std::uint64_t>(micros + 0.5);
+    counts_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+    std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (us > prev &&
+           !max_us_.compare_exchange_weak(prev, us,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Point-in-time copy from which percentiles can be read repeatedly.
+  struct Snapshot {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    std::uint64_t sum_us = 0;
+    std::uint64_t max_us = 0;
+
+    /// Percentile estimate in microseconds (lower bound of the covering
+    /// bucket); q in [0, 1].
+    double PercentileUs(double q) const {
+      if (count == 0) return 0.0;
+      std::uint64_t target = static_cast<std::uint64_t>(
+          q * static_cast<double>(count));
+      target = std::min(target, count - 1);
+      std::uint64_t seen = 0;
+      for (std::size_t b = 0; b < counts.size(); ++b) {
+        seen += counts[b];
+        if (seen > target) return BucketLowUs(b);
+      }
+      return static_cast<double>(max_us);
+    }
+
+    double MeanUs() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum_us) /
+                              static_cast<double>(count);
+    }
+  };
+
+  Snapshot Take() const {
+    Snapshot s;
+    s.counts.resize(kBuckets);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      s.counts[b] = counts_[b].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum_us = sum_us_.load(std::memory_order_relaxed);
+    s.max_us = max_us_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// The difference `now - since`, for time-bucketed series: counters are
+  /// cumulative, so per-bucket distributions are snapshot deltas.
+  static Snapshot Delta(const Snapshot& now, const Snapshot& since) {
+    Snapshot d;
+    d.counts.resize(now.counts.size());
+    for (std::size_t b = 0; b < now.counts.size(); ++b) {
+      d.counts[b] = now.counts[b] - since.counts[b];
+    }
+    d.count = now.count - since.count;
+    d.sum_us = now.sum_us - since.sum_us;
+    d.max_us = now.max_us;  // max does not difference; keep the running max
+    return d;
+  }
+
+  static std::size_t BucketOf(std::uint64_t us) {
+    if (us < kSubBuckets) return static_cast<std::size_t>(us);
+    int exp = 63 - __builtin_clzll(us);
+    if (exp >= kMaxExp) {
+      exp = kMaxExp - 1;
+      us = (std::uint64_t{1} << kMaxExp) - 1;
+    }
+    int sub = static_cast<int>((us >> (exp - 4)) & (kSubBuckets - 1));
+    return static_cast<std::size_t>(kSubBuckets * (exp - 3) + sub);
+  }
+
+  static double BucketLowUs(std::size_t bucket) {
+    if (bucket < kSubBuckets) return static_cast<double>(bucket);
+    int exp = static_cast<int>(bucket) / kSubBuckets + 3;
+    int sub = static_cast<int>(bucket) % kSubBuckets;
+    return static_cast<double>((std::uint64_t{1} << exp) +
+                               (static_cast<std::uint64_t>(sub)
+                                << (exp - 4)));
+  }
+
+ private:
+  std::atomic<std::uint64_t> counts_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+}  // namespace serve
+}  // namespace xar
+
+#endif  // XAR_SERVE_LATENCY_HISTOGRAM_H_

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
+#include "serve/client.h"
+#include "serve/server.h"
 #include "tests/test_helpers.h"
+#include "xar/concurrent_xar.h"
 
 namespace xar {
 namespace {
@@ -188,6 +193,105 @@ TEST_F(CommandServerTest, MalformedInputsAreErrors) {
   EXPECT_EQ(server_.Execute("RIDE 12345").rfind("ERR", 0), 0u);
   EXPECT_EQ(server_.Execute("ADVANCE soon").rfind("ERR", 0), 0u);
   EXPECT_EQ(server_.Execute("HELP").rfind("OK COMMANDS", 0), 0u);
+}
+
+// --- Network server lifecycle (ISSUE 7 satellite 4) ------------------------
+// The shutdown contract of the socket front end, pinned here next to the
+// line-oriented server it wraps: SO_REUSEADDR + joined handlers + idempotent
+// Stop mean back-to-back server instances can run on a reused port.
+
+class ServerLifecycleTest : public ::testing::Test {
+ protected:
+  ServerLifecycleTest()
+      : city_(SharedCity()),
+        system_(city_.graph, *city_.spatial, *city_.region, *city_.oracle,
+                XarOptions{}, /*num_shards=*/2) {}
+
+  /// One full round trip against a running server: proves it is actually
+  /// serving, not just bound.
+  void ExpectServes(serve::XarServeServer& server) {
+    serve::ServeClient client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+    xar::Result<std::string> stats = client.Stats("serve");
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_NE(stats->find("accepted="), std::string::npos);
+  }
+
+  TestCity& city_;
+  ConcurrentXarSystem system_;
+};
+
+TEST_F(ServerLifecycleTest, BackToBackInstancesReuseThePort) {
+  std::uint16_t port = 0;
+  {
+    serve::XarServeServer first(system_);
+    ASSERT_TRUE(first.Start().ok());
+    port = first.port();
+    ExpectServes(first);
+    first.Stop();
+    EXPECT_FALSE(first.running());
+  }
+  // A fresh instance binds the same port immediately: the previous
+  // instance's sockets are in TIME_WAIT, which SO_REUSEADDR must bypass.
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE(::testing::Message() << "round " << round);
+    serve::ServeOptions options;
+    options.port = port;
+    serve::XarServeServer next(system_, options);
+    ASSERT_TRUE(next.Start().ok());
+    EXPECT_EQ(next.port(), port);
+    ExpectServes(next);
+    next.Stop();
+  }
+}
+
+TEST_F(ServerLifecycleTest, StopIsIdempotentAndRestartable) {
+  serve::XarServeServer server(system_);
+
+  server.Stop();  // before Start: a no-op
+  EXPECT_FALSE(server.running());
+
+  ASSERT_TRUE(server.Start().ok());
+  const std::uint16_t port = server.port();
+  EXPECT_FALSE(server.Start().ok()) << "double Start must be refused";
+  ExpectServes(server);
+
+  server.Stop();
+  server.Stop();  // twice: still a no-op
+  EXPECT_FALSE(server.running());
+
+  // The same object restarts on the same port.
+  serve::ServeOptions again;
+  again.port = port;
+  serve::XarServeServer reuse(system_, again);
+  ASSERT_TRUE(reuse.Start().ok());
+  ExpectServes(reuse);
+  reuse.Stop();
+}
+
+TEST_F(ServerLifecycleTest, StopWithConnectedClientsJoinsCleanly) {
+  serve::XarServeServer server(system_);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Clients left connected (one mid-frame) must not wedge or crash Stop.
+  serve::ServeClient idle;
+  ASSERT_TRUE(idle.Connect(server.port()).ok());
+  serve::ServeClient mid_frame;
+  ASSERT_TRUE(mid_frame.Connect(server.port()).ok());
+  const std::uint8_t partial[6] = {40, 0, 0, 0, 1, 2};  // header + 2 of 40
+  ASSERT_TRUE(mid_frame.SendBytes(partial, sizeof(partial)).ok());
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // Both clients observe the close promptly — EOF or a TCP reset (the
+  // kernel sends RST when a socket with unread data is closed), never a
+  // timeout, which would mean the server left the connection dangling.
+  for (serve::ServeClient* client : {&idle, &mid_frame}) {
+    StatusCode code = client->ReadFrame(1000).status().code();
+    EXPECT_TRUE(code == StatusCode::kNotFound || code == StatusCode::kInternal)
+        << "code " << static_cast<int>(code);
+    EXPECT_NE(code, StatusCode::kResourceExhausted) << "read timed out";
+  }
 }
 
 }  // namespace

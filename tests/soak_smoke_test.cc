@@ -1,0 +1,325 @@
+// Tier-1 soak smoke (ISSUE 7 satellite 3), seconds not minutes: N
+// concurrent clients drive the serving layer over real sockets replaying a
+// fixed workload, and the result must equal a serial XarSystem replay —
+// same match lists, same booking outcomes, same final seat accounting.
+//
+// Phase A (concurrent): every client SEARCHes its slice of the workload.
+// Searches are pure, so running them from many sockets at once cannot
+// diverge from serial — and the responses are compared row-for-row,
+// bit-for-bit against the serial system. XAR_SOAK_SECONDS=<n> stretches
+// this phase into a real soak (the bench/soak harness sets it; CI leaves it
+// unset and the phase runs once).
+//
+// Phase B (serialized look-then-book) then books through the socket in a
+// deterministic order, so the final booking set is exactly comparable.
+//
+// A second test exercises the atomic SEARCH_AND_BOOK path from many
+// sockets at once, where interleaving makes exact equality meaningless, and
+// checks accounting invariants instead (same split as
+// differential_fuzz_test). The stress binary (XAR_SOAK_STRESS, label
+// `stress`, TSan job) adds a REFRESH thread swapping discretization epochs
+// under the concurrent load.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "serve/client.h"
+#include "serve/frame.h"
+#include "serve/server.h"
+#include "tests/test_helpers.h"
+#include "workload/trip_generator.h"
+#include "xar/concurrent_xar.h"
+#include "xar/xar_system.h"
+
+namespace xar {
+namespace serve {
+namespace {
+
+constexpr std::size_t kShards = 4;
+#ifdef XAR_SOAK_STRESS
+constexpr std::size_t kClients = 8;
+constexpr std::size_t kNumTrips = 600;
+#else
+constexpr std::size_t kClients = 4;
+constexpr std::size_t kNumTrips = 240;
+#endif
+
+double SoakSeconds() {
+  const char* env = std::getenv("XAR_SOAK_SECONDS");
+  return env ? std::atof(env) : 0.0;
+}
+
+struct Workload {
+  std::vector<RideOffer> offers;
+  std::vector<RideRequest> requests;
+};
+
+Workload MakeWorkload(std::uint64_t seed) {
+  WorkloadOptions wopt;
+  wopt.num_trips = kNumTrips;
+  wopt.seed = seed;
+  Workload w;
+  for (const TaxiTrip& t : GenerateTrips(testing::SharedCity().graph.bounds(),
+                                         wopt)) {
+    if (t.id.value() % 3 == 0) {
+      RideOffer offer;
+      offer.source = t.pickup;
+      offer.destination = t.dropoff;
+      offer.departure_time_s = t.pickup_time_s;
+      w.offers.push_back(offer);
+    } else {
+      RideRequest req;
+      req.id = t.id;
+      req.source = t.pickup;
+      req.destination = t.dropoff;
+      req.earliest_departure_s = t.pickup_time_s;
+      req.latest_departure_s = t.pickup_time_s + 1200;
+      w.requests.push_back(req);
+    }
+  }
+  return w;
+}
+
+SearchPayload ToPayload(const RideRequest& req) {
+  SearchPayload p;
+  p.rider_id = req.id.value();
+  p.source_lat = req.source.lat;
+  p.source_lng = req.source.lng;
+  p.dest_lat = req.destination.lat;
+  p.dest_lng = req.destination.lng;
+  p.earliest_departure_s = req.earliest_departure_s;
+  p.latest_departure_s = req.latest_departure_s;
+  p.walk_limit_m = req.walk_limit_m;
+  return p;
+}
+
+TEST(SoakSmoke, SocketReplayMatchesSerialSystem) {
+  testing::TestCity& city = testing::SharedCity();
+  Workload w = MakeWorkload(0xa11ce);
+  ASSERT_FALSE(w.offers.empty());
+  ASSERT_FALSE(w.requests.empty());
+
+  ConcurrentXarSystem served(city.graph, *city.spatial, *city.region,
+                             *city.oracle, XarOptions{}, kShards);
+  XarSystem serial(city.graph, *city.spatial, *city.region, *city.oracle);
+  for (const RideOffer& offer : w.offers) {
+    Result<RideId> a = served.CreateRide(offer);
+    Result<RideId> b = serial.CreateRide(offer);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value(), b.value()) << "ride-id assignment diverged";
+  }
+
+  XarServeServer server(served);
+  ASSERT_TRUE(server.Start().ok());
+
+  // --- Phase A: concurrent pure searches over real sockets ----------------
+  // Serial expectations are computed up front: searches mutate nothing, so
+  // every socket response during the phase must equal them bit-for-bit no
+  // matter how the clients interleave. Comparison happens inside the client
+  // threads (gtest assertions are not thread-safe, so mismatches are
+  // tallied atomically and asserted after the join).
+  std::vector<std::vector<RideMatch>> expected(w.requests.size());
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    expected[i] = serial.Search(w.requests[i]);
+  }
+  auto matches_expected = [&](std::size_t i, const SearchResult& got) {
+    const std::vector<RideMatch>& expect = expected[i];
+    if (got.matches.size() != expect.size()) return false;
+    for (std::size_t r = 0; r < expect.size(); ++r) {
+      if (got.matches[r].ride_id != expect[r].ride.value() ||
+          got.matches[r].walk_m != expect[r].TotalWalkM() ||
+          got.matches[r].eta_s != expect[r].eta_source_s ||
+          got.matches[r].detour_m != expect[r].detour_estimate_m) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  const double soak_s = SoakSeconds();
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> searches{0};
+  Stopwatch elapsed;
+  bool first_pass = true;
+  while (first_pass || elapsed.ElapsedSeconds() < soak_s) {
+    first_pass = false;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        ServeClient client;
+        if (!client.Connect(server.port()).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (std::size_t i = c; i < w.requests.size(); i += kClients) {
+          Result<SearchResult> found = client.Search(ToPayload(w.requests[i]));
+          if (!found.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          searches.fetch_add(1, std::memory_order_relaxed);
+          if (!matches_expected(i, *found)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  ASSERT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "concurrent socket searches diverged from the serial replay";
+  EXPECT_GE(searches.load(), w.requests.size());
+
+  // --- Phase B: deterministic look-then-book through the socket -----------
+  ServeClient booker;
+  ASSERT_TRUE(booker.Connect(server.port()).ok());
+  std::size_t socket_bookings = 0;
+  std::size_t serial_bookings = 0;
+  for (const RideRequest& req : w.requests) {
+    SCOPED_TRACE(::testing::Message() << "booking request " << req.id.value());
+    Result<SearchResult> found = booker.Search(ToPayload(req));
+    ASSERT_TRUE(found.ok()) << found.status().ToString();
+    std::vector<RideMatch> expect = serial.Search(req);
+    ASSERT_EQ(found->matches.size(), expect.size());
+    if (expect.empty()) continue;
+
+    Result<BookingResult> via_socket =
+        booker.Book(req.id.value(), found->matches.front().ride_id);
+    Result<BookingRecord> via_serial =
+        serial.Book(expect.front().ride, req, expect.front());
+    ASSERT_EQ(via_socket.ok(), via_serial.ok())
+        << via_socket.status().ToString();
+    if (!via_serial.ok()) continue;
+    ++socket_bookings;
+    ++serial_bookings;
+    EXPECT_EQ(via_socket->ride_id, via_serial->ride.value());
+    EXPECT_EQ(via_socket->detour_m, via_serial->actual_detour_m);
+    EXPECT_EQ(via_socket->walk_m, via_serial->walk_m);
+    EXPECT_EQ(via_socket->pickup_eta_s, via_serial->pickup_eta_s);
+    EXPECT_EQ(via_socket->dropoff_eta_s, via_serial->dropoff_eta_s);
+  }
+  EXPECT_GT(socket_bookings, 0u) << "workload produced no bookings";
+
+  // --- Final state: seat accounting equals the serial replay exactly ------
+  ASSERT_EQ(served.NumRides(), serial.NumRides());
+  EXPECT_EQ(served.NumActiveRides(), serial.NumActiveRides());
+  for (std::size_t id = 0; id < serial.NumRides(); ++id) {
+    SCOPED_TRACE(::testing::Message() << "ride " << id);
+    Result<Ride> got = served.GetRide(RideId(static_cast<std::uint32_t>(id)));
+    const Ride* expect = serial.GetRide(RideId(static_cast<std::uint32_t>(id)));
+    ASSERT_TRUE(got.ok());
+    ASSERT_NE(expect, nullptr);
+    EXPECT_EQ(got->seats_total, expect->seats_total);
+    EXPECT_EQ(got->seats_available, expect->seats_available);
+    EXPECT_EQ(got->detour_used_m, expect->detour_used_m);
+    EXPECT_EQ(got->via_points.size(), expect->via_points.size());
+    EXPECT_EQ(got->active, expect->active);
+  }
+
+  ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.shed, 0u) << "smoke load must not trip admission";
+  EXPECT_EQ(counters.protocol_errors, 0u);
+  server.Stop();
+}
+
+TEST(SoakSmoke, ConcurrentSearchAndBookKeepsSeatAccounting) {
+  testing::TestCity& city = testing::SharedCity();
+  Workload w = MakeWorkload(0xb0b);
+
+  ConcurrentXarSystem served(city.graph, *city.spatial, *city.region,
+                             *city.oracle, XarOptions{}, kShards);
+  for (const RideOffer& offer : w.offers) {
+    ASSERT_TRUE(served.CreateRide(offer).ok());
+  }
+  XarServeServer server(served);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> booked{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> errors{0};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      ServeClient client;
+      if (!client.Connect(server.port()).ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      for (;;) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= w.requests.size()) return;
+        Result<BookingResult> booking =
+            client.SearchAndBook(ToPayload(w.requests[i]));
+        if (booking.ok()) {
+          booked.fetch_add(1, std::memory_order_relaxed);
+        } else if (booking.status().code() ==
+                   StatusCode::kFailedPrecondition) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+#ifdef XAR_SOAK_STRESS
+  // Epoch churn under load: discretization refreshes must never corrupt the
+  // seat accounting (stale-epoch bookings retry internally).
+  std::atomic<bool> refreshing{true};
+  std::thread refresher([&] {
+    ServeClient client;
+    if (!client.Connect(server.port()).ok()) return;
+    while (refreshing.load(std::memory_order_acquire)) {
+      client.Refresh();
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+#endif
+  for (std::thread& t : threads) t.join();
+#ifdef XAR_SOAK_STRESS
+  refreshing.store(false, std::memory_order_release);
+  refresher.join();
+#endif
+
+  ASSERT_EQ(errors.load(), 0u);
+  EXPECT_GT(booked.load(), 0u);
+  EXPECT_EQ(booked.load() + failed.load(), w.requests.size());
+
+  // The server's retry accounting covers every request exactly once.
+  RetryStats stats = served.retry_stats();
+  const std::size_t total_booked =
+      stats.booked_first_try + stats.booked_after_research;
+  EXPECT_EQ(total_booked, booked.load());
+  EXPECT_EQ(total_booked + stats.unmatched, w.requests.size());
+
+  // Every successful booking consumed exactly one seat.
+  std::size_t seats_consumed = 0;
+  for (std::size_t id = 0; id < served.NumRides(); ++id) {
+    Result<Ride> ride = served.GetRide(RideId(static_cast<std::uint32_t>(id)));
+    ASSERT_TRUE(ride.ok());
+    seats_consumed +=
+        static_cast<std::size_t>(ride->seats_total - ride->seats_available);
+  }
+  EXPECT_EQ(seats_consumed, booked.load());
+
+  ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.protocol_errors, 0u);
+  EXPECT_EQ(counters.shed, 0u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace xar
