@@ -17,7 +17,7 @@
 #include "graph/contraction_hierarchy.h"
 #include "graph/dijkstra.h"
 #include "tshare/tshare_system.h"
-#include "xar/cluster_ride_list.h"
+#include "match/cluster_ride_list.h"
 #include "xar/xar_system.h"
 
 namespace xar {

@@ -4,6 +4,7 @@
 // their car. Prints match rates, latency percentiles and quality metrics.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/stats_registry.h"
 #include "common/table.h"
@@ -29,14 +30,25 @@ int main() {
   std::vector<TaxiTrip> trips = GenerateTrips(graph.bounds(), workload);
 
   XarOptions options;
+  // XAR_MATCH_INDEX=cluster|st_hash swaps the candidate-generation index
+  // under the whole simulated day; a typo is a hard error (xar_shell rules).
+  if (const char* env = std::getenv("XAR_MATCH_INDEX")) {
+    Result<MatchIndexKind> kind = MatchIndexFromString(env);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "XAR_MATCH_INDEX: %s\n",
+                   kind.status().ToString().c_str());
+      return 1;
+    }
+    options.match_index = kind.value();
+  }
   GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
                      options.routing_backend, options.BackendOptions());
   XarSystem xar(graph, spatial, region, oracle, options);
 
   std::printf("simulating %zu trips over a day "
-              "(%zu clusters, eps=%.0fm, %s routing)...\n",
+              "(%zu clusters, eps=%.0fm, %s routing, %s match index)...\n",
               trips.size(), region.NumClusters(), region.epsilon(),
-              oracle.backend_name());
+              oracle.backend_name(), MatchIndexName(options.match_index));
   SimResult result = SimulateRideSharing(xar, trips);
 
   std::printf("\nrequests:      %zu\n", result.requests);

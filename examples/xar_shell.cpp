@@ -43,6 +43,17 @@ int main() {
     options.preprocess_threads =
         static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
   }
+  // XAR_MATCH_INDEX=cluster|st_hash picks the candidate-generation index
+  // behind Search; a typo is a hard error, same as the backend override.
+  if (const char* env = std::getenv("XAR_MATCH_INDEX")) {
+    Result<MatchIndexKind> kind = MatchIndexFromString(env);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "XAR_MATCH_INDEX: %s\n",
+                   kind.status().ToString().c_str());
+      return 1;
+    }
+    options.match_index = kind.value();
+  }
   // XAR_ORACLE_CACHE=clock|striped_lru picks the oracle's distance-cache
   // policy; a typo is a hard error, same as the backend override.
   if (const char* env = std::getenv("XAR_ORACLE_CACHE")) {
@@ -63,10 +74,10 @@ int main() {
   const BoundingBox& b = graph.bounds();
   std::printf("XAR shell — city bounds lat [%.4f, %.4f], lng [%.4f, %.4f]\n",
               b.min_lat, b.max_lat, b.min_lng, b.max_lng);
-  std::printf("%zu clusters, epsilon %.0f m, %s routing, %s cache. "
-              "Type HELP for commands.\n",
+  std::printf("%zu clusters, epsilon %.0f m, %s routing, %s cache, "
+              "%s match index. Type HELP for commands.\n",
               region.NumClusters(), region.epsilon(), oracle.backend_name(),
-              oracle.cache_policy_name());
+              oracle.cache_policy_name(), MatchIndexName(options.match_index));
 
   char line[512];
   while (true) {

@@ -1,0 +1,234 @@
+#include "match/cluster_match_index.h"
+
+#include <algorithm>
+
+namespace xar {
+
+ClusterMatchIndex::ClusterMatchIndex(
+    std::shared_ptr<const RegionSnapshot> snapshot, const RoadGraph& graph)
+    : snapshot_(std::move(snapshot)),
+      graph_(&graph),
+      impl_(std::make_unique<RideIndex>(
+          *snapshot_.load(std::memory_order_relaxed)->index, graph)) {}
+
+void ClusterMatchIndex::Insert(const Ride& ride) {
+  impl_->RegisterRide(ride);
+  counters_.inserts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClusterMatchIndex::Remove(RideId ride) {
+  impl_->UnregisterRide(ride);
+  counters_.removes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClusterMatchIndex::Update(const Ride& ride) {
+  impl_->ReregisterRide(ride);
+  counters_.updates.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t ClusterMatchIndex::Advance(const Ride& ride, double now_s) {
+  std::size_t evicted = impl_->AdvanceRide(ride, now_s);
+  if (evicted > 0) {
+    counters_.evictions.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  return evicted;
+}
+
+double ClusterMatchIndex::NextEventTime(RideId ride) const {
+  return impl_->NextEventTime(ride);
+}
+
+bool ClusterMatchIndex::ChooseInsertionSegments(
+    const Ride& ride, ClusterId source_cluster, LandmarkId pickup_landmark,
+    ClusterId dest_cluster, LandmarkId dropoff_landmark, std::size_t* seg_src,
+    std::size_t* seg_dst, double* joint_estimate_m) const {
+  return impl_->ChooseInsertionSegments(ride, source_cluster, pickup_landmark,
+                                        dest_cluster, dropoff_landmark,
+                                        seg_src, seg_dst, joint_estimate_m);
+}
+
+void ClusterMatchIndex::OnEpochSwap(
+    std::shared_ptr<const RegionSnapshot> snapshot, const RoadGraph& graph) {
+  graph_ = &graph;
+  impl_ = std::make_unique<RideIndex>(*snapshot->index, graph);
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+}
+
+std::size_t ClusterMatchIndex::MemoryFootprint() const {
+  return sizeof(*this) + impl_->MemoryFootprint();
+}
+
+void ClusterMatchIndex::CollectSideCandidates(
+    const RegionIndex& region, const LatLng& location, double walk_limit_m,
+    double eta_begin, double eta_end, std::size_t per_ride,
+    std::vector<std::pair<RideId, SideCandidate>>* out) const {
+  GridId grid = region.GridOfPoint(location);
+  // Walkable clusters are sorted by walking distance: scan the prefix within
+  // the request's threshold (paper: linear traversal of the sorted list).
+  for (const WalkableCluster& wc : region.WalkableClustersOf(grid)) {
+    if (wc.walk_m > walk_limit_m) break;
+    const ClusterRideList& list = impl_->ListOf(wc.cluster);
+    for (const PotentialRide& pr : list.EtaRange(eta_begin, eta_end)) {
+      out->emplace_back(pr.ride, SideCandidate{wc.walk_m, pr.eta_s,
+                                               pr.detour_m, wc.cluster,
+                                               wc.nearest_landmark});
+    }
+  }
+  // Keep, per ride, the `per_ride` least-walk candidates (ties: earlier ETA)
+  // with distinct landmarks — the list is small; sort + compact keeps it
+  // allocation-light.
+  std::sort(out->begin(), out->end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    if (a.second.walk_m != b.second.walk_m)
+      return a.second.walk_m < b.second.walk_m;
+    return a.second.eta_s < b.second.eta_s;
+  });
+  if (per_ride <= 1) {
+    out->erase(std::unique(out->begin(), out->end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               out->end());
+    return;
+  }
+  // Meeting points: in-place compaction keeping up to per_ride entries per
+  // ride. Kept entries of the current ride live in [run_begin, w), so the
+  // distinct-landmark scan is O(per_ride) per entry.
+  std::size_t w = 0;
+  std::size_t run_begin = 0;
+  std::size_t kept_in_run = 0;
+  RideId current = RideId::Invalid();
+  for (std::size_t r = 0; r < out->size(); ++r) {
+    if (w == 0 || (*out)[r].first != current) {
+      current = (*out)[r].first;
+      run_begin = w;
+      kept_in_run = 0;
+    }
+    if (kept_in_run >= per_ride) continue;
+    bool duplicate_landmark = false;
+    for (std::size_t p = run_begin; p < w; ++p) {
+      if ((*out)[p].second.landmark == (*out)[r].second.landmark) {
+        duplicate_landmark = true;
+        break;
+      }
+    }
+    if (duplicate_landmark) continue;
+    (*out)[w++] = (*out)[r];
+    ++kept_in_run;
+  }
+  out->resize(w);
+}
+
+std::vector<RideMatch> ClusterMatchIndex::Candidates(
+    const MatchQuery& query, const RideLookup& rides) const {
+  const RideRequest& request = *query.request;
+  const double walk_limit = query.walk_limit_m;
+  const std::size_t per_ride = query.per_ride;
+
+  // Pin the snapshot for the whole search: every region probe below resolves
+  // against one epoch even if a refresh swaps the snapshot mid-flight.
+  std::shared_ptr<const RegionSnapshot> pinned =
+      snapshot_.load(std::memory_order_acquire);
+  const RegionIndex& region = *pinned->index;
+
+  // Step 1: candidate rides around the source, keyed by pickup-cluster ETA
+  // inside the departure window.
+  std::vector<std::pair<RideId, SideCandidate>> source_side;
+  CollectSideCandidates(region, request.source, walk_limit,
+                        request.earliest_departure_s -
+                            query.eta_window_slack_s,
+                        request.latest_departure_s + query.eta_window_slack_s,
+                        per_ride, &source_side);
+
+  // Step 2: candidate rides around the destination; the drop-off may happen
+  // any time between the window start and the onboard bound.
+  std::vector<std::pair<RideId, SideCandidate>> dest_side;
+  CollectSideCandidates(region, request.destination, walk_limit,
+                        request.earliest_departure_s,
+                        request.latest_departure_s + query.max_onboard_s,
+                        per_ride, &dest_side);
+
+  // Intersection R' = R1 ∩ R2 on sorted ride ids, then the final walking &
+  // detour threshold checks (paper Section VII). Both sides hold runs of up
+  // to per_ride entries per ride (least-walk first); each feasible
+  // cross-combination of a run pair is a distinct meeting-point match, at
+  // most per_ride of them per ride.
+  std::vector<RideMatch> matches;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < source_side.size() && j < dest_side.size()) {
+    if (source_side[i].first < dest_side[j].first) {
+      ++i;
+      continue;
+    }
+    if (dest_side[j].first < source_side[i].first) {
+      ++j;
+      continue;
+    }
+    const RideId ride_id = source_side[i].first;
+    std::size_t i_end = i;
+    while (i_end < source_side.size() && source_side[i_end].first == ride_id)
+      ++i_end;
+    std::size_t j_end = j;
+    while (j_end < dest_side.size() && dest_side[j_end].first == ride_id)
+      ++j_end;
+    const Ride* ride = rides.Find(ride_id);
+    std::size_t emitted = 0;
+    if (ride != nullptr && ride->active &&
+        ride->seats_available >= request.seats) {
+      for (std::size_t ii = i; ii < i_end && emitted < per_ride; ++ii) {
+        const SideCandidate& s = source_side[ii].second;
+        for (std::size_t jj = j; jj < j_end && emitted < per_ride; ++jj) {
+          const SideCandidate& d = dest_side[jj].second;
+          // The ride must reach the pickup cluster before the drop-off
+          // cluster, and they must differ (same-cluster trips are below
+          // system resolution).
+          if (s.cluster == d.cluster || s.eta_s > d.eta_s) continue;
+          if (s.walk_m + d.walk_m > walk_limit) continue;
+          // Combined detour check (paper Section VII, final step) with the
+          // joint cluster-level estimate — pure index lookups, no shortest
+          // paths.
+          std::size_t seg_s = 0;
+          std::size_t seg_d = 0;
+          double joint_detour = 0.0;
+          if (!impl_->ChooseInsertionSegments(*ride, s.cluster, s.landmark,
+                                              d.cluster, d.landmark, &seg_s,
+                                              &seg_d, &joint_detour)) {
+            continue;
+          }
+          if (joint_detour > ride->RemainingDetourBudget()) continue;
+
+          RideMatch m;
+          m.ride = ride_id;
+          m.walk_source_m = s.walk_m;
+          m.walk_dest_m = d.walk_m;
+          m.eta_source_s = s.eta_s;
+          m.eta_dest_s = d.eta_s;
+          m.detour_estimate_m = joint_detour;
+          m.source_cluster = s.cluster;
+          m.dest_cluster = d.cluster;
+          m.pickup_landmark = s.landmark;
+          m.dropoff_landmark = d.landmark;
+          m.epoch = pinned->epoch;
+          matches.push_back(m);
+          ++emitted;
+        }
+      }
+    }
+    i = i_end;
+    j = j_end;
+  }
+
+  std::sort(matches.begin(), matches.end(),
+            [](const RideMatch& a, const RideMatch& b) {
+              if (a.TotalWalkM() != b.TotalWalkM())
+                return a.TotalWalkM() < b.TotalWalkM();
+              return a.ride < b.ride;
+            });
+  if (query.max_results > 0 && matches.size() > query.max_results)
+    matches.resize(query.max_results);
+  CountSearch(matches.size());
+  return matches;
+}
+
+}  // namespace xar

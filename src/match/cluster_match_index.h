@@ -1,0 +1,83 @@
+#ifndef XAR_MATCH_CLUSTER_MATCH_INDEX_H_
+#define XAR_MATCH_CLUSTER_MATCH_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "match/match_index.h"
+#include "match/ride_index.h"
+
+namespace xar {
+
+/// The default MatchIndex backend: the paper's cluster-centric two-step
+/// search (Section VII) over the per-cluster potential-ride lists of
+/// RideIndex (Section VI). Candidates() is a verbatim port of the
+/// pre-extraction XarSystem search path — results are bit-equal to it, which
+/// is what the match_index_test differential suite pins.
+class ClusterMatchIndex final : public MatchIndex {
+ public:
+  ClusterMatchIndex(std::shared_ptr<const RegionSnapshot> snapshot,
+                    const RoadGraph& graph);
+
+  MatchIndexKind kind() const override { return MatchIndexKind::kCluster; }
+
+  void Insert(const Ride& ride) override;
+  void Remove(RideId ride) override;
+  void Update(const Ride& ride) override;
+
+  std::vector<RideMatch> Candidates(const MatchQuery& query,
+                                    const RideLookup& rides) const override;
+
+  std::size_t Advance(const Ride& ride, double now_s) override;
+  double NextEventTime(RideId ride) const override;
+
+  bool ChooseInsertionSegments(const Ride& ride, ClusterId source_cluster,
+                               LandmarkId pickup_landmark,
+                               ClusterId dest_cluster,
+                               LandmarkId dropoff_landmark,
+                               std::size_t* seg_src, std::size_t* seg_dst,
+                               double* joint_estimate_m) const override;
+
+  void OnEpochSwap(std::shared_ptr<const RegionSnapshot> snapshot,
+                   const RoadGraph& graph) override;
+
+  std::size_t NumRegisteredRides() const override {
+    return impl_->NumRegisteredRides();
+  }
+  std::size_t MemoryFootprint() const override;
+
+  /// The wrapped cluster structure, for introspection (pass-through and
+  /// registration views used by tests/examples and XarSystem::ride_index()).
+  const RideIndex& impl() const { return *impl_; }
+
+ private:
+  struct SideCandidate {
+    double walk_m;
+    double eta_s;
+    double detour_m;
+    ClusterId cluster;
+    LandmarkId landmark;
+  };
+
+  /// Step 1/2 of Search: per-ride candidates from one endpoint, resolved
+  /// against the pinned `region`. Keeps up to `per_ride` distinct-landmark
+  /// candidates per ride in least-walk order.
+  void CollectSideCandidates(
+      const RegionIndex& region, const LatLng& location, double walk_limit_m,
+      double eta_begin, double eta_end, std::size_t per_ride,
+      std::vector<std::pair<RideId, SideCandidate>>* out) const;
+
+  /// Pinned per search (acquire), swapped by OnEpochSwap (release): the
+  /// same discipline the pre-extraction system used for its snapshot member.
+  std::atomic<std::shared_ptr<const RegionSnapshot>> snapshot_;
+  const RoadGraph* graph_;
+  /// Rebuilt (not mutated in place) on epoch swap — RideIndex resolves
+  /// against exactly one region epoch.
+  std::unique_ptr<RideIndex> impl_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_MATCH_CLUSTER_MATCH_INDEX_H_

@@ -1,4 +1,4 @@
-#include "xar/cluster_ride_list.h"
+#include "match/cluster_ride_list.h"
 
 #include <algorithm>
 #include <cassert>

@@ -1,5 +1,5 @@
-#ifndef XAR_XAR_CLUSTER_RIDE_LIST_H_
-#define XAR_XAR_CLUSTER_RIDE_LIST_H_
+#ifndef XAR_MATCH_CLUSTER_RIDE_LIST_H_
+#define XAR_MATCH_CLUSTER_RIDE_LIST_H_
 
 #include <cstddef>
 #include <span>
@@ -58,4 +58,4 @@ class ClusterRideList {
 
 }  // namespace xar
 
-#endif  // XAR_XAR_CLUSTER_RIDE_LIST_H_
+#endif  // XAR_MATCH_CLUSTER_RIDE_LIST_H_

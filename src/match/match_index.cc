@@ -1,0 +1,65 @@
+#include "match/match_index.h"
+
+#include <string>
+#include <utility>
+
+#include "match/cluster_match_index.h"
+#include "match/st_hash_index.h"
+
+namespace xar {
+
+const char* MatchIndexName(MatchIndexKind kind) {
+  switch (kind) {
+    case MatchIndexKind::kCluster:
+      return "cluster";
+    case MatchIndexKind::kSpatioTemporalHash:
+      return "st_hash";
+  }
+  return "unknown";
+}
+
+std::optional<MatchIndexKind> ParseMatchIndex(std::string_view name) {
+  if (name == "cluster") return MatchIndexKind::kCluster;
+  if (name == "st_hash") return MatchIndexKind::kSpatioTemporalHash;
+  return std::nullopt;
+}
+
+Result<MatchIndexKind> MatchIndexFromString(std::string_view name) {
+  std::optional<MatchIndexKind> kind = ParseMatchIndex(name);
+  if (kind.has_value()) return *kind;
+  return Status::InvalidArgument("unknown match index \"" + std::string(name) +
+                                 "\" (valid: cluster, st_hash)");
+}
+
+StatsSection MatchStatsSection(const MatchIndexStats& stats) {
+  StatsSection section;
+  section.name = "match";
+  section.AddRow(
+      {StatsMetric::Text("backend", stats.backend),
+       StatsMetric::Gauge("registered_rides",
+                          static_cast<double>(stats.registered_rides), 0),
+       StatsMetric::Gauge("bytes", static_cast<double>(stats.bytes), 0),
+       StatsMetric::Counter("inserts", stats.counters.inserts),
+       StatsMetric::Counter("removes", stats.counters.removes),
+       StatsMetric::Counter("updates", stats.counters.updates),
+       StatsMetric::Counter("evictions", stats.counters.evictions),
+       StatsMetric::Counter("searches", stats.counters.searches),
+       StatsMetric::Counter("empty_searches", stats.counters.empty_searches),
+       StatsMetric::Counter("candidates", stats.counters.candidates)});
+  return section;
+}
+
+std::unique_ptr<MatchIndex> MakeMatchIndex(
+    MatchIndexKind kind, std::shared_ptr<const RegionSnapshot> snapshot,
+    const RoadGraph& graph, const MatchIndexOptions& options) {
+  switch (kind) {
+    case MatchIndexKind::kCluster:
+      return std::make_unique<ClusterMatchIndex>(std::move(snapshot), graph);
+    case MatchIndexKind::kSpatioTemporalHash:
+      return std::make_unique<StHashMatchIndex>(std::move(snapshot), graph,
+                                                options);
+  }
+  return nullptr;
+}
+
+}  // namespace xar

@@ -1,0 +1,234 @@
+#ifndef XAR_MATCH_MATCH_INDEX_H_
+#define XAR_MATCH_MATCH_INDEX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/stats_registry.h"
+#include "discretize/region_snapshot.h"
+#include "graph/road_graph.h"
+#include "xar/ride.h"
+
+namespace xar {
+
+/// Which candidate-generation index a system runs behind the MatchIndex
+/// interface (ROADMAP "pluggable match-index backends"). The systems layer —
+/// booking, pricing, tracking, refresh — is backend-agnostic; only the way
+/// Search turns a request into ranked candidate rides changes.
+enum class MatchIndexKind {
+  /// The paper's cluster-centric index (Sections VI/VII): per-cluster
+  /// potential-ride lists over pass-through/reachable clusters. The default.
+  kCluster,
+  /// Spatio-temporal hash buckets over ride trajectories (Dutta, "When
+  /// Hashing Met Matching", arXiv 1809.02680): rides hash their route into
+  /// (grid-cell × time-bucket) keys; a request unions the entries of its
+  /// reachable buckets. Booking-time exact pricing downstream is unchanged,
+  /// so the 4ε detour bound is preserved by construction.
+  kSpatioTemporalHash,
+};
+
+/// Stable lowercase name ("cluster", "st_hash") for logs, stats and env vars.
+const char* MatchIndexName(MatchIndexKind kind);
+
+/// Parses a MatchIndexName; nullopt on unknown names.
+std::optional<MatchIndexKind> ParseMatchIndex(std::string_view name);
+
+/// Parses a MatchIndexName. Unknown names are a hard InvalidArgument error —
+/// never a silent fall-through to the default backend (same contract as
+/// RoutingBackendFromString).
+Result<MatchIndexKind> MatchIndexFromString(std::string_view name);
+
+/// Tuning knobs of the spatio-temporal hash backend (ignored by kCluster).
+struct MatchIndexOptions {
+  /// Side length of the spatial hash cells (meters). Coarser than the
+  /// region's 100 m grids: a request probes all cells within its walking
+  /// radius, so the cell size trades probe fan-out against bucket density.
+  double st_hash_cell_m = 500.0;
+
+  /// Width of the temporal buckets (seconds). A ride's route point at ETA t
+  /// lands in bucket floor(t / width); a request probes every bucket
+  /// overlapping its (slack-widened) time window.
+  double st_hash_bucket_s = 300.0;
+
+  /// Safety cap on spatial cells probed per request side (wide walk limits
+  /// on tiny cells would otherwise probe quadratically many cells).
+  std::size_t st_hash_max_probe_cells = 4096;
+};
+
+/// Point-in-time copy of a backend's counters (the "match" stats section).
+struct MatchCounters {
+  std::uint64_t inserts = 0;         ///< rides registered
+  std::uint64_t removes = 0;         ///< rides fully unregistered
+  std::uint64_t updates = 0;         ///< re-registrations after bookings
+  std::uint64_t evictions = 0;       ///< tracking evictions (cluster lists /
+                                     ///< hash-bucket entries crossed)
+  std::uint64_t searches = 0;        ///< Candidates() calls
+  std::uint64_t empty_searches = 0;  ///< Candidates() calls returning none
+  std::uint64_t candidates = 0;      ///< matches returned, total
+
+  MatchCounters& operator+=(const MatchCounters& other) {
+    inserts += other.inserts;
+    removes += other.removes;
+    updates += other.updates;
+    evictions += other.evictions;
+    searches += other.searches;
+    empty_searches += other.empty_searches;
+    candidates += other.candidates;
+    return *this;
+  }
+};
+
+/// Aggregated view of one or more backends (a sharded system sums its
+/// shards) for the stats surface.
+struct MatchIndexStats {
+  const char* backend = "";
+  std::size_t registered_rides = 0;
+  std::size_t bytes = 0;
+  MatchCounters counters;
+};
+
+/// "match" stats section for the unified StatsRegistry surface.
+StatsSection MatchStatsSection(const MatchIndexStats& stats);
+
+/// Resolves a candidate ride id to the live ride state. Implemented by the
+/// owning XarSystem; backends never store ride state themselves, so a
+/// candidate probe always checks seats/activity against the current truth.
+class RideLookup {
+ public:
+  virtual ~RideLookup() = default;
+  virtual const Ride* Find(RideId id) const = 0;
+};
+
+/// One Candidates() call: the request plus every option the systems layer
+/// resolved for it (defaults applied, meeting-points fan-out, top-k).
+struct MatchQuery {
+  const RideRequest* request = nullptr;
+  double walk_limit_m = 0.0;        ///< resolved walking threshold
+  double eta_window_slack_s = 0.0;  ///< departure-window slack (both sides)
+  double max_onboard_s = 0.0;       ///< destination-side ETA probe bound
+  std::size_t per_ride = 1;         ///< meeting-point candidates per side
+  std::size_t max_results = 0;      ///< top-k (0 = all)
+};
+
+/// The pluggable candidate-generation layer (mirrors the routing-backend
+/// extraction one level up): everything XarSystem needs from a search index,
+/// with the booking/pricing path downstream kept backend-independent.
+///
+/// Contract:
+///  - Insert/Remove/Update track ride lifecycle; Update re-derives all
+///    associations after a booking/cancellation changed the ride's shape.
+///  - Candidates returns ranked feasible matches (least total walking,
+///    ties by ride id), each carrying the landmarks/clusters Book needs and
+///    stamped with the epoch of the snapshot it was computed on.
+///  - Advance implements tracking (paper Section VIII-A): retire index
+///    entries the ride has driven past; NextEventTime is the next moment
+///    tracking has work to do for the ride.
+///  - ChooseInsertionSegments resolves a match to concrete via-segment
+///    insertion points with a precomputed-metric detour estimate — no
+///    shortest paths. Book then splices with <= 4 exact shortest paths and
+///    charges the *actual* detour, which is what keeps the paper's 4ε
+///    guarantee backend-independent (DESIGN.md §12).
+///  - OnEpochSwap rebinds the index to a fresh discretization snapshot,
+///    dropping every registration; the caller re-Inserts live rides (the
+///    refresh path's re-homing).
+///
+/// Thread safety: none — instances are owned by one XarSystem and guarded
+/// by its shard lock, exactly like the ride state they index. Counters are
+/// atomics only because Candidates() is called under shared (reader) locks.
+class MatchIndex {
+ public:
+  virtual ~MatchIndex() = default;
+
+  virtual MatchIndexKind kind() const = 0;
+
+  virtual void Insert(const Ride& ride) = 0;
+  virtual void Remove(RideId ride) = 0;
+  virtual void Update(const Ride& ride) = 0;
+
+  virtual std::vector<RideMatch> Candidates(const MatchQuery& query,
+                                            const RideLookup& rides) const = 0;
+
+  /// Returns the number of index entries evicted.
+  virtual std::size_t Advance(const Ride& ride, double now_s) = 0;
+  virtual double NextEventTime(RideId ride) const = 0;
+
+  virtual bool ChooseInsertionSegments(const Ride& ride,
+                                       ClusterId source_cluster,
+                                       LandmarkId pickup_landmark,
+                                       ClusterId dest_cluster,
+                                       LandmarkId dropoff_landmark,
+                                       std::size_t* seg_src,
+                                       std::size_t* seg_dst,
+                                       double* joint_estimate_m) const = 0;
+
+  virtual void OnEpochSwap(std::shared_ptr<const RegionSnapshot> snapshot,
+                           const RoadGraph& graph) = 0;
+
+  virtual std::size_t NumRegisteredRides() const = 0;
+  virtual std::size_t MemoryFootprint() const = 0;
+
+  /// Snapshot of this instance's counters.
+  MatchCounters counters() const {
+    MatchCounters c;
+    c.inserts = counters_.inserts.load(std::memory_order_relaxed);
+    c.removes = counters_.removes.load(std::memory_order_relaxed);
+    c.updates = counters_.updates.load(std::memory_order_relaxed);
+    c.evictions = counters_.evictions.load(std::memory_order_relaxed);
+    c.searches = counters_.searches.load(std::memory_order_relaxed);
+    c.empty_searches =
+        counters_.empty_searches.load(std::memory_order_relaxed);
+    c.candidates = counters_.candidates.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  /// This instance's stats row (single-system surface; sharded systems
+  /// aggregate counters() across shards instead).
+  MatchIndexStats stats() const {
+    MatchIndexStats s;
+    s.backend = MatchIndexName(kind());
+    s.registered_rides = NumRegisteredRides();
+    s.bytes = MemoryFootprint();
+    s.counters = counters();
+    return s;
+  }
+
+ protected:
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> removes{0};
+    std::atomic<std::uint64_t> updates{0};
+    std::atomic<std::uint64_t> evictions{0};
+    mutable std::atomic<std::uint64_t> searches{0};
+    mutable std::atomic<std::uint64_t> empty_searches{0};
+    mutable std::atomic<std::uint64_t> candidates{0};
+  };
+
+  void CountSearch(std::size_t returned) const {
+    counters_.searches.fetch_add(1, std::memory_order_relaxed);
+    if (returned == 0) {
+      counters_.empty_searches.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_.candidates.fetch_add(returned, std::memory_order_relaxed);
+    }
+  }
+
+  AtomicCounters counters_;
+};
+
+/// Builds a backend of `kind` bound to `snapshot`'s discretization over
+/// `graph`. The snapshot is pinned by the index (kept alive across
+/// refreshes of the owning system until OnEpochSwap).
+std::unique_ptr<MatchIndex> MakeMatchIndex(
+    MatchIndexKind kind, std::shared_ptr<const RegionSnapshot> snapshot,
+    const RoadGraph& graph, const MatchIndexOptions& options = {});
+
+}  // namespace xar
+
+#endif  // XAR_MATCH_MATCH_INDEX_H_

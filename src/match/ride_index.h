@@ -1,5 +1,5 @@
-#ifndef XAR_XAR_RIDE_INDEX_H_
-#define XAR_XAR_RIDE_INDEX_H_
+#ifndef XAR_MATCH_RIDE_INDEX_H_
+#define XAR_MATCH_RIDE_INDEX_H_
 
 #include <cstddef>
 #include <unordered_map>
@@ -8,7 +8,7 @@
 #include "common/ids.h"
 #include "discretize/region_index.h"
 #include "graph/road_graph.h"
-#include "xar/cluster_ride_list.h"
+#include "match/cluster_ride_list.h"
 #include "xar/ride.h"
 
 namespace xar {
@@ -120,4 +120,4 @@ class RideIndex {
 
 }  // namespace xar
 
-#endif  // XAR_XAR_RIDE_INDEX_H_
+#endif  // XAR_MATCH_RIDE_INDEX_H_

@@ -1,0 +1,464 @@
+#include "match/st_hash_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/latlng.h"
+
+namespace xar {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+StHashMatchIndex::StHashMatchIndex(
+    std::shared_ptr<const RegionSnapshot> snapshot, const RoadGraph& graph,
+    const MatchIndexOptions& options)
+    : snapshot_(std::move(snapshot)), graph_(&graph), options_(options) {
+  const RegionIndex& region =
+      *snapshot_.load(std::memory_order_relaxed)->index;
+  hash_grid_ = GridSpec(region.grid().bounds(), options_.st_hash_cell_m);
+}
+
+void StHashMatchIndex::Insert(const Ride& ride) {
+  InsertInternal(ride);
+  counters_.inserts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StHashMatchIndex::InsertInternal(const Ride& ride) {
+  Registration reg;
+  if (ride.route.nodes.empty() || ride.via_points.size() < 2) {
+    regs_[ride.id] = std::move(reg);
+    return;
+  }
+  std::shared_ptr<const RegionSnapshot> pinned =
+      snapshot_.load(std::memory_order_acquire);
+  const RegionIndex& region = *pinned->index;
+
+  reg.vias.reserve(ride.via_points.size());
+  for (const ViaPoint& vp : ride.via_points) {
+    GridId g = region.GridOfPoint(graph_->PositionOf(vp.node));
+    LandmarkId lm = region.LandmarkOfGrid(g);
+    ViaAnchor anchor;
+    anchor.landmark = lm;
+    anchor.cluster =
+        lm.valid() ? region.ClusterOfLandmark(lm) : ClusterId::Invalid();
+    anchor.eta_s = vp.eta_s;
+    reg.vias.push_back(anchor);
+  }
+
+  // Sample the trajectory: every route point contributes its (coarse cell,
+  // time bucket) key plus the region landmark nearest to it. Samples are
+  // produced in route order, so ETAs are non-decreasing.
+  std::vector<std::pair<std::uint64_t, Entry>> samples;
+  for (std::size_t seg = 0; seg + 1 < ride.via_points.size(); ++seg) {
+    std::size_t begin = ride.via_route_index[seg];
+    std::size_t end = ride.via_route_index[seg + 1];
+    for (std::size_t j = begin; j <= end && j < ride.route.nodes.size(); ++j) {
+      const LatLng& pos = graph_->PositionOf(ride.route.nodes[j]);
+      LandmarkId lm = region.LandmarkOfGrid(region.GridOfPoint(pos));
+      if (!lm.valid()) continue;
+      Entry e;
+      e.ride = ride.id;
+      e.eta_s = ride.departure_time_s + ride.route_cum_time_s[j];
+      e.landmark = lm;
+      e.cluster = region.ClusterOfLandmark(lm);
+      e.segment = static_cast<std::uint32_t>(seg);
+      samples.emplace_back(PackKey(hash_grid_.GridOf(pos),
+                                   TimeBucketOf(e.eta_s)),
+                           e);
+
+      // Insertion anchors: distinct (segment, landmark), first-ETA wins.
+      bool seen = false;
+      for (auto a = reg.anchors.rbegin();
+           a != reg.anchors.rend() && a->segment == e.segment; ++a) {
+        if (a->landmark == lm) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        reg.anchors.push_back(Anchor{e.eta_s, lm, e.cluster, e.segment});
+      }
+    }
+  }
+
+  // One entry per (bucket, landmark): earliest ETA wins (stable route-order
+  // tie-break keeps this deterministic).
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     if (a.second.landmark != b.second.landmark)
+                       return a.second.landmark < b.second.landmark;
+                     return a.second.eta_s < b.second.eta_s;
+                   });
+  samples.erase(std::unique(samples.begin(), samples.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first &&
+                                     a.second.landmark == b.second.landmark;
+                            }),
+                samples.end());
+
+  for (const auto& [key, entry] : samples) {
+    buckets_[key].push_back(entry);
+    if (reg.keys.empty() || reg.keys.back() != key) reg.keys.push_back(key);
+  }
+  std::sort(reg.keys.begin(), reg.keys.end());
+  reg.keys.erase(std::unique(reg.keys.begin(), reg.keys.end()),
+                 reg.keys.end());
+  regs_[ride.id] = std::move(reg);
+}
+
+std::size_t StHashMatchIndex::RemoveInternal(RideId ride) {
+  auto it = regs_.find(ride);
+  if (it == regs_.end()) return 0;
+  std::size_t removed = 0;
+  for (std::uint64_t key : it->second.keys) {
+    auto bucket = buckets_.find(key);
+    if (bucket == buckets_.end()) continue;
+    std::size_t before = bucket->second.size();
+    std::erase_if(bucket->second,
+                  [ride](const Entry& e) { return e.ride == ride; });
+    removed += before - bucket->second.size();
+    if (bucket->second.empty()) buckets_.erase(bucket);
+  }
+  regs_.erase(it);
+  return removed;
+}
+
+void StHashMatchIndex::Remove(RideId ride) {
+  RemoveInternal(ride);
+  counters_.removes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StHashMatchIndex::Update(const Ride& ride) {
+  double advanced = 0.0;
+  if (auto it = regs_.find(ride.id); it != regs_.end()) {
+    advanced = it->second.advanced_to_s;
+  }
+  RemoveInternal(ride.id);
+  InsertInternal(ride);
+  counters_.updates.fetch_add(1, std::memory_order_relaxed);
+  if (advanced > 0.0) Advance(ride, advanced);  // do not resurrect the past
+}
+
+std::size_t StHashMatchIndex::Advance(const Ride& ride, double now_s) {
+  auto it = regs_.find(ride.id);
+  if (it == regs_.end()) return 0;
+  Registration& reg = it->second;
+  if (now_s <= reg.advanced_to_s) return 0;
+  reg.advanced_to_s = now_s;
+  while (reg.anchor_next < reg.anchors.size() &&
+         reg.anchors[reg.anchor_next].eta_s < now_s) {
+    ++reg.anchor_next;
+  }
+  // Evict bucket entries the ride has driven past; drop keys whose bucket no
+  // longer holds the ride.
+  std::size_t evicted = 0;
+  std::vector<std::uint64_t> kept_keys;
+  kept_keys.reserve(reg.keys.size());
+  for (std::uint64_t key : reg.keys) {
+    auto bucket = buckets_.find(key);
+    if (bucket == buckets_.end()) continue;
+    bool still_present = false;
+    std::size_t before = bucket->second.size();
+    std::erase_if(bucket->second, [&](const Entry& e) {
+      if (e.ride != ride.id) return false;
+      if (e.eta_s < now_s) return true;
+      still_present = true;
+      return false;
+    });
+    evicted += before - bucket->second.size();
+    if (bucket->second.empty()) {
+      buckets_.erase(bucket);
+    } else if (still_present) {
+      kept_keys.push_back(key);
+    }
+  }
+  reg.keys = std::move(kept_keys);
+  if (evicted > 0) {
+    counters_.evictions.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  return evicted;
+}
+
+double StHashMatchIndex::NextEventTime(RideId ride) const {
+  auto it = regs_.find(ride);
+  if (it == regs_.end()) return kInf;
+  const Registration& reg = it->second;
+  if (reg.anchor_next >= reg.anchors.size()) return kInf;
+  return reg.anchors[reg.anchor_next].eta_s;
+}
+
+void StHashMatchIndex::CollectSideCandidates(
+    const RegionIndex& region, const LatLng& location, double walk_limit_m,
+    double eta_begin, double eta_end, std::size_t per_ride,
+    std::vector<std::pair<RideId, SideCandidate>>* out) const {
+  if (eta_end < 0.0 || eta_end < eta_begin) return;
+  const double cell_m = hash_grid_.cell_meters();
+  std::size_t radius =
+      cell_m > 0.0
+          ? static_cast<std::size_t>(std::ceil(walk_limit_m / cell_m))
+          : 0;
+  std::vector<GridId> cells =
+      hash_grid_.Neighborhood(hash_grid_.GridOf(location), radius);
+  if (cells.size() > options_.st_hash_max_probe_cells) {
+    cells.resize(options_.st_hash_max_probe_cells);
+  }
+  const std::uint64_t b0 = TimeBucketOf(std::max(0.0, eta_begin));
+  const std::uint64_t b1 = TimeBucketOf(std::max(0.0, eta_end));
+
+  for (GridId cell : cells) {
+    for (std::uint64_t b = b0; b <= b1; ++b) {
+      auto bucket = buckets_.find(PackKey(cell, b));
+      if (bucket == buckets_.end()) continue;
+      for (const Entry& e : bucket->second) {
+        if (e.eta_s < eta_begin || e.eta_s > eta_end) continue;
+        double walk = HaversineMeters(
+            location, region.GetLandmark(e.landmark).position);
+        if (walk > walk_limit_m) continue;
+        out->emplace_back(
+            e.ride, SideCandidate{walk, e.eta_s, e.cluster, e.landmark});
+      }
+    }
+  }
+
+  // Keep, per ride, the `per_ride` least-walk candidates with distinct
+  // landmarks — same compaction as the cluster backend, so downstream
+  // merge-join code sees the identical run structure.
+  std::sort(out->begin(), out->end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    if (a.second.walk_m != b.second.walk_m)
+      return a.second.walk_m < b.second.walk_m;
+    return a.second.eta_s < b.second.eta_s;
+  });
+  std::size_t w = 0;
+  std::size_t run_begin = 0;
+  std::size_t kept_in_run = 0;
+  RideId current = RideId::Invalid();
+  for (std::size_t r = 0; r < out->size(); ++r) {
+    if (w == 0 || (*out)[r].first != current) {
+      current = (*out)[r].first;
+      run_begin = w;
+      kept_in_run = 0;
+    }
+    if (kept_in_run >= per_ride) continue;
+    bool duplicate_landmark = false;
+    for (std::size_t p = run_begin; p < w; ++p) {
+      if ((*out)[p].second.landmark == (*out)[r].second.landmark) {
+        duplicate_landmark = true;
+        break;
+      }
+    }
+    if (duplicate_landmark) continue;
+    (*out)[w++] = (*out)[r];
+    ++kept_in_run;
+  }
+  out->resize(w);
+}
+
+std::vector<RideMatch> StHashMatchIndex::Candidates(
+    const MatchQuery& query, const RideLookup& rides) const {
+  const RideRequest& request = *query.request;
+  const double walk_limit = query.walk_limit_m;
+  const std::size_t per_ride = query.per_ride;
+
+  std::shared_ptr<const RegionSnapshot> pinned =
+      snapshot_.load(std::memory_order_acquire);
+  const RegionIndex& region = *pinned->index;
+
+  std::vector<std::pair<RideId, SideCandidate>> source_side;
+  CollectSideCandidates(region, request.source, walk_limit,
+                        request.earliest_departure_s -
+                            query.eta_window_slack_s,
+                        request.latest_departure_s + query.eta_window_slack_s,
+                        per_ride, &source_side);
+  std::vector<std::pair<RideId, SideCandidate>> dest_side;
+  CollectSideCandidates(region, request.destination, walk_limit,
+                        request.earliest_departure_s,
+                        request.latest_departure_s + query.max_onboard_s,
+                        per_ride, &dest_side);
+
+  // Merge-join on sorted ride ids, then the same feasibility gates as the
+  // cluster backend: order (pickup before drop-off), combined walking
+  // threshold, joint insertion estimate against the remaining budget.
+  std::vector<RideMatch> matches;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < source_side.size() && j < dest_side.size()) {
+    if (source_side[i].first < dest_side[j].first) {
+      ++i;
+      continue;
+    }
+    if (dest_side[j].first < source_side[i].first) {
+      ++j;
+      continue;
+    }
+    const RideId ride_id = source_side[i].first;
+    std::size_t i_end = i;
+    while (i_end < source_side.size() && source_side[i_end].first == ride_id)
+      ++i_end;
+    std::size_t j_end = j;
+    while (j_end < dest_side.size() && dest_side[j_end].first == ride_id)
+      ++j_end;
+    const Ride* ride = rides.Find(ride_id);
+    std::size_t emitted = 0;
+    if (ride != nullptr && ride->active &&
+        ride->seats_available >= request.seats) {
+      for (std::size_t ii = i; ii < i_end && emitted < per_ride; ++ii) {
+        const SideCandidate& s = source_side[ii].second;
+        for (std::size_t jj = j; jj < j_end && emitted < per_ride; ++jj) {
+          const SideCandidate& d = dest_side[jj].second;
+          if (s.cluster == d.cluster || s.eta_s > d.eta_s) continue;
+          if (s.walk_m + d.walk_m > walk_limit) continue;
+          std::size_t seg_s = 0;
+          std::size_t seg_d = 0;
+          double joint_detour = 0.0;
+          if (!ChooseInsertionSegments(*ride, s.cluster, s.landmark,
+                                       d.cluster, d.landmark, &seg_s, &seg_d,
+                                       &joint_detour)) {
+            continue;
+          }
+          if (joint_detour > ride->RemainingDetourBudget()) continue;
+
+          RideMatch m;
+          m.ride = ride_id;
+          m.walk_source_m = s.walk_m;
+          m.walk_dest_m = d.walk_m;
+          m.eta_source_s = s.eta_s;
+          m.eta_dest_s = d.eta_s;
+          m.detour_estimate_m = joint_detour;
+          m.source_cluster = s.cluster;
+          m.dest_cluster = d.cluster;
+          m.pickup_landmark = s.landmark;
+          m.dropoff_landmark = d.landmark;
+          m.epoch = pinned->epoch;
+          matches.push_back(m);
+          ++emitted;
+        }
+      }
+    }
+    i = i_end;
+    j = j_end;
+  }
+
+  std::sort(matches.begin(), matches.end(),
+            [](const RideMatch& a, const RideMatch& b) {
+              if (a.TotalWalkM() != b.TotalWalkM())
+                return a.TotalWalkM() < b.TotalWalkM();
+              return a.ride < b.ride;
+            });
+  if (query.max_results > 0 && matches.size() > query.max_results)
+    matches.resize(query.max_results);
+  CountSearch(matches.size());
+  return matches;
+}
+
+bool StHashMatchIndex::ChooseInsertionSegments(
+    const Ride& ride, ClusterId source_cluster, LandmarkId pickup_landmark,
+    ClusterId dest_cluster, LandmarkId dropoff_landmark, std::size_t* seg_src,
+    std::size_t* seg_dst, double* joint_estimate_m) const {
+  auto it = regs_.find(ride.id);
+  if (it == regs_.end()) return false;
+  const Registration& reg = it->second;
+  std::shared_ptr<const RegionSnapshot> pinned =
+      snapshot_.load(std::memory_order_acquire);
+  const RegionIndex& region = *pinned->index;
+  const DistanceMatrix& lm = region.landmark_metric();
+
+  // Landmark-metric distance with a cluster-level fallback when either
+  // landmark is unknown (same convention as the cluster backend).
+  auto dist = [&](LandmarkId a, LandmarkId b, ClusterId ca, ClusterId cb) {
+    if (a.valid() && b.valid()) return lm.At(a.value(), b.value());
+    if (ca.valid() && cb.valid()) return region.ClusterDistance(ca, cb);
+    return 0.0;
+  };
+  auto supports = [](const Anchor& a, LandmarkId l, ClusterId c) {
+    return a.landmark == l || a.cluster == c;
+  };
+
+  double best = kInf;
+  for (std::size_t ia = reg.anchor_next; ia < reg.anchors.size(); ++ia) {
+    const Anchor& as = reg.anchors[ia];
+    if (!supports(as, pickup_landmark, source_cluster)) continue;
+    const ViaAnchor& via_s = reg.vias[as.segment + 1];
+    for (std::size_t id = reg.anchor_next; id < reg.anchors.size(); ++id) {
+      const Anchor& ad = reg.anchors[id];
+      if (ad.segment < as.segment) continue;
+      if (!supports(ad, dropoff_landmark, dest_cluster)) continue;
+      double est;
+      if (as.segment == ad.segment) {
+        // Sequential same-segment insertion: at -> pickup -> dropoff -> next.
+        est = dist(as.landmark, pickup_landmark, as.cluster, source_cluster) +
+              dist(pickup_landmark, dropoff_landmark, source_cluster,
+                   dest_cluster);
+        if (via_s.landmark.valid() || via_s.cluster.valid()) {
+          est += dist(dropoff_landmark, via_s.landmark, dest_cluster,
+                      via_s.cluster) -
+                 dist(as.landmark, via_s.landmark, as.cluster, via_s.cluster);
+        }
+        est = std::max(0.0, est);
+      } else {
+        const ViaAnchor& via_d = reg.vias[ad.segment + 1];
+        double est_src =
+            dist(as.landmark, pickup_landmark, as.cluster, source_cluster);
+        if (via_s.landmark.valid()) {
+          est_src = std::max(
+              0.0, est_src +
+                       dist(pickup_landmark, via_s.landmark, source_cluster,
+                            via_s.cluster) -
+                       dist(as.landmark, via_s.landmark, as.cluster,
+                            via_s.cluster));
+        }
+        double est_dst =
+            dist(ad.landmark, dropoff_landmark, ad.cluster, dest_cluster);
+        if (via_d.landmark.valid()) {
+          est_dst = std::max(
+              0.0, est_dst +
+                       dist(dropoff_landmark, via_d.landmark, dest_cluster,
+                            via_d.cluster) -
+                       dist(ad.landmark, via_d.landmark, ad.cluster,
+                            via_d.cluster));
+        }
+        est = est_src + est_dst;
+      }
+      if (est < best) {
+        best = est;
+        *seg_src = as.segment;
+        *seg_dst = ad.segment;
+      }
+    }
+  }
+  if (best == kInf) return false;
+  *joint_estimate_m = best;
+  return true;
+}
+
+void StHashMatchIndex::OnEpochSwap(
+    std::shared_ptr<const RegionSnapshot> snapshot, const RoadGraph& graph) {
+  graph_ = &graph;
+  buckets_.clear();
+  regs_.clear();
+  hash_grid_ = GridSpec(snapshot->index->grid().bounds(),
+                        options_.st_hash_cell_m);
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+}
+
+std::size_t StHashMatchIndex::MemoryFootprint() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [key, entries] : buckets_) {
+    bytes += sizeof(key) + sizeof(entries) +
+             entries.capacity() * sizeof(Entry);
+  }
+  for (const auto& [id, reg] : regs_) {
+    bytes += sizeof(id) + sizeof(reg) +
+             reg.keys.capacity() * sizeof(std::uint64_t) +
+             reg.anchors.capacity() * sizeof(Anchor) +
+             reg.vias.capacity() * sizeof(ViaAnchor);
+  }
+  return bytes;
+}
+
+}  // namespace xar

@@ -1,0 +1,147 @@
+#ifndef XAR_MATCH_ST_HASH_INDEX_H_
+#define XAR_MATCH_ST_HASH_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "geo/grid.h"
+#include "match/match_index.h"
+
+namespace xar {
+
+/// Spatio-temporal hash MatchIndex backend (Dutta, "When Hashing Met
+/// Matching", arXiv 1809.02680).
+///
+/// A ride hashes its trajectory into buckets keyed by (coarse grid cell,
+/// time bucket): every route point's position at its ETA produces an entry
+/// {ride, eta, nearest landmark, cluster, via-segment}, deduplicated per
+/// (bucket, landmark). A request probes the cells within its walking radius
+/// of each endpoint, crossed with the time buckets overlapping its
+/// (slack-widened) window, and unions the entries found — candidate
+/// generation is a pure hash lookup, no cluster reachability tables.
+///
+/// Differences from the cluster backend that matter for match quality:
+///  - only rides that *drive* within walking distance of both endpoints are
+///    found (no detour-reachable candidates), so the candidate set is a
+///    conservative subset in exchange for a much cheaper index build;
+///  - rider walking is the great-circle distance to the entry's landmark
+///    (the cluster backend uses the region's precomputed walk lists).
+///
+/// The 4ε detour bound is preserved by construction: matches carry region
+/// landmarks/clusters like any other backend, insertion estimates come from
+/// the same landmark metric, and Book still splices with exact shortest
+/// paths, re-checks the budget, and charges the actual detour (DESIGN.md
+/// §12).
+class StHashMatchIndex final : public MatchIndex {
+ public:
+  StHashMatchIndex(std::shared_ptr<const RegionSnapshot> snapshot,
+                   const RoadGraph& graph, const MatchIndexOptions& options);
+
+  MatchIndexKind kind() const override {
+    return MatchIndexKind::kSpatioTemporalHash;
+  }
+
+  void Insert(const Ride& ride) override;
+  void Remove(RideId ride) override;
+  void Update(const Ride& ride) override;
+
+  std::vector<RideMatch> Candidates(const MatchQuery& query,
+                                    const RideLookup& rides) const override;
+
+  std::size_t Advance(const Ride& ride, double now_s) override;
+  double NextEventTime(RideId ride) const override;
+
+  bool ChooseInsertionSegments(const Ride& ride, ClusterId source_cluster,
+                               LandmarkId pickup_landmark,
+                               ClusterId dest_cluster,
+                               LandmarkId dropoff_landmark,
+                               std::size_t* seg_src, std::size_t* seg_dst,
+                               double* joint_estimate_m) const override;
+
+  void OnEpochSwap(std::shared_ptr<const RegionSnapshot> snapshot,
+                   const RoadGraph& graph) override;
+
+  std::size_t NumRegisteredRides() const override { return regs_.size(); }
+  std::size_t MemoryFootprint() const override;
+
+  /// Number of non-empty (cell × time) buckets currently held.
+  std::size_t NumBuckets() const { return buckets_.size(); }
+
+ private:
+  /// One trajectory sample in a bucket.
+  struct Entry {
+    RideId ride;
+    double eta_s = 0.0;
+    LandmarkId landmark;       ///< region landmark nearest the route point
+    ClusterId cluster;         ///< its cluster
+    std::uint32_t segment = 0; ///< via-segment that produced the sample
+  };
+
+  /// Distinct (segment, landmark) insertion anchor of a ride, in ETA order —
+  /// the hash backend's lightweight analogue of a pass-through record.
+  struct Anchor {
+    double eta_s = 0.0;
+    LandmarkId landmark;
+    ClusterId cluster;
+    std::uint32_t segment = 0;
+  };
+
+  /// Landmark anchor of one via-point (for the insertion detour estimate).
+  struct ViaAnchor {
+    LandmarkId landmark;
+    ClusterId cluster;
+    double eta_s = 0.0;
+  };
+
+  struct Registration {
+    std::vector<std::uint64_t> keys;  ///< buckets holding entries (unique)
+    std::vector<Anchor> anchors;      ///< sorted by eta_s
+    std::vector<ViaAnchor> vias;      ///< one per via-point
+    std::size_t anchor_next = 0;      ///< first anchor with eta >= advanced
+    double advanced_to_s = 0.0;
+  };
+
+  struct SideCandidate {
+    double walk_m;
+    double eta_s;
+    ClusterId cluster;
+    LandmarkId landmark;
+  };
+
+  static std::uint64_t PackKey(GridId cell, std::uint64_t time_bucket) {
+    return (static_cast<std::uint64_t>(cell.value()) << 32) |
+           (time_bucket & 0xffffffffull);
+  }
+  std::uint64_t TimeBucketOf(double eta_s) const {
+    double b = eta_s / options_.st_hash_bucket_s;
+    return b <= 0.0 ? 0 : static_cast<std::uint64_t>(b);
+  }
+
+  void InsertInternal(const Ride& ride);
+  std::size_t RemoveInternal(RideId ride);
+
+  /// One endpoint's probe: union the entries of every (cell within the
+  /// walking radius × bucket overlapping [eta_begin, eta_end]), filter by
+  /// exact walk/ETA, then keep per ride the `per_ride` least-walk
+  /// distinct-landmark candidates.
+  void CollectSideCandidates(
+      const RegionIndex& region, const LatLng& location, double walk_limit_m,
+      double eta_begin, double eta_end, std::size_t per_ride,
+      std::vector<std::pair<RideId, SideCandidate>>* out) const;
+
+  std::atomic<std::shared_ptr<const RegionSnapshot>> snapshot_;
+  const RoadGraph* graph_;
+  MatchIndexOptions options_;
+  GridSpec hash_grid_;  ///< coarse cells over the region bounds
+
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  std::unordered_map<RideId, Registration> regs_;
+};
+
+}  // namespace xar
+
+#endif  // XAR_MATCH_ST_HASH_INDEX_H_

@@ -159,6 +159,8 @@ XarServeServer::XarServeServer(ConcurrentXarSystem& system,
     return section;
   });
   stats_registry_.Register(
+      "match", [this] { return MatchStatsSection(system_.match_stats()); });
+  stats_registry_.Register(
       "retry", [this] { return RetryStatsSection(system_.retry_stats()); });
   stats_registry_.Register("refresh", [this] {
     return RefreshStatsSection(system_.refresh_stats());

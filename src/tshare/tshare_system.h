@@ -12,7 +12,7 @@
 #include "graph/oracle.h"
 #include "graph/road_graph.h"
 #include "graph/spatial_index.h"
-#include "xar/cluster_ride_list.h"
+#include "match/cluster_ride_list.h"
 #include "xar/ride.h"
 
 namespace xar {

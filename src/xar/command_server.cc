@@ -68,6 +68,8 @@ CommandServer::CommandServer(XarSystem& system) : system_(system) {
     return section;
   });
   stats_registry_.Register(
+      "match", [this] { return MatchStatsSection(system_.match_index().stats()); });
+  stats_registry_.Register(
       "refresh", [this] { return RefreshStatsSection(system_.refresh_stats()); });
   stats_registry_.Register(
       "oracle", [this] { return OracleStatsSection(system_.oracle()); });

@@ -323,6 +323,22 @@ class ConcurrentXarSystem {
     return stats;
   }
 
+  /// Aggregated match-index view across all shards (the "match" stats
+  /// section): per-backend counters summed, registered rides and bytes
+  /// totaled. Shards always run the same backend, so one name suffices.
+  MatchIndexStats match_stats() const {
+    MatchIndexStats stats;
+    for (const auto& shard : shards_) {
+      std::shared_lock lock(shard->mutex);
+      const MatchIndex& index = shard->system.match_index();
+      stats.backend = MatchIndexName(index.kind());
+      stats.registered_rides += index.NumRegisteredRides();
+      stats.bytes += index.MemoryFootprint();
+      stats.counters += index.counters();
+    }
+    return stats;
+  }
+
   /// Test seam: invoked after each SearchAndBook round's search, with no
   /// locks held, receiving the request and the round number. Lets tests
   /// force-stale the candidates deterministically. Set while quiescent only

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "match/cluster_match_index.h"
 #include "schedule/kinetic_tree.h"
 #include "xar/route_utils.h"
 
@@ -31,9 +32,15 @@ XarSystem::XarSystem(const RoadGraph& graph, const SpatialNodeIndex& spatial,
       snapshot_(snapshot),
       oracle_(&oracle),
       options_(options),
-      index_(std::make_unique<RideIndex>(*snapshot->index, graph)) {
+      index_(MakeMatchIndex(options.match_index, snapshot, graph,
+                            options.match_index_options)) {
   if (options_.ride_id_stride == 0) options_.ride_id_stride = 1;
   refresh_stats_.epoch = snapshot->epoch;
+}
+
+const RideIndex& XarSystem::ride_index() const {
+  assert(index_->kind() == MatchIndexKind::kCluster);
+  return static_cast<const ClusterMatchIndex&>(*index_).impl();
 }
 
 RefreshStats XarSystem::RefreshDiscretization(const GraphDelta& delta) {
@@ -73,11 +80,12 @@ std::size_t XarSystem::AdoptSnapshot(
   if (graph_changed) graph_ = new_graph;
   if (new_oracle != nullptr) oracle_ = new_oracle;
 
-  // Re-home every live ride into a fresh index over the new region. Crossed
-  // clusters are not resurrected: registration recomputes pass-throughs from
-  // the route, then AdvanceRide(now) retires the already-passed ones — the
-  // same end state incremental tracking maintains.
-  auto index = std::make_unique<RideIndex>(*next->index, *graph_);
+  // Re-home every live ride into the index rebound to the new region
+  // (OnEpochSwap drops all registrations). Crossed associations are not
+  // resurrected: registration recomputes them from the route, then
+  // Advance(now) retires the already-passed ones — the same end state
+  // incremental tracking maintains.
+  index_->OnEpochSwap(next, *graph_);
   const double now = clock_.Now();
   std::size_t rehomed = 0;
   for (Ride& ride : rides_) {
@@ -95,13 +103,12 @@ std::size_t XarSystem::AdoptSnapshot(
             ride.route_cum_time_s[ride.via_route_index[v]];
       }
     }
-    index->RegisterRide(ride);
-    index->AdvanceRide(ride, now);
+    index_->Insert(ride);
+    index_->Advance(ride, now);
     ++rehomed;
   }
 
   const std::uint64_t epoch = next->epoch;
-  index_ = std::move(index);
   snapshot_.store(std::move(next), std::memory_order_release);
   // Old event-queue entries stay (validated on pop); re-seed so re-homed
   // rides keep waking up under the new index's event times.
@@ -153,70 +160,9 @@ Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
   rides_.push_back(std::move(ride));
   ++active_rides_;
   const Ride& stored = rides_.back();
-  index_->RegisterRide(stored);
+  index_->Insert(stored);
   ScheduleNextEvent(stored);
   return stored.id;
-}
-
-void XarSystem::CollectSideCandidates(
-    const RegionIndex& region, const LatLng& location, double walk_limit_m,
-    double eta_begin, double eta_end, std::size_t per_ride,
-    std::vector<std::pair<RideId, SideCandidate>>* out) const {
-  GridId grid = region.GridOfPoint(location);
-  // Walkable clusters are sorted by walking distance: scan the prefix within
-  // the request's threshold (paper: linear traversal of the sorted list).
-  for (const WalkableCluster& wc : region.WalkableClustersOf(grid)) {
-    if (wc.walk_m > walk_limit_m) break;
-    const ClusterRideList& list = index_->ListOf(wc.cluster);
-    for (const PotentialRide& pr : list.EtaRange(eta_begin, eta_end)) {
-      out->emplace_back(pr.ride, SideCandidate{wc.walk_m, pr.eta_s,
-                                               pr.detour_m, wc.cluster,
-                                               wc.nearest_landmark});
-    }
-  }
-  // Keep, per ride, the `per_ride` least-walk candidates (ties: earlier ETA)
-  // with distinct landmarks — the list is small; sort + compact keeps it
-  // allocation-light.
-  std::sort(out->begin(), out->end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first < b.first;
-    if (a.second.walk_m != b.second.walk_m)
-      return a.second.walk_m < b.second.walk_m;
-    return a.second.eta_s < b.second.eta_s;
-  });
-  if (per_ride <= 1) {
-    out->erase(std::unique(out->begin(), out->end(),
-                           [](const auto& a, const auto& b) {
-                             return a.first == b.first;
-                           }),
-               out->end());
-    return;
-  }
-  // Meeting points: in-place compaction keeping up to per_ride entries per
-  // ride. Kept entries of the current ride live in [run_begin, w), so the
-  // distinct-landmark scan is O(per_ride) per entry.
-  std::size_t w = 0;
-  std::size_t run_begin = 0;
-  std::size_t kept_in_run = 0;
-  RideId current = RideId::Invalid();
-  for (std::size_t r = 0; r < out->size(); ++r) {
-    if (w == 0 || (*out)[r].first != current) {
-      current = (*out)[r].first;
-      run_begin = w;
-      kept_in_run = 0;
-    }
-    if (kept_in_run >= per_ride) continue;
-    bool duplicate_landmark = false;
-    for (std::size_t p = run_begin; p < w; ++p) {
-      if ((*out)[p].second.landmark == (*out)[r].second.landmark) {
-        duplicate_landmark = true;
-        break;
-      }
-    }
-    if (duplicate_landmark) continue;
-    (*out)[w++] = (*out)[r];
-    ++kept_in_run;
-  }
-  out->resize(w);
 }
 
 std::vector<RideMatch> XarSystem::Search(const RideRequest& request) const {
@@ -225,119 +171,25 @@ std::vector<RideMatch> XarSystem::Search(const RideRequest& request) const {
 
 std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
                                              std::size_t k) const {
-  double walk_limit = request.walk_limit_m >= 0 ? request.walk_limit_m
-                                                : options_.default_walk_limit_m;
-
+  // Resolve every option the backend needs, then delegate: the two-step
+  // cluster search (paper Section VII) or the spatio-temporal hash probe
+  // both run entirely inside the MatchIndex (src/match/).
+  MatchQuery query;
+  query.request = &request;
+  query.walk_limit_m = request.walk_limit_m >= 0
+                           ? request.walk_limit_m
+                           : options_.default_walk_limit_m;
+  query.eta_window_slack_s = options_.eta_window_slack_s;
+  query.max_onboard_s = options_.max_onboard_s;
   // Meeting points (XarOptions::meeting_points): keep several candidate
   // landmarks per ride and side instead of only the least-walk one. 1 is
   // the classic scenario and reproduces it exactly.
-  const std::size_t per_ride =
+  query.per_ride =
       options_.meeting_points
           ? std::max<std::size_t>(1, options_.meeting_point_candidates)
           : 1;
-
-  // Pin the snapshot for the whole search: every region probe below resolves
-  // against one epoch even if a refresh swaps the snapshot mid-flight.
-  std::shared_ptr<const RegionSnapshot> pinned =
-      snapshot_.load(std::memory_order_acquire);
-  const RegionIndex& region = *pinned->index;
-
-  // Step 1: candidate rides around the source, keyed by pickup-cluster ETA
-  // inside the departure window.
-  std::vector<std::pair<RideId, SideCandidate>> source_side;
-  CollectSideCandidates(region, request.source, walk_limit,
-                        request.earliest_departure_s -
-                            options_.eta_window_slack_s,
-                        request.latest_departure_s +
-                            options_.eta_window_slack_s,
-                        per_ride, &source_side);
-
-  // Step 2: candidate rides around the destination; the drop-off may happen
-  // any time between the window start and the onboard bound.
-  std::vector<std::pair<RideId, SideCandidate>> dest_side;
-  CollectSideCandidates(region, request.destination, walk_limit,
-                        request.earliest_departure_s,
-                        request.latest_departure_s + options_.max_onboard_s,
-                        per_ride, &dest_side);
-
-  // Intersection R' = R1 ∩ R2 on sorted ride ids, then the final walking &
-  // detour threshold checks (paper Section VII). Both sides hold runs of up
-  // to per_ride entries per ride (least-walk first); each feasible
-  // cross-combination of a run pair is a distinct meeting-point match, at
-  // most per_ride of them per ride.
-  std::vector<RideMatch> matches;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < source_side.size() && j < dest_side.size()) {
-    if (source_side[i].first < dest_side[j].first) {
-      ++i;
-      continue;
-    }
-    if (dest_side[j].first < source_side[i].first) {
-      ++j;
-      continue;
-    }
-    const RideId ride_id = source_side[i].first;
-    std::size_t i_end = i;
-    while (i_end < source_side.size() && source_side[i_end].first == ride_id)
-      ++i_end;
-    std::size_t j_end = j;
-    while (j_end < dest_side.size() && dest_side[j_end].first == ride_id)
-      ++j_end;
-    const Ride& ride = rides_[LocalIndex(ride_id)];
-    std::size_t emitted = 0;
-    if (ride.active && ride.seats_available >= request.seats) {
-      for (std::size_t ii = i; ii < i_end && emitted < per_ride; ++ii) {
-        const SideCandidate& s = source_side[ii].second;
-        for (std::size_t jj = j; jj < j_end && emitted < per_ride; ++jj) {
-          const SideCandidate& d = dest_side[jj].second;
-          // The ride must reach the pickup cluster before the drop-off
-          // cluster, and they must differ (same-cluster trips are below
-          // system resolution).
-          if (s.cluster == d.cluster || s.eta_s > d.eta_s) continue;
-          if (s.walk_m + d.walk_m > walk_limit) continue;
-          // Combined detour check (paper Section VII, final step) with the
-          // joint cluster-level estimate — pure index lookups, no shortest
-          // paths.
-          std::size_t seg_s = 0;
-          std::size_t seg_d = 0;
-          double joint_detour = 0.0;
-          if (!index_->ChooseInsertionSegments(ride, s.cluster, s.landmark,
-                                               d.cluster, d.landmark, &seg_s,
-                                               &seg_d, &joint_detour)) {
-            continue;
-          }
-          if (joint_detour > ride.RemainingDetourBudget()) continue;
-
-          RideMatch m;
-          m.ride = ride_id;
-          m.walk_source_m = s.walk_m;
-          m.walk_dest_m = d.walk_m;
-          m.eta_source_s = s.eta_s;
-          m.eta_dest_s = d.eta_s;
-          m.detour_estimate_m = joint_detour;
-          m.source_cluster = s.cluster;
-          m.dest_cluster = d.cluster;
-          m.pickup_landmark = s.landmark;
-          m.dropoff_landmark = d.landmark;
-          m.epoch = pinned->epoch;
-          matches.push_back(m);
-          ++emitted;
-        }
-      }
-    }
-    i = i_end;
-    j = j_end;
-  }
-
-  std::sort(matches.begin(), matches.end(),
-            [](const RideMatch& a, const RideMatch& b) {
-              if (a.TotalWalkM() != b.TotalWalkM())
-                return a.TotalWalkM() < b.TotalWalkM();
-              return a.ride < b.ride;
-            });
-  if (k > 0 && matches.size() > k) matches.resize(k);
-  return matches;
+  query.max_results = k;
+  return index_->Candidates(query, RideTable(this));
 }
 
 Result<BookingRecord> XarSystem::Book(RideId ride_id,
@@ -506,8 +358,8 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
   ride.detour_used_m += std::max(0.0, actual_detour);
   ride.seats_available -= request.seats;
 
-  index_->ReregisterRide(ride);
-  index_->AdvanceRide(ride, clock_.Now());  // do not resurrect passed clusters
+  index_->Update(ride);
+  index_->Advance(ride, clock_.Now());  // do not resurrect passed clusters
   ScheduleNextEvent(ride);
 
   BookingRecord record;
@@ -741,8 +593,8 @@ Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
   ride.detour_used_m = std::max(0.0, ride.route.length_m - base_length);
   ride.seats_available -= request.seats;
 
-  index_->ReregisterRide(ride);
-  index_->AdvanceRide(ride, clock_.Now());
+  index_->Update(ride);
+  index_->Advance(ride, clock_.Now());
   ScheduleNextEvent(ride);
 
   BookingRecord record;
@@ -838,8 +690,8 @@ Status XarSystem::CancelBooking(RideId ride_id, RequestId request) {
   ride.seats_available =
       std::min(ride.seats_total, ride.seats_available + seats);
 
-  index_->ReregisterRide(ride);
-  index_->AdvanceRide(ride, clock_.Now());  // do not resurrect passed clusters
+  index_->Update(ride);
+  index_->Advance(ride, clock_.Now());  // do not resurrect passed clusters
   ScheduleNextEvent(ride);
   return Status::OK();
 }
@@ -864,7 +716,7 @@ void XarSystem::AdvanceTime(double now_s) {
       FinishRide(ride);
       continue;
     }
-    index_->AdvanceRide(ride, now_s);
+    index_->Advance(ride, now_s);
     ScheduleNextEvent(ride);
   }
 }
@@ -873,7 +725,7 @@ void XarSystem::FinishRide(Ride& ride) {
   if (!ride.active) return;
   ride.active = false;
   --active_rides_;
-  index_->UnregisterRide(ride.id);
+  index_->Remove(ride.id);
 }
 
 void XarSystem::ScheduleNextEvent(const Ride& ride) {

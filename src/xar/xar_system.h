@@ -18,7 +18,8 @@
 #include "graph/spatial_index.h"
 #include "xar/options.h"
 #include "xar/ride.h"
-#include "xar/ride_index.h"
+#include "match/match_index.h"
+#include "match/ride_index.h"
 
 namespace xar {
 
@@ -166,7 +167,12 @@ class XarSystem {
   }
   std::size_t NumRides() const { return rides_.size(); }
   std::size_t NumActiveRides() const { return active_rides_; }
-  const RideIndex& ride_index() const { return *index_; }
+  /// The candidate-generation index behind Search (XarOptions::match_index).
+  const MatchIndex& match_index() const { return *index_; }
+  /// The wrapped cluster structure, for introspection of pass-throughs and
+  /// registrations. Only meaningful on the default kCluster backend;
+  /// asserts on others.
+  const RideIndex& ride_index() const;
   /// The current region. The reference stays valid until the next
   /// RefreshDiscretization/AdoptSnapshot; pin the snapshot() instead when
   /// holding it across a possible refresh.
@@ -194,23 +200,18 @@ class XarSystem {
   std::size_t MemoryFootprint() const;
 
  private:
-  struct SideCandidate {
-    double walk_m;
-    double eta_s;
-    double detour_m;
-    ClusterId cluster;
-    LandmarkId landmark;
-  };
+  /// RideLookup the match index resolves candidate ids against: backends
+  /// never store ride state, this system's table is the truth.
+  class RideTable final : public RideLookup {
+   public:
+    explicit RideTable(const XarSystem* system) : system_(system) {}
+    const Ride* Find(RideId id) const override {
+      return system_->GetRide(id);
+    }
 
-  /// Step 1/2 of Search: per-ride candidates from one endpoint, resolved
-  /// against the pinned `region`. Keeps up to `per_ride` distinct-landmark
-  /// candidates per ride in least-walk order; per_ride == 1 (the classic
-  /// scenario) keeps exactly the least-walk one, > 1 is the meeting-points
-  /// scenario (XarOptions::meeting_points).
-  void CollectSideCandidates(
-      const RegionIndex& region, const LatLng& location, double walk_limit_m,
-      double eta_begin, double eta_end, std::size_t per_ride,
-      std::vector<std::pair<RideId, SideCandidate>>* out) const;
+   private:
+    const XarSystem* system_;
+  };
 
   /// Position of `id` in rides_ under the offset/stride id scheme.
   std::size_t LocalIndex(RideId id) const {
@@ -237,9 +238,10 @@ class XarSystem {
   XarOptions options_;
 
   std::vector<Ride> rides_;  // indexed by RideId
-  /// Rebuilt (not mutated in place) on refresh — RideIndex resolves against
-  /// exactly one region epoch.
-  std::unique_ptr<RideIndex> index_;
+  /// The pluggable candidate-generation index (XarOptions::match_index).
+  /// Rebound to the new snapshot on refresh (OnEpochSwap) — a backend
+  /// resolves against exactly one region epoch.
+  std::unique_ptr<MatchIndex> index_;
   std::vector<BookingRecord> bookings_;
   VirtualClock clock_;
   std::size_t active_rides_ = 0;

@@ -4,7 +4,7 @@
 #include <map>
 
 #include "common/rng.h"
-#include "xar/cluster_ride_list.h"
+#include "match/cluster_ride_list.h"
 
 namespace xar {
 namespace {

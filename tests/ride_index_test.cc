@@ -1,4 +1,4 @@
-#include "xar/ride_index.h"
+#include "match/ride_index.h"
 
 #include <gtest/gtest.h>
 
