@@ -45,15 +45,14 @@ struct RegimePoint {
   double empty_fraction;
 };
 
-MatchQuery MakeQuery(const RideRequest& request, const XarOptions& opt) {
-  MatchQuery query;
-  query.request = &request;
-  query.walk_limit_m = opt.default_walk_limit_m;
-  query.eta_window_slack_s = opt.eta_window_slack_s;
-  query.max_onboard_s = opt.max_onboard_s;
-  query.per_ride = 1;
-  query.max_results = 0;
-  return query;
+MatchTuning MakeTuning(const XarOptions& opt) {
+  MatchTuning tuning;
+  tuning.walk_limit_m = opt.default_walk_limit_m;
+  tuning.eta_window_slack_s = opt.eta_window_slack_s;
+  tuning.max_onboard_s = opt.max_onboard_s;
+  tuning.per_ride = 1;
+  tuning.max_results = 0;
+  return tuning;
 }
 
 RegimePoint BenchBackend(MatchIndexKind kind, const XarSystem& host,
@@ -71,9 +70,9 @@ RegimePoint BenchBackend(MatchIndexKind kind, const XarSystem& host,
   std::size_t total_candidates = 0;
   std::size_t empty = 0;
   Stopwatch search;
+  const MatchTuning tuning = MakeTuning(host.options());
   for (const RideRequest& request : requests) {
-    MatchQuery query = MakeQuery(request, host.options());
-    std::vector<RideMatch> matches = index->Candidates(query, lookup);
+    std::vector<RideMatch> matches = index->Candidates(request, tuning, lookup);
     total_candidates += matches.size();
     if (matches.empty()) ++empty;
   }

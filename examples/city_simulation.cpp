@@ -30,16 +30,11 @@ int main() {
   std::vector<TaxiTrip> trips = GenerateTrips(graph.bounds(), workload);
 
   XarOptions options;
-  // XAR_MATCH_INDEX=cluster|st_hash swaps the candidate-generation index
-  // under the whole simulated day; a typo is a hard error (xar_shell rules).
-  if (const char* env = std::getenv("XAR_MATCH_INDEX")) {
-    Result<MatchIndexKind> kind = MatchIndexFromString(env);
-    if (!kind.ok()) {
-      std::fprintf(stderr, "XAR_MATCH_INDEX: %s\n",
-                   kind.status().ToString().c_str());
-      return 1;
-    }
-    options.match_index = kind.value();
+  // XAR_MATCH_INDEX (and the other XAR_* overrides) swap backends under the
+  // whole simulated day; a typo is a hard error (xar_shell rules).
+  if (Status status = ApplyEnvOverrides(&options); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
   }
   GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
                      options.routing_backend, options.BackendOptions());

@@ -26,44 +26,13 @@ int main() {
   dopt.landmarks.num_candidates = 400;
   RegionIndex region = RegionIndex::Build(graph, spatial, dopt);
 
-  // XAR_ROUTING_BACKEND=dijkstra|astar|alt|ch overrides the default. A typo
-  // is a hard error, not a silent fall-through to the default backend.
+  // XAR_ROUTING_BACKEND / XAR_MATCH_INDEX / XAR_ORACLE_CACHE /
+  // XAR_PREPROCESS_THREADS override the defaults; a typo in any of them is
+  // a hard error, not a silent fall-through to the default.
   XarOptions options;
-  if (const char* env = std::getenv("XAR_ROUTING_BACKEND")) {
-    Result<RoutingBackendKind> kind = RoutingBackendFromString(env);
-    if (!kind.ok()) {
-      std::fprintf(stderr, "XAR_ROUTING_BACKEND: %s\n",
-                   kind.status().ToString().c_str());
-      return 1;
-    }
-    options.routing_backend = kind.value();
-  }
-  // XAR_PREPROCESS_THREADS=N caps the CH build parallelism (0 = all cores).
-  if (const char* env = std::getenv("XAR_PREPROCESS_THREADS")) {
-    options.preprocess_threads =
-        static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
-  }
-  // XAR_MATCH_INDEX=cluster|st_hash picks the candidate-generation index
-  // behind Search; a typo is a hard error, same as the backend override.
-  if (const char* env = std::getenv("XAR_MATCH_INDEX")) {
-    Result<MatchIndexKind> kind = MatchIndexFromString(env);
-    if (!kind.ok()) {
-      std::fprintf(stderr, "XAR_MATCH_INDEX: %s\n",
-                   kind.status().ToString().c_str());
-      return 1;
-    }
-    options.match_index = kind.value();
-  }
-  // XAR_ORACLE_CACHE=clock|striped_lru picks the oracle's distance-cache
-  // policy; a typo is a hard error, same as the backend override.
-  if (const char* env = std::getenv("XAR_ORACLE_CACHE")) {
-    Result<OracleCachePolicy> policy = OracleCachePolicyFromString(env);
-    if (!policy.ok()) {
-      std::fprintf(stderr, "XAR_ORACLE_CACHE: %s\n",
-                   policy.status().ToString().c_str());
-      return 1;
-    }
-    options.oracle_cache = policy.value();
+  if (Status status = ApplyEnvOverrides(&options); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
   }
   GraphOracle oracle(graph, /*cache_capacity=*/1 << 16,
                      options.routing_backend, options.BackendOptions(),

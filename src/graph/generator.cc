@@ -272,4 +272,30 @@ RoadGraph PerturbEdgeWeights(const RoadGraph& graph, double spread,
   return builder.Build();
 }
 
+RoadGraph ScaleEdgeWeights(
+    const RoadGraph& graph,
+    const std::function<double(NodeId from, NodeId to)>& time_factor) {
+  GraphBuilder builder;
+  for (std::size_t n = 0; n < graph.NumNodes(); ++n) {
+    builder.AddNode(
+        graph.PositionOf(NodeId(static_cast<NodeId::underlying_type>(n))));
+  }
+  for (std::size_t u = 0; u < graph.NumNodes(); ++u) {
+    NodeId from(static_cast<NodeId::underlying_type>(u));
+    for (const RoadEdge& e : graph.OutEdges(from)) {
+      double speed =
+          e.drivable && e.time_s > 0.0 ? e.length_m / e.time_s : 1.0;
+      if (e.drivable && e.time_s > 0.0) {
+        // AddArc derives time = length / speed, so dividing the speed by the
+        // factor scales driving time without touching the length.
+        double factor = time_factor(from, e.to);
+        assert(factor > 0.0);
+        speed /= factor;
+      }
+      builder.AddArc(from, e.to, e.length_m, speed, e.drivable, e.walkable);
+    }
+  }
+  return builder.Build();
+}
+
 }  // namespace xar

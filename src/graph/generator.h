@@ -2,6 +2,7 @@
 #define XAR_GRAPH_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "geo/latlng.h"
 #include "graph/road_graph.h"
@@ -68,6 +69,19 @@ RoadGraph GenerateRadialCity(const RadialCityOptions& options);
 /// symmetry the discretization relies on. Requires 0 <= spread < 1.
 RoadGraph PerturbEdgeWeights(const RoadGraph& graph, double spread,
                              std::uint64_t seed);
+
+/// Returns a copy of `graph` with each drivable edge's *driving time* scaled
+/// by `time_factor(from, to)` (>= 1 is a congestion slow-down; must be > 0).
+/// Lengths are untouched — congestion slows traffic, it does not lengthen
+/// streets — so walking distances and detour budgets (both in meters) are
+/// unaffected. Node ids, positions and topology are preserved: the result
+/// satisfies the GraphDelta contract (same nodes/arcs, new weights) and can
+/// feed RefreshDiscretization directly. Callers who want both directions of
+/// a street to slow together (the event sim's per-road load model) key their
+/// factor on the unordered endpoint pair.
+RoadGraph ScaleEdgeWeights(
+    const RoadGraph& graph,
+    const std::function<double(NodeId from, NodeId to)>& time_factor);
 
 }  // namespace xar
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <string>
 
+#include "common/enum_option.h"
+
 namespace xar {
 namespace {
 
@@ -26,17 +28,16 @@ const char* OracleCachePolicyName(OracleCachePolicy policy) {
 
 std::optional<OracleCachePolicy> ParseOracleCachePolicy(
     std::string_view name) {
-  if (name == "striped_lru") return OracleCachePolicy::kStripedLru;
-  if (name == "clock") return OracleCachePolicy::kClock;
-  return std::nullopt;
+  Result<OracleCachePolicy> policy = OracleCachePolicyFromString(name);
+  if (!policy.ok()) return std::nullopt;
+  return policy.value();
 }
 
 Result<OracleCachePolicy> OracleCachePolicyFromString(std::string_view name) {
-  std::optional<OracleCachePolicy> policy = ParseOracleCachePolicy(name);
-  if (policy.has_value()) return *policy;
-  return Status::InvalidArgument("unknown oracle cache policy \"" +
-                                 std::string(name) +
-                                 "\" (valid: striped_lru, clock)");
+  return ParseEnumOption<OracleCachePolicy>(
+      "oracle cache policy", name,
+      {{"striped_lru", OracleCachePolicy::kStripedLru},
+       {"clock", OracleCachePolicy::kClock}});
 }
 
 OracleClockCache::OracleClockCache(std::size_t capacity)

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/enum_option.h"
 #include "graph/alt.h"
 #include "graph/astar.h"
 #include "graph/dijkstra.h"
@@ -481,20 +482,18 @@ const char* RoutingBackendName(RoutingBackendKind kind) {
 }
 
 std::optional<RoutingBackendKind> ParseRoutingBackend(std::string_view name) {
-  if (name == "dijkstra") return RoutingBackendKind::kDijkstra;
-  if (name == "astar") return RoutingBackendKind::kAStar;
-  if (name == "alt") return RoutingBackendKind::kAlt;
-  if (name == "ch") return RoutingBackendKind::kCh;
-  return std::nullopt;
+  Result<RoutingBackendKind> kind = RoutingBackendFromString(name);
+  if (!kind.ok()) return std::nullopt;
+  return kind.value();
 }
 
 Result<RoutingBackendKind> RoutingBackendFromString(std::string_view name) {
-  if (std::optional<RoutingBackendKind> kind = ParseRoutingBackend(name)) {
-    return *kind;
-  }
-  return Status::InvalidArgument("unknown routing backend \"" +
-                                 std::string(name) +
-                                 "\" (valid: dijkstra, astar, alt, ch)");
+  return ParseEnumOption<RoutingBackendKind>(
+      "routing backend", name,
+      {{"dijkstra", RoutingBackendKind::kDijkstra},
+       {"astar", RoutingBackendKind::kAStar},
+       {"alt", RoutingBackendKind::kAlt},
+       {"ch", RoutingBackendKind::kCh}});
 }
 
 const char* MetricName(Metric metric) {

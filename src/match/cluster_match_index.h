@@ -27,7 +27,8 @@ class ClusterMatchIndex final : public MatchIndex {
   void Remove(RideId ride) override;
   void Update(const Ride& ride) override;
 
-  std::vector<RideMatch> Candidates(const MatchQuery& query,
+  std::vector<RideMatch> Candidates(const RideRequest& request,
+                                    const MatchTuning& tuning,
                                     const RideLookup& rides) const override;
 
   std::size_t Advance(const Ride& ride, double now_s) override;

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "common/enum_option.h"
 #include "match/cluster_match_index.h"
 #include "match/st_hash_index.h"
 
@@ -19,16 +20,16 @@ const char* MatchIndexName(MatchIndexKind kind) {
 }
 
 std::optional<MatchIndexKind> ParseMatchIndex(std::string_view name) {
-  if (name == "cluster") return MatchIndexKind::kCluster;
-  if (name == "st_hash") return MatchIndexKind::kSpatioTemporalHash;
-  return std::nullopt;
+  Result<MatchIndexKind> kind = MatchIndexFromString(name);
+  if (!kind.ok()) return std::nullopt;
+  return kind.value();
 }
 
 Result<MatchIndexKind> MatchIndexFromString(std::string_view name) {
-  std::optional<MatchIndexKind> kind = ParseMatchIndex(name);
-  if (kind.has_value()) return *kind;
-  return Status::InvalidArgument("unknown match index \"" + std::string(name) +
-                                 "\" (valid: cluster, st_hash)");
+  return ParseEnumOption<MatchIndexKind>(
+      "match index", name,
+      {{"cluster", MatchIndexKind::kCluster},
+       {"st_hash", MatchIndexKind::kSpatioTemporalHash}});
 }
 
 StatsSection MatchStatsSection(const MatchIndexStats& stats) {

@@ -106,10 +106,10 @@ class RideLookup {
   virtual const Ride* Find(RideId id) const = 0;
 };
 
-/// One Candidates() call: the request plus every option the systems layer
-/// resolved for it (defaults applied, meeting-points fan-out, top-k).
-struct MatchQuery {
-  const RideRequest* request = nullptr;
+/// The per-search knobs the systems layer resolved for one Candidates()
+/// call (defaults applied, meeting-points fan-out, top-k). A plain value
+/// type: copyable, no lifetime ties to the request it rides along with.
+struct MatchTuning {
   double walk_limit_m = 0.0;        ///< resolved walking threshold
   double eta_window_slack_s = 0.0;  ///< departure-window slack (both sides)
   double max_onboard_s = 0.0;       ///< destination-side ETA probe bound
@@ -152,7 +152,8 @@ class MatchIndex {
   virtual void Remove(RideId ride) = 0;
   virtual void Update(const Ride& ride) = 0;
 
-  virtual std::vector<RideMatch> Candidates(const MatchQuery& query,
+  virtual std::vector<RideMatch> Candidates(const RideRequest& request,
+                                            const MatchTuning& tuning,
                                             const RideLookup& rides) const = 0;
 
   /// Returns the number of index entries evicted.

@@ -260,10 +260,10 @@ void StHashMatchIndex::CollectSideCandidates(
 }
 
 std::vector<RideMatch> StHashMatchIndex::Candidates(
-    const MatchQuery& query, const RideLookup& rides) const {
-  const RideRequest& request = *query.request;
-  const double walk_limit = query.walk_limit_m;
-  const std::size_t per_ride = query.per_ride;
+    const RideRequest& request, const MatchTuning& tuning,
+    const RideLookup& rides) const {
+  const double walk_limit = tuning.walk_limit_m;
+  const std::size_t per_ride = tuning.per_ride;
 
   std::shared_ptr<const RegionSnapshot> pinned =
       snapshot_.load(std::memory_order_acquire);
@@ -272,13 +272,13 @@ std::vector<RideMatch> StHashMatchIndex::Candidates(
   std::vector<std::pair<RideId, SideCandidate>> source_side;
   CollectSideCandidates(region, request.source, walk_limit,
                         request.earliest_departure_s -
-                            query.eta_window_slack_s,
-                        request.latest_departure_s + query.eta_window_slack_s,
+                            tuning.eta_window_slack_s,
+                        request.latest_departure_s + tuning.eta_window_slack_s,
                         per_ride, &source_side);
   std::vector<std::pair<RideId, SideCandidate>> dest_side;
   CollectSideCandidates(region, request.destination, walk_limit,
                         request.earliest_departure_s,
-                        request.latest_departure_s + query.max_onboard_s,
+                        request.latest_departure_s + tuning.max_onboard_s,
                         per_ride, &dest_side);
 
   // Merge-join on sorted ride ids, then the same feasibility gates as the
@@ -350,8 +350,8 @@ std::vector<RideMatch> StHashMatchIndex::Candidates(
                 return a.TotalWalkM() < b.TotalWalkM();
               return a.ride < b.ride;
             });
-  if (query.max_results > 0 && matches.size() > query.max_results)
-    matches.resize(query.max_results);
+  if (tuning.max_results > 0 && matches.size() > tuning.max_results)
+    matches.resize(tuning.max_results);
   CountSearch(matches.size());
   return matches;
 }

@@ -49,7 +49,8 @@ class StHashMatchIndex final : public MatchIndex {
   void Remove(RideId ride) override;
   void Update(const Ride& ride) override;
 
-  std::vector<RideMatch> Candidates(const MatchQuery& query,
+  std::vector<RideMatch> Candidates(const RideRequest& request,
+                                    const MatchTuning& tuning,
                                     const RideLookup& rides) const override;
 
   std::size_t Advance(const Ride& ride, double now_s) override;

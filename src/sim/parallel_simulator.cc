@@ -118,4 +118,11 @@ SimResult SimulateRideSharingParallel(ConcurrentXarSystem& xar,
   return result;
 }
 
+SimResult SimulateRideSharingParallel(ConcurrentXarSystem& xar,
+                                      const std::vector<TaxiTrip>& trips,
+                                      const ScenarioConfig& config) {
+  return SimulateRideSharingParallel(xar, trips,
+                                     ParallelSimOptions::FromScenario(config));
+}
+
 }  // namespace xar

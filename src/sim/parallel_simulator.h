@@ -28,6 +28,17 @@ struct ParallelSimOptions {
   /// Optional delta applied by those refreshes (e.g. a perturbed graph);
   /// nullptr = no-op rebuild of the current region.
   const GraphDelta* refresh_delta = nullptr;
+
+  /// Lifts a shared ScenarioConfig into parallel-driver options: the
+  /// protocol knobs carry over verbatim, the driver-specific knobs (threads,
+  /// batch size, refresh wiring) stay at their defaults for the caller to
+  /// fill in. One ScenarioConfig can thus drive the serial replay, the
+  /// parallel replay and the event sim.
+  static ParallelSimOptions FromScenario(const ScenarioConfig& config) {
+    ParallelSimOptions options;
+    options.sim = config.protocol;
+    return options;
+  }
 };
 
 /// Parallel replay of the paper's simulation protocol against a sharded
@@ -49,6 +60,12 @@ struct ParallelSimOptions {
 SimResult SimulateRideSharingParallel(ConcurrentXarSystem& xar,
                                       const std::vector<TaxiTrip>& trips,
                                       const ParallelSimOptions& options = {});
+
+/// Shared-scenario entry point: equivalent to passing
+/// ParallelSimOptions::FromScenario(config).
+SimResult SimulateRideSharingParallel(ConcurrentXarSystem& xar,
+                                      const std::vector<TaxiTrip>& trips,
+                                      const ScenarioConfig& config);
 
 }  // namespace xar
 

@@ -11,6 +11,14 @@ constexpr double kWalkSpeedMps = 1.4;
 
 SimResult SimulateRideSharing(XarSystem& xar,
                               const std::vector<TaxiTrip>& trips,
+                              const ScenarioConfig& config) {
+  // The replay protocol only consumes the protocol knobs; traffic and event
+  // injection are the event sim's job (sim/event_sim.h).
+  return SimulateRideSharing(xar, trips, config.protocol);
+}
+
+SimResult SimulateRideSharing(XarSystem& xar,
+                              const std::vector<TaxiTrip>& trips,
                               const SimOptions& options) {
   SimResult result;
   result.metrics.mode_name = "RideShare";

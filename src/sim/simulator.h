@@ -6,24 +6,12 @@
 
 #include "common/stats.h"
 #include "sim/metrics.h"
+#include "sim/scenario.h"
 #include "workload/taxi_trip.h"
 #include "xar/ride.h"
 #include "xar/xar_system.h"
 
 namespace xar {
-
-/// Knobs of the ride-share simulation loop (paper Section X-A.2).
-struct SimOptions {
-  /// Departure window length granted to each request.
-  double window_s = 900.0;
-  /// Requests per booked ride (look-to-book r): every request performs one
-  /// search; only every r-th searcher actually books. 1 = book always.
-  std::size_t look_to_book = 1;
-  /// Walking threshold passed on each request (-1 = XAR default).
-  double walk_limit_m = -1.0;
-  /// Advance the virtual clock with request timestamps (tracking on).
-  bool advance_time = true;
-};
 
 /// Outcome of a simulation run: match counts, booking records for quality
 /// analysis (Fig. 3a), per-operation latency samples (Figs. 4-5), and the
@@ -43,6 +31,14 @@ struct SimResult {
 /// trip becomes a ride request; if a feasible ride exists, the least-walking
 /// match is booked; otherwise the commuter drives, creating a new shareable
 /// ride (capacity: XAR default seats). Operation latencies are recorded.
+SimResult SimulateRideSharing(XarSystem& xar,
+                              const std::vector<TaxiTrip>& trips,
+                              const ScenarioConfig& config);
+
+/// Protocol-knobs-only entry point: wraps `options` into a ScenarioConfig
+/// (traffic/events at their inert defaults) and runs the same loop, so the
+/// two spellings replay identically — pinned by the scenario differential
+/// test.
 SimResult SimulateRideSharing(XarSystem& xar,
                               const std::vector<TaxiTrip>& trips,
                               const SimOptions& options = {});

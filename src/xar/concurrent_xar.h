@@ -218,6 +218,13 @@ class ConcurrentXarSystem {
     return shard.system.CancelBooking(ride, request);
   }
 
+  Status ReportNoShow(RideId ride, RequestId request) {
+    if (!ride.valid()) return Status::NotFound("unknown ride");
+    Shard& shard = ShardOf(ride);
+    std::unique_lock lock(shard.mutex);
+    return shard.system.ReportNoShow(ride, request);
+  }
+
   Status CancelRide(RideId ride) {
     if (!ride.valid()) return Status::NotFound("unknown ride");
     Shard& shard = ShardOf(ride);

@@ -20,6 +20,7 @@
 #include "schedule/kinetic_tree.h"
 #include "xar/command_server.h"
 #include "xar/concurrent_xar.h"
+#include "xar/env_options.h"
 #include "xar/geojson_export.h"
 #include "xar/options.h"
 #include "xar/ride.h"

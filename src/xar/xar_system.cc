@@ -174,22 +174,21 @@ std::vector<RideMatch> XarSystem::SearchTopK(const RideRequest& request,
   // Resolve every option the backend needs, then delegate: the two-step
   // cluster search (paper Section VII) or the spatio-temporal hash probe
   // both run entirely inside the MatchIndex (src/match/).
-  MatchQuery query;
-  query.request = &request;
-  query.walk_limit_m = request.walk_limit_m >= 0
-                           ? request.walk_limit_m
-                           : options_.default_walk_limit_m;
-  query.eta_window_slack_s = options_.eta_window_slack_s;
-  query.max_onboard_s = options_.max_onboard_s;
+  MatchTuning tuning;
+  tuning.walk_limit_m = request.walk_limit_m >= 0
+                            ? request.walk_limit_m
+                            : options_.default_walk_limit_m;
+  tuning.eta_window_slack_s = options_.eta_window_slack_s;
+  tuning.max_onboard_s = options_.max_onboard_s;
   // Meeting points (XarOptions::meeting_points): keep several candidate
   // landmarks per ride and side instead of only the least-walk one. 1 is
   // the classic scenario and reproduces it exactly.
-  query.per_ride =
+  tuning.per_ride =
       options_.meeting_points
           ? std::max<std::size_t>(1, options_.meeting_point_candidates)
           : 1;
-  query.max_results = k;
-  return index_->Candidates(query, RideTable(this));
+  tuning.max_results = k;
+  return index_->Candidates(request, tuning, RideTable(this));
 }
 
 Result<BookingRecord> XarSystem::Book(RideId ride_id,
@@ -509,18 +508,24 @@ Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
                                              const RideMatch& match,
                                              NodeId pickup, NodeId dropoff) {
   // Collect every rider's stop pair (existing co-riders + the new rider);
-  // the driver's own source stays first and destination last.
+  // the driver's own source stays first and destination last. Index the
+  // drop-offs once so pairing pickups is a single pass, and treat a pickup
+  // with no drop-off as corrupted ride state, not undefined behaviour.
+  std::unordered_map<RequestId::underlying_type, const ViaPoint*> drops;
+  drops.reserve(ride.via_points.size() / 2 + 1);
+  for (const ViaPoint& vp : ride.via_points) {
+    if (vp.request.valid() && !vp.is_pickup) drops[vp.request.value()] = &vp;
+  }
   std::vector<std::pair<ScheduleStop, ScheduleStop>> riders;
-  for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
-    const ViaPoint& vp = ride.via_points[v];
+  for (const ViaPoint& vp : ride.via_points) {
     if (!vp.request.valid() || !vp.is_pickup) continue;
     ScheduleStop p{vp.node, vp.request, true, kInf};
-    const ViaPoint* drop = nullptr;
-    for (const ViaPoint& other : ride.via_points) {
-      if (other.request == vp.request && !other.is_pickup) drop = &other;
+    auto drop = drops.find(vp.request.value());
+    if (drop == drops.end()) {
+      return Status::Internal(
+          "malformed via-point list: pickup without drop-off");
     }
-    assert(drop != nullptr);
-    ScheduleStop d{drop->node, vp.request, false, kInf};
+    ScheduleStop d{drop->second->node, vp.request, false, kInf};
     riders.emplace_back(p, d);
   }
   riders.emplace_back(ScheduleStop{pickup, request.id, true, kInf},
@@ -618,6 +623,15 @@ Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
 }
 
 Status XarSystem::CancelBooking(RideId ride_id, RequestId request) {
+  return RemoveRider(ride_id, request, /*allow_passed_pickup=*/false);
+}
+
+Status XarSystem::ReportNoShow(RideId ride_id, RequestId request) {
+  return RemoveRider(ride_id, request, /*allow_passed_pickup=*/true);
+}
+
+Status XarSystem::RemoveRider(RideId ride_id, RequestId request,
+                              bool allow_passed_pickup) {
   if (!OwnsRide(ride_id)) {
     return Status::NotFound("unknown ride");
   }
@@ -627,18 +641,27 @@ Status XarSystem::CancelBooking(RideId ride_id, RequestId request) {
   }
   // Locate the rider's via-points.
   std::size_t pickup_idx = ride.via_points.size();
+  std::size_t dropoff_idx = ride.via_points.size();
   for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
-    if (ride.via_points[v].request == request &&
-        ride.via_points[v].is_pickup) {
+    if (ride.via_points[v].request != request) continue;
+    if (ride.via_points[v].is_pickup) {
       pickup_idx = v;
-      break;
+    } else {
+      dropoff_idx = v;
     }
   }
   if (pickup_idx == ride.via_points.size()) {
     return Status::NotFound("no such booking on this ride");
   }
-  if (ride.via_points[pickup_idx].eta_s <= clock_.Now()) {
+  if (!allow_passed_pickup &&
+      ride.via_points[pickup_idx].eta_s <= clock_.Now()) {
     return Status::FailedPrecondition("rider already picked up");
+  }
+  // A no-show is reportable any time up to the drop-off; past that the
+  // booking has already run its course and there is nothing to unwind.
+  if (dropoff_idx != ride.via_points.size() &&
+      ride.via_points[dropoff_idx].eta_s <= clock_.Now()) {
+    return Status::FailedPrecondition("booking already completed");
   }
 
   // Remaining via-points, in order, without this rider's pair.

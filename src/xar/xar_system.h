@@ -124,6 +124,14 @@ class XarSystem {
   /// Fails if the ride has already passed the pickup point.
   Status CancelBooking(RideId ride, RequestId request);
 
+  /// Reports a rider absent at their pickup point (a no-show): the driver
+  /// keeps going, the rider's via-points are removed, the seat and detour
+  /// budget are returned and the ride is re-indexed — the same unwinding as
+  /// CancelBooking, except it is legal *after* the pickup ETA has passed
+  /// (that is exactly when a no-show is discovered). Fails only once the
+  /// rider's drop-off ETA has passed, i.e. the booking already completed.
+  Status ReportNoShow(RideId ride, RequestId request);
+
   /// Cancels a whole ride offer: evicts it from every cluster list. Existing
   /// co-rider bookings on it are dropped (the caller is responsible for
   /// re-matching them). Idempotent on already-finished rides.
@@ -227,6 +235,12 @@ class XarSystem {
   Result<BookingRecord> BookKinetic(Ride& ride, const RideRequest& request,
                                     const RideMatch& match, NodeId pickup,
                                     NodeId dropoff);
+
+  /// Shared unwinding behind CancelBooking and ReportNoShow: removes the
+  /// rider's via-point pair, re-routes through the kept via-points, refunds
+  /// seat + detour budget, re-indexes. `allow_passed_pickup` is the only
+  /// difference between the two callers.
+  Status RemoveRider(RideId ride, RequestId request, bool allow_passed_pickup);
 
   const RoadGraph* graph_;  ///< swapped by AdoptSnapshot on graph deltas
   const SpatialNodeIndex& spatial_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/enum_option.h"
 #include "common/heap.h"
 #include "common/ids.h"
 #include "common/result.h"
@@ -303,6 +304,38 @@ TEST(TextTableTest, AlignsColumns) {
 TEST(TextTableTest, NumFormatsPrecision) {
   EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+}
+
+enum class Flavor { kVanilla, kMint };
+
+TEST(EnumOptionTest, ParsesKnownSpellings) {
+  Result<Flavor> v = ParseEnumOption<Flavor>(
+      "flavor", "vanilla", {{"vanilla", Flavor::kVanilla}, {"mint", Flavor::kMint}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), Flavor::kVanilla);
+  Result<Flavor> m = ParseEnumOption<Flavor>(
+      "flavor", "mint", {{"vanilla", Flavor::kVanilla}, {"mint", Flavor::kMint}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value(), Flavor::kMint);
+}
+
+TEST(EnumOptionTest, UnknownValueGetsUniformMessage) {
+  Result<Flavor> r = ParseEnumOption<Flavor>(
+      "flavor", "pistachio",
+      {{"vanilla", Flavor::kVanilla}, {"mint", Flavor::kMint}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(),
+            "unknown flavor \"pistachio\" (valid: vanilla, mint)");
+}
+
+TEST(EnumOptionTest, MatchIsCaseSensitiveAndExact) {
+  // No silent fall-through: near-misses are hard errors.
+  for (const char* bad : {"Vanilla", "VANILLA", "vanilla ", ""}) {
+    Result<Flavor> r = ParseEnumOption<Flavor>(
+        "flavor", bad, {{"vanilla", Flavor::kVanilla}});
+    EXPECT_FALSE(r.ok()) << "\"" << bad << "\" should not parse";
+  }
 }
 
 TEST(ClockTest, VirtualClockMonotone) {

@@ -1,0 +1,124 @@
+// Cancellation / no-show racing RefreshDiscretization: booker threads
+// book-then-unwind (CancelBooking or ReportNoShow) against live rides while
+// a refresher thread rebuilds and swaps the discretization. Afterwards the
+// seat ledger must be exact: every booking that was not successfully
+// unwound holds exactly one seat, everything else is back in the pool.
+// Run under -DXAR_SANITIZE=thread this is the data-race detector for the
+// unwinding paths (ctest -L stress / -L sim).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "tests/test_helpers.h"
+#include "workload/trip_generator.h"
+#include "xar/concurrent_xar.h"
+
+namespace xar {
+namespace {
+
+using testing::SharedCity;
+using testing::TestCity;
+
+std::vector<TaxiTrip> Trips(const TestCity& city, std::size_t n,
+                            std::uint64_t seed) {
+  WorkloadOptions opt;
+  opt.num_trips = n;
+  opt.seed = seed;
+  return GenerateTrips(city.graph.bounds(), opt);
+}
+
+TEST(NoShowStressTest, UnwindingRacesRefreshDiscretization) {
+  TestCity& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  ConcurrentXarSystem xar(city.graph, *city.spatial, *city.region, oracle, {},
+                          /*num_shards=*/4);
+
+  // Ride supply created up front so the bookers find matches immediately.
+  for (const TaxiTrip& t : Trips(city, 250, 80)) {
+    RideOffer offer;
+    offer.source = t.pickup;
+    offer.destination = t.dropoff;
+    offer.departure_time_s = t.pickup_time_s;
+    (void)xar.CreateRide(offer);
+  }
+
+  // Ledger of bookings that were made and NOT successfully unwound, kept by
+  // the bookers themselves.
+  std::mutex ledger_mutex;
+  std::unordered_map<RideId, int> seats_held;
+  std::atomic<std::size_t> bookings{0};
+  std::atomic<std::size_t> unwound{0};
+
+  constexpr std::size_t kRefreshes = 4;
+  std::vector<std::uint64_t> observed_epochs;
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    for (std::size_t r = 0; r < kRefreshes; ++r) {
+      RefreshStats stats = xar.RefreshDiscretization();
+      observed_epochs.push_back(stats.epoch);
+    }
+  });
+  // Booker/unwinder threads: book, then immediately cancel (even ids) or
+  // no-show (odd ids). Either unwinding may race a refresh swap; it must
+  // return a clean status either way, never corrupt seat accounting.
+  for (int b = 0; b < 3; ++b) {
+    threads.emplace_back([&, b] {
+      std::vector<TaxiTrip> trips =
+          Trips(city, 120, 300 + static_cast<std::uint64_t>(b));
+      std::uint32_t next_id = 10000 + 100000 * static_cast<std::uint32_t>(b);
+      for (const TaxiTrip& t : trips) {
+        RideRequest req;
+        req.id = RequestId(next_id++);
+        req.source = t.pickup;
+        req.destination = t.dropoff;
+        req.earliest_departure_s = t.pickup_time_s;
+        req.latest_departure_s = t.pickup_time_s + 900;
+        Result<BookingRecord> booked = xar.SearchAndBook(req);
+        if (!booked.ok()) continue;
+        bookings.fetch_add(1);
+        {
+          std::lock_guard<std::mutex> lock(ledger_mutex);
+          ++seats_held[booked->ride];
+        }
+        const bool no_show = (req.id.value() % 2) != 0;
+        Status status = no_show ? xar.ReportNoShow(booked->ride, req.id)
+                                : xar.CancelBooking(booked->ride, req.id);
+        if (status.ok()) {
+          unwound.fetch_add(1);
+          std::lock_guard<std::mutex> lock(ledger_mutex);
+          if (--seats_held[booked->ride] == 0) {
+            seats_held.erase(booked->ride);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_GT(bookings.load(), 0u);
+  ASSERT_GT(unwound.load(), 0u);
+
+  // Epochs observed by the refresher are strictly monotone.
+  for (std::size_t i = 1; i < observed_epochs.size(); ++i) {
+    EXPECT_LT(observed_epochs[i - 1], observed_epochs[i]);
+  }
+
+  // Seat accounting is exact after the dust settles: each ride's available
+  // seats are its total minus the bookings still held on it.
+  for (const auto& [ride_id, held] : seats_held) {
+    Result<Ride> ride = xar.GetRide(ride_id);
+    ASSERT_TRUE(ride.ok());
+    EXPECT_EQ(ride.value().seats_available + held, ride.value().seats_total)
+        << "ride " << ride_id.value();
+  }
+}
+
+}  // namespace
+}  // namespace xar
