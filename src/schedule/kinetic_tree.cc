@@ -12,12 +12,14 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 KineticTree::KineticTree(NodeId origin, double start_time_s, int capacity,
-                         DistanceOracle& oracle)
+                         DistanceOracle& oracle, int onboard)
     : oracle_(&oracle),
       position_(origin),
       time_s_(start_time_s),
-      capacity_(capacity) {
+      capacity_(capacity),
+      onboard_(onboard) {
   assert(capacity >= 1);
+  assert(onboard >= 0 && onboard <= capacity);
 }
 
 std::unique_ptr<KineticTree::Node> KineticTree::CopyRebased(
@@ -148,6 +150,24 @@ bool KineticTree::Insert(const ScheduleStop& pickup,
   return true;
 }
 
+bool KineticTree::InsertSingle(const ScheduleStop& stop) {
+  std::vector<std::unique_ptr<Node>> next =
+      InsertInto(roots_, position_, time_s_, onboard_, stop, nullptr);
+  if (next.empty()) return false;
+  roots_ = std::move(next);
+  pending_stops_ += 1;
+  return true;
+}
+
+double KineticTree::NextStopEtaS() const {
+  double best = kInf;
+  std::vector<const Node*> path, best_path;
+  for (const std::unique_ptr<Node>& root : roots_) {
+    BestLeafPath(*root, &path, &best_path, &best);
+  }
+  return best_path.empty() ? kInf : best_path.front()->arrival_s;
+}
+
 Schedule KineticTree::BestSchedule() const {
   Schedule schedule;
   double best = kInf;
@@ -164,6 +184,21 @@ std::size_t KineticTree::NumSchedules() const {
   std::size_t total = 0;
   for (const std::unique_ptr<Node>& root : roots_) {
     total += CountLeaves(*root);
+  }
+  return total;
+}
+
+std::size_t KineticTree::NumNodes() const {
+  std::size_t total = 0;
+  std::vector<const Node*> work;
+  for (const std::unique_ptr<Node>& root : roots_) work.push_back(root.get());
+  while (!work.empty()) {
+    const Node* node = work.back();
+    work.pop_back();
+    ++total;
+    for (const std::unique_ptr<Node>& child : node->children) {
+      work.push_back(child.get());
+    }
   }
   return total;
 }

@@ -27,9 +27,11 @@ namespace xar {
 class KineticTree {
  public:
   /// A vehicle at `origin`, free from `start_time_s`, with `capacity` seats
-  /// for riders.
+  /// for riders. `onboard` riders already occupy seats at the root (a tree
+  /// built for an in-progress vehicle: their pickups are history, only their
+  /// drop-off stops — inserted via InsertSingle — remain).
   KineticTree(NodeId origin, double start_time_s, int capacity,
-              DistanceOracle& oracle);
+              DistanceOracle& oracle, int onboard = 0);
 
   KineticTree(const KineticTree&) = delete;
   KineticTree& operator=(const KineticTree&) = delete;
@@ -45,10 +47,19 @@ class KineticTree {
   /// Returns false (and leaves the tree unchanged) when infeasible.
   bool Insert(const ScheduleStop& pickup, const ScheduleStop& dropoff);
 
+  /// Inserts a lone stop across all placements — the drop-off of a rider
+  /// who already boarded (counted in the root's `onboard`). Returns false
+  /// (tree unchanged) when no feasible ordering admits it.
+  bool InsertSingle(const ScheduleStop& stop);
+
   /// Commits the vehicle to the *best* schedule's first stop: the root
   /// moves there, alternatives that begin differently are discarded.
   /// Returns the stop served. Requires a non-empty schedule.
   ScheduleStop AdvanceToNextStop();
+
+  /// Arrival time at the best schedule's first stop; +inf when empty. The
+  /// wake-up time a persistent schedule owner uses to prune passed stops.
+  double NextStopEtaS() const;
 
   /// Minimum-completion-time ordering among all retained feasible ones.
   Schedule BestSchedule() const;
@@ -62,6 +73,11 @@ class KineticTree {
   bool empty() const { return pending_stops_ == 0; }
   NodeId position() const { return position_; }
   double time() const { return time_s_; }
+  int onboard() const { return onboard_; }
+  int capacity() const { return capacity_; }
+
+  /// Retained tree nodes (all orderings, shared prefixes counted once).
+  std::size_t NumNodes() const;
 
  private:
   struct Node {

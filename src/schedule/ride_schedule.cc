@@ -1,0 +1,191 @@
+#include "schedule/ride_schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace xar {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kCorrupt = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+RideSchedule::RideSchedule(NodeId root, double root_time_s, int capacity,
+                           DistanceOracle& oracle)
+    : oracle_(&oracle), tree_(root, root_time_s, capacity, oracle) {}
+
+void RideSchedule::SeedPendingRider(const ScheduleStop& pickup,
+                                    const ScheduleStop& dropoff) {
+  assert(pickup.is_pickup && !dropoff.is_pickup);
+  assert(pickup.request == dropoff.request);
+  RiderPlan plan;
+  plan.request = pickup.request;
+  plan.pickup = pickup;
+  plan.dropoff = dropoff;
+  riders_.push_back(plan);
+}
+
+void RideSchedule::SeedOnboardRider(const ScheduleStop& committed_pickup,
+                                    const ScheduleStop& dropoff) {
+  assert(committed_pickup.is_pickup && !dropoff.is_pickup);
+  assert(committed_pickup.request == dropoff.request);
+  RiderPlan plan;
+  plan.request = dropoff.request;
+  plan.pickup = committed_pickup;
+  plan.dropoff = dropoff;
+  plan.picked_up = true;
+  riders_.push_back(plan);
+  committed_.push_back(committed_pickup);
+}
+
+bool RideSchedule::FinishSeeding() { return RebuildTree() != kCorrupt; }
+
+double RideSchedule::TryInsert(const ScheduleStop& pickup,
+                               const ScheduleStop& dropoff) const {
+  if (FindRider(pickup.request) != nullptr) return kInf;
+  return tree_.TryInsert(pickup, dropoff);
+}
+
+bool RideSchedule::Insert(const ScheduleStop& pickup,
+                          const ScheduleStop& dropoff) {
+  assert(pickup.is_pickup && !dropoff.is_pickup);
+  assert(pickup.request == dropoff.request);
+  if (FindRider(pickup.request) != nullptr) return false;
+  if (!tree_.Insert(pickup, dropoff)) return false;
+  RiderPlan plan;
+  plan.request = pickup.request;
+  plan.pickup = pickup;
+  plan.dropoff = dropoff;
+  riders_.push_back(plan);
+  return true;
+}
+
+bool RideSchedule::Remove(RequestId request) {
+  auto it = std::find_if(
+      riders_.begin(), riders_.end(),
+      [request](const RiderPlan& r) { return r.request == request; });
+  if (it == riders_.end()) return false;
+  riders_.erase(it);
+  committed_.erase(
+      std::remove_if(committed_.begin(), committed_.end(),
+                     [request](const ScheduleStop& s) {
+                       return s.request == request;
+                     }),
+      committed_.end());
+  // Regraft by replaying the survivors: exact, because insertion keeps
+  // every feasible ordering — the rebuilt tree equals what incremental
+  // maintenance would have produced had this rider never booked.
+  std::size_t relaxed = RebuildTree();
+  assert(relaxed != kCorrupt &&
+         "removing a rider cannot make the others infeasible");
+  (void)relaxed;
+  return true;
+}
+
+std::size_t RideSchedule::AdvanceTo(double now_s) {
+  std::size_t advanced = 0;
+  while (!tree_.empty() && tree_.NextStopEtaS() <= now_s) {
+    ScheduleStop stop = tree_.AdvanceToNextStop();
+    for (RiderPlan& rider : riders_) {
+      if (rider.request != stop.request) continue;
+      if (stop.is_pickup) {
+        rider.picked_up = true;
+      } else {
+        rider.dropped_off = true;
+      }
+      break;
+    }
+    committed_.push_back(stop);
+    ++advanced;
+  }
+  return advanced;
+}
+
+std::size_t RideSchedule::Reprice(DistanceOracle& oracle) {
+  oracle_ = &oracle;
+  std::size_t relaxed = RebuildTree();
+  assert(relaxed != kCorrupt && "relaxed rebuild cannot fail");
+  return relaxed == kCorrupt ? 0 : relaxed;
+}
+
+std::size_t RideSchedule::ActiveRiders() const {
+  std::size_t active = 0;
+  for (const RiderPlan& rider : riders_) {
+    if (!rider.dropped_off) ++active;
+  }
+  return active;
+}
+
+std::vector<RideSchedule::PendingRider> RideSchedule::PendingRiders() const {
+  std::vector<PendingRider> pending;
+  for (const RiderPlan& rider : riders_) {
+    if (rider.dropped_off) continue;
+    PendingRider p;
+    p.request = rider.request;
+    p.pickup = rider.pickup;
+    p.dropoff = rider.dropoff;
+    p.onboard = rider.picked_up;
+    pending.push_back(p);
+  }
+  return pending;
+}
+
+std::size_t RideSchedule::MemoryFootprint() const {
+  return sizeof(*this) + riders_.capacity() * sizeof(RiderPlan) +
+         committed_.capacity() * sizeof(ScheduleStop) +
+         tree_.NumNodes() * 64;  // rough per-node overhead
+}
+
+const RideSchedule::RiderPlan* RideSchedule::FindRider(
+    RequestId request) const {
+  for (const RiderPlan& rider : riders_) {
+    if (rider.request == request && !rider.dropped_off) return &rider;
+  }
+  return nullptr;
+}
+
+std::size_t RideSchedule::RebuildTree() {
+  NodeId root = tree_.position();
+  double root_time = tree_.time();
+  int capacity = tree_.capacity();
+  int onboard = 0;
+  for (const RiderPlan& rider : riders_) {
+    if (rider.picked_up && !rider.dropped_off) ++onboard;
+  }
+
+  // Insert with true deadlines first; a rider who no longer fits (a refresh
+  // made the metric slower, or an earlier relaxation cascaded) is retried
+  // with an infinite deadline — booked riders stay scheduled, late. The
+  // relaxation is written back into the plan: it is a permanent contract
+  // change, and PendingRiders() must report the deadlines the tree holds.
+  std::size_t relaxed = 0;
+  KineticTree fresh(root, root_time, capacity, *oracle_, onboard);
+  for (RiderPlan& rider : riders_) {
+    if (rider.dropped_off) continue;
+    bool ok;
+    if (rider.picked_up) {
+      ok = fresh.InsertSingle(rider.dropoff);
+      if (!ok) {
+        rider.dropoff.deadline_s = kInf;
+        ok = fresh.InsertSingle(rider.dropoff);
+        if (ok) ++relaxed;
+      }
+    } else {
+      ok = fresh.Insert(rider.pickup, rider.dropoff);
+      if (!ok) {
+        rider.pickup.deadline_s = kInf;
+        rider.dropoff.deadline_s = kInf;
+        ok = fresh.Insert(rider.pickup, rider.dropoff);
+        if (ok) ++relaxed;
+      }
+    }
+    if (!ok) return kCorrupt;  // seat-infeasible: corrupted ride state
+  }
+  tree_ = std::move(fresh);
+  return relaxed;
+}
+
+}  // namespace xar

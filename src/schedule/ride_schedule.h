@@ -1,0 +1,165 @@
+#ifndef XAR_SCHEDULE_RIDE_SCHEDULE_H_
+#define XAR_SCHEDULE_RIDE_SCHEDULE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "graph/oracle.h"
+#include "schedule/kinetic_tree.h"
+#include "schedule/stop.h"
+
+namespace xar {
+
+/// Persistent per-ride kinetic schedule (Yao & Bekhor, arXiv 2005.11195:
+/// a dynamic tree of feasible stop sequences maintained per vehicle).
+///
+/// Where the original kinetic-booking path rebuilt a KineticTree from
+/// scratch on every booking of a not-yet-departed ride, a RideSchedule is
+/// owned by the ride for its whole life:
+///
+///  - **Insert** places a new rider's pickup/drop-off pair into the live
+///    tree — O(tree), every feasible ordering retained — including into
+///    *in-progress* rides, where the tree is rooted at the last stop the
+///    vehicle committed to and already-boarded riders occupy seats at the
+///    root (their drop-offs ride along as single stops).
+///  - **AdvanceTo** prunes the tree as the vehicle passes stops: the best
+///    ordering's next stop is committed, alternatives that begin
+///    differently are discarded, and the stop is appended to the committed
+///    prefix (the fixed part of the ride's via list).
+///  - **Remove** unwinds a rider (cancellation / no-show): their remaining
+///    stops leave the tree and their committed stops leave the prefix; the
+///    tree is regrafted by re-inserting the surviving riders in their
+///    original insertion order — which reproduces exactly the tree a
+///    from-scratch build would make, because insertion retains *all*
+///    feasible orderings (the persistent-vs-rebuild differential suite
+///    pins this equivalence).
+///  - **Reprice** re-bases every subtree on a new oracle after a
+///    discretization refresh swaps the travel-time metric: same stops,
+///    same root, re-computed arrival times. Riders whose deadlines became
+///    unmeetable under the new metric are retained with relaxed deadlines —
+///    a booked rider is a commitment, not a candidate.
+///
+/// Feasibility inside the tree is per-rider: each stop carries a deadline
+/// (the rider's remaining detour budget expressed as a latest acceptable
+/// arrival), and seat capacity is enforced at every prefix of every
+/// retained ordering. Thread-safety is the owner's problem: XarSystem
+/// mutates a RideSchedule only under the owning shard's exclusive lock.
+class RideSchedule {
+ public:
+  /// A schedule rooted where the vehicle is (or will start): `root` at
+  /// `root_time_s`, with `capacity` total rider seats.
+  RideSchedule(NodeId root, double root_time_s, int capacity,
+               DistanceOracle& oracle);
+
+  RideSchedule(const RideSchedule&) = delete;
+  RideSchedule& operator=(const RideSchedule&) = delete;
+
+  // --- Seeding (materializing a schedule for a ride with history) ---------
+
+  /// Registers a rider whose pickup is still ahead. Seed calls only
+  /// describe state; FinishSeeding() builds the tree.
+  void SeedPendingRider(const ScheduleStop& pickup,
+                        const ScheduleStop& dropoff);
+
+  /// Registers a rider already aboard: the pickup is history (it joins the
+  /// committed prefix), only the drop-off enters the tree, and the rider
+  /// occupies a seat at the root.
+  void SeedOnboardRider(const ScheduleStop& committed_pickup,
+                        const ScheduleStop& dropoff);
+
+  /// Builds the tree from the seeded riders. Always succeeds for a seat-
+  /// feasible ride (deadlines are relaxed per rider if needed — see
+  /// Reprice); returns false only if even the relaxed build has no
+  /// ordering, which indicates corrupted ride state.
+  bool FinishSeeding();
+
+  // --- Persistent mutations ----------------------------------------------
+
+  /// Best completion time if the pair were inserted, without committing;
+  /// +inf when no feasible ordering exists.
+  double TryInsert(const ScheduleStop& pickup,
+                   const ScheduleStop& dropoff) const;
+
+  /// Inserts a new rider's stop pair into the live tree. False (tree
+  /// unchanged) when infeasible or the request is already scheduled.
+  bool Insert(const ScheduleStop& pickup, const ScheduleStop& dropoff);
+
+  /// Unwinds a rider: remaining stops leave the tree (regraft by rebuild),
+  /// committed stops leave the prefix. False if the request is unknown.
+  bool Remove(RequestId request);
+
+  /// Commits every stop whose best-schedule arrival is <= now_s (the
+  /// vehicle passed it): root moves, alternatives prune, riders board and
+  /// alight. Returns the number of stops committed.
+  std::size_t AdvanceTo(double now_s);
+
+  /// Re-bases the tree on `oracle` (post-refresh travel times): same
+  /// stops, same root, re-priced subtrees. Returns the number of riders
+  /// whose deadlines had to be relaxed to keep them aboard.
+  std::size_t Reprice(DistanceOracle& oracle);
+
+  // --- Introspection ------------------------------------------------------
+
+  /// Minimum-completion-time ordering of the *remaining* stops.
+  Schedule Best() const { return tree_.BestSchedule(); }
+  /// Arrival at the next stop of the best ordering; +inf when drained.
+  double NextStopEtaS() const { return tree_.NextStopEtaS(); }
+  /// Stops already committed (passed), in commit order, rider stops only.
+  const std::vector<ScheduleStop>& committed() const { return committed_; }
+
+  NodeId root() const { return tree_.position(); }
+  double root_time_s() const { return tree_.time(); }
+  int capacity() const { return tree_.capacity(); }
+  /// Riders currently aboard (picked up, not yet dropped off).
+  int Onboard() const { return tree_.onboard(); }
+  /// Outstanding stops (schedule depth).
+  std::size_t PendingStops() const { return tree_.NumPendingStops(); }
+  /// Feasible orderings currently retained.
+  std::size_t NumSchedules() const { return tree_.NumSchedules(); }
+  /// Retained tree nodes (memory/width signal).
+  std::size_t NumNodes() const { return tree_.NumNodes(); }
+  /// Riders not yet fully served (pending or aboard).
+  std::size_t ActiveRiders() const;
+  bool empty() const { return tree_.empty(); }
+
+  /// One not-yet-completed rider, as the differential suite re-builds it:
+  /// `onboard` riders contribute only their drop-off.
+  struct PendingRider {
+    RequestId request;
+    ScheduleStop pickup;
+    ScheduleStop dropoff;
+    bool onboard = false;
+  };
+  /// Active riders in insertion order — the exact sequence a from-scratch
+  /// rebuild must replay to reproduce this tree.
+  std::vector<PendingRider> PendingRiders() const;
+
+  std::size_t MemoryFootprint() const;
+
+ private:
+  struct RiderPlan {
+    RequestId request;
+    ScheduleStop pickup;
+    ScheduleStop dropoff;
+    bool picked_up = false;
+    bool dropped_off = false;
+  };
+
+  const RiderPlan* FindRider(RequestId request) const;
+
+  /// Rebuilds the tree from the root with every active rider's remaining
+  /// stops (insertion order). Riders that no longer fit their deadlines
+  /// are retried with relaxed (infinite) deadlines; returns how many were
+  /// relaxed, or SIZE_MAX if even that failed (corrupt state).
+  std::size_t RebuildTree();
+
+  DistanceOracle* oracle_;
+  KineticTree tree_;
+  std::vector<RiderPlan> riders_;        ///< insertion order, never reordered
+  std::vector<ScheduleStop> committed_;  ///< passed stops, commit order
+};
+
+}  // namespace xar
+
+#endif  // XAR_SCHEDULE_RIDE_SCHEDULE_H_

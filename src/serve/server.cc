@@ -165,6 +165,9 @@ XarServeServer::XarServeServer(ConcurrentXarSystem& system,
   stats_registry_.Register("refresh", [this] {
     return RefreshStatsSection(system_.refresh_stats());
   });
+  stats_registry_.Register("pooling", [this] {
+    return PoolingStatsSection(system_.pooling_stats());
+  });
 }
 
 XarServeServer::~XarServeServer() { Stop(); }

@@ -223,6 +223,10 @@ void EventSim::HandleRequest(SimTarget& target, const Event& event,
     Mix(target.Search(request).size());
   }
 
+  // Fixed-fleet mode: commuters never become drivers; the fleet registered
+  // at Run() start is the whole supply.
+  if (config_.fleet > 0) return;
+
   // No booking: the commuter drives and offers the ride for sharing.
   RideOffer offer;
   offer.source = trip.pickup;
@@ -352,7 +356,23 @@ EventSimResult EventSim::Run(SimTarget& target,
   const double start_s = trips.front().pickup_time_s;
   const double horizon_s =
       trips.back().pickup_time_s + config_.protocol.window_s + kDrainWindowS;
-  for (std::size_t i = 0; i < trips.size(); ++i) {
+  // Fixed-fleet mode: the first `fleet` trips are the drivers. Register
+  // each as a moving offer up front; only the remaining trips become
+  // requests. With fleet == 0 this degenerates to the classic stream.
+  const std::size_t fleet = std::min<std::size_t>(config_.fleet, trips.size());
+  for (std::size_t i = 0; i < fleet; ++i) {
+    RideOffer offer;
+    offer.source = trips[i].pickup;
+    offer.destination = trips[i].dropoff;
+    offer.departure_time_s = trips[i].pickup_time_s;
+    Result<RideId> ride = target.CreateRide(offer);
+    Mix(ride.ok() ? (*ride).value() + 1 : 0);
+    if (!ride.ok()) continue;
+    ++result.rides_created;
+    Result<Ride> created = target.GetRide(*ride);
+    if (created.ok()) StartMotion(created.value());
+  }
+  for (std::size_t i = fleet; i < trips.size(); ++i) {
     Push(trips[i].pickup_time_s, EventKind::kRequest, i, RideId::Invalid(),
          RequestId::Invalid());
   }

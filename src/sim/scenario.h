@@ -67,6 +67,13 @@ struct ScenarioConfig {
   /// Seed for every stochastic draw (cancellation, no-show timing). Fixed
   /// seed => bit-identical simulation, pinned by the determinism test.
   std::uint64_t seed = 1;
+  /// Fixed-fleet mode (event sim only). When > 0, the first `fleet` trips
+  /// become the drivers — each is registered as a moving ride offer before
+  /// any request fires — and every later trip is a pure commuter request:
+  /// an unmatched request does NOT fall back to creating a ride, so fleet
+  /// size stays the swept variable (the pooling bench's knob). 0 keeps the
+  /// classic behaviour where unmatched commuters drive and offer their ride.
+  std::size_t fleet = 0;
 };
 
 }  // namespace xar

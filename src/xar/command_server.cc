@@ -71,6 +71,9 @@ CommandServer::CommandServer(XarSystem& system) : system_(system) {
       "match", [this] { return MatchStatsSection(system_.match_index().stats()); });
   stats_registry_.Register(
       "refresh", [this] { return RefreshStatsSection(system_.refresh_stats()); });
+  stats_registry_.Register("pooling", [this] {
+    return PoolingStatsSection(system_.pooling_stats());
+  });
   stats_registry_.Register(
       "oracle", [this] { return OracleStatsSection(system_.oracle()); });
   stats_registry_.Register("preprocess", [this] {

@@ -346,6 +346,20 @@ class ConcurrentXarSystem {
     return stats;
   }
 
+  /// Aggregated pooling view across all shards (the "pooling" stats
+  /// section): persistent-schedule counters summed, gauges totaled over the
+  /// whole live fleet, the rider peak maxed. Each shard is read under its
+  /// shared lock — tree mutations only ever happen under the same shard's
+  /// exclusive lock, so the snapshot is consistent per shard.
+  PoolingStats pooling_stats() const {
+    PoolingStats stats;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::shared_lock lock(shard->mutex);
+      stats += shard->system.pooling_stats();
+    }
+    return stats;
+  }
+
   /// Test seam: invoked after each SearchAndBook round's search, with no
   /// locks held, receiving the request and the round number. Lets tests
   /// force-stale the candidates deterministically. Set while quiescent only

@@ -8,7 +8,7 @@
 #include <utility>
 
 #include "match/cluster_match_index.h"
-#include "schedule/kinetic_tree.h"
+#include "schedule/ride_schedule.h"
 #include "xar/route_utils.h"
 
 namespace xar {
@@ -77,6 +77,8 @@ std::size_t XarSystem::AdoptSnapshot(
     std::shared_ptr<const RegionSnapshot> next, const RoadGraph* new_graph,
     DistanceOracle* new_oracle) {
   const bool graph_changed = new_graph != nullptr && new_graph != graph_;
+  const bool metric_changed =
+      graph_changed || (new_oracle != nullptr && new_oracle != oracle_);
   if (graph_changed) graph_ = new_graph;
   if (new_oracle != nullptr) oracle_ = new_oracle;
 
@@ -90,7 +92,20 @@ std::size_t XarSystem::AdoptSnapshot(
   std::size_t rehomed = 0;
   for (Ride& ride : rides_) {
     if (!ride.active) continue;
-    if (graph_changed) {
+    RideSchedule* sched = schedules_[LocalIndex(ride.id)].get();
+    bool replanned = false;
+    if (sched != nullptr && metric_changed) {
+      // Re-home the persistent schedule onto the new metric: every subtree
+      // re-priced, then the route rebuilt from the re-priced best plan.
+      // Riders whose deadlines the new metric breaks stay aboard with
+      // relaxed deadlines — a booked rider is a commitment.
+      pooling_counters_.relaxed_riders += sched->Reprice(*oracle_);
+      pooling_counters_.reprices += 1;
+      replanned =
+          ApplyKineticPlan(ride, *sched, /*enforce_budget=*/false, nullptr)
+              .ok();
+    }
+    if (!replanned && graph_changed) {
       // Same nodes, new weights: re-profile the existing route so index ETAs
       // and detour accounting reflect the new travel times.
       BuildCumulativeProfiles(*graph_, ride.route.nodes,
@@ -158,6 +173,7 @@ Result<RideId> XarSystem::CreateRide(const RideOffer& offer) {
   ride.via_route_index = {0, ride.route.nodes.size() - 1};
 
   rides_.push_back(std::move(ride));
+  schedules_.push_back(nullptr);  // materialized on first kinetic booking
   ++active_rides_;
   const Ride& stored = rides_.back();
   index_->Insert(stored);
@@ -234,8 +250,9 @@ Result<BookingRecord> XarSystem::Book(RideId ride_id,
   NodeId pickup = pinned->index->GetLandmark(match.pickup_landmark).node;
   NodeId dropoff = pinned->index->GetLandmark(match.dropoff_landmark).node;
 
-  if (options_.kinetic_booking &&
-      clock_.Now() <= ride.departure_time_s) {
+  if (options_.kinetic_booking) {
+    // Persistent schedules accept riders onto in-progress rides too: the
+    // tree is rooted at the last stop the vehicle passed.
     return BookKinetic(ride, request, match, pickup, dropoff);
   }
 
@@ -503,85 +520,105 @@ Result<BookingRecord> XarSystem::SearchAndBook(const RideRequest& request) {
   return Status::NotFound("no bookable ride for request");
 }
 
-Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
-                                             const RideRequest& request,
-                                             const RideMatch& match,
-                                             NodeId pickup, NodeId dropoff) {
-  // Collect every rider's stop pair (existing co-riders + the new rider);
-  // the driver's own source stays first and destination last. Index the
-  // drop-offs once so pairing pickups is a single pass, and treat a pickup
-  // with no drop-off as corrupted ride state, not undefined behaviour.
+RideSchedule* XarSystem::EnsureKineticSchedule(Ride& ride) {
+  std::unique_ptr<RideSchedule>& slot = schedules_[LocalIndex(ride.id)];
+  if (slot != nullptr) return slot.get();
+
+  // Materialize from the via list. Root: the last via-point the vehicle
+  // already passed (in-progress ride), or the source at departure. Via ETAs
+  // are non-decreasing along the route, so the scan can stop at the first
+  // future one.
+  const double now = clock_.Now();
+  NodeId root = ride.source;
+  double root_time = ride.departure_time_s;
+  for (const ViaPoint& vp : ride.via_points) {
+    if (vp.eta_s > now) break;
+    root = vp.node;
+    root_time = vp.eta_s;
+  }
+
+  auto sched = std::make_unique<RideSchedule>(root, root_time,
+                                              ride.seats_total, *oracle_);
   std::unordered_map<RequestId::underlying_type, const ViaPoint*> drops;
   drops.reserve(ride.via_points.size() / 2 + 1);
   for (const ViaPoint& vp : ride.via_points) {
     if (vp.request.valid() && !vp.is_pickup) drops[vp.request.value()] = &vp;
   }
-  std::vector<std::pair<ScheduleStop, ScheduleStop>> riders;
   for (const ViaPoint& vp : ride.via_points) {
     if (!vp.request.valid() || !vp.is_pickup) continue;
-    ScheduleStop p{vp.node, vp.request, true, kInf};
     auto drop = drops.find(vp.request.value());
-    if (drop == drops.end()) {
-      return Status::Internal(
-          "malformed via-point list: pickup without drop-off");
-    }
+    if (drop == drops.end()) return nullptr;  // pickup without drop-off
+    if (drop->second->eta_s <= now) continue;  // rider fully served
+    // Pre-existing riders carry no recorded deadline (their booking predates
+    // the schedule); seed them unconstrained — the current via order is the
+    // feasibility witness for the build.
+    ScheduleStop p{vp.node, vp.request, true, kInf};
     ScheduleStop d{drop->second->node, vp.request, false, kInf};
-    riders.emplace_back(p, d);
-  }
-  riders.emplace_back(ScheduleStop{pickup, request.id, true, kInf},
-                      ScheduleStop{dropoff, request.id, false, kInf});
-
-  // Completion-time-optimal ordering over all rider stops. ETA estimates in
-  // the tree use driving time; budget/seat feasibility is checked below on
-  // the exact rebuilt route.
-  KineticTree tree(ride.source, ride.departure_time_s, ride.seats_total,
-                   *oracle_);
-  for (const auto& [p, d] : riders) {
-    if (!tree.Insert(p, d)) {
-      return Status::NotFound("no feasible stop ordering for this rider");
+    if (vp.eta_s <= now) {
+      sched->SeedOnboardRider(p, d);
+    } else {
+      sched->SeedPendingRider(p, d);
     }
   }
-  Schedule schedule = tree.BestSchedule();
+  if (!sched->FinishSeeding()) return nullptr;
+  slot = std::move(sched);
+  return slot.get();
+}
 
-  // Rebuild the route: source -> stops in schedule order -> destination.
+Status XarSystem::ApplyKineticPlan(Ride& ride, const RideSchedule& schedule,
+                                   bool enforce_budget,
+                                   std::size_t* sp_count) {
+  // Node order: source, committed stops (already passed — re-threaded so the
+  // profile spans the whole ride), remaining stops best-first, destination.
+  Schedule best = schedule.Best();
+  std::vector<ScheduleStop> stops(schedule.committed());
+  stops.insert(stops.end(), best.stops.begin(), best.stops.end());
+
   std::vector<NodeId> order = {ride.source};
-  for (const ScheduleStop& stop : schedule.stops) order.push_back(stop.node);
+  for (const ScheduleStop& stop : stops) order.push_back(stop.node);
   order.push_back(ride.destination);
 
-  std::size_t sp_count = 0;
+  std::size_t legs = 0;
   std::vector<NodeId> new_nodes = {order.front()};
   std::vector<std::size_t> stop_route_idx = {0};
   for (std::size_t i = 1; i < order.size(); ++i) {
     if (order[i] != new_nodes.back()) {
-      ++sp_count;
+      ++legs;
       Path leg = oracle_->DriveRoute(new_nodes.back(), order[i]);
       if (!leg.Found()) {
-        return Status::Internal("kinetic booking re-route failed");
+        return Status::Internal("kinetic re-route found an unreachable leg");
       }
       AppendPathNodes(&new_nodes, leg.nodes);
     }
     stop_route_idx.push_back(new_nodes.size() - 1);
   }
 
+  // Exact budget check before anything is committed. Detour accounting is
+  // global on the kinetic path: everything beyond the driver's own shortest
+  // path is shared detour (which forfeits the splice path's 4ε bound — see
+  // DESIGN.md §14).
+  std::vector<double> cum_time, cum_dist;
+  BuildCumulativeProfiles(*graph_, new_nodes, &cum_time, &cum_dist);
   double base_length = oracle_->DriveDistance(ride.source, ride.destination);
-  double budget_before = ride.RemainingDetourBudget();
-  double old_total = ride.route_cum_dist_m.back();
+  double detour_used = std::max(0.0, cum_dist.back() - base_length);
+  if (enforce_budget && detour_used > ride.detour_limit_m) {
+    return Status::FailedPrecondition("kinetic detour exceeds driver budget");
+  }
 
   ride.route.nodes = std::move(new_nodes);
-  BuildCumulativeProfiles(*graph_, ride.route.nodes, &ride.route_cum_time_s,
-                          &ride.route_cum_dist_m);
+  ride.route_cum_time_s = std::move(cum_time);
+  ride.route_cum_dist_m = std::move(cum_dist);
   ride.route.length_m = ride.route_cum_dist_m.back();
   ride.route.time_s = ride.route_cum_time_s.back();
 
-  // Via-points: source, all rider stops in the optimized order, destination.
   std::vector<ViaPoint> vias;
-  vias.push_back(
-      ViaPoint{ride.source, ride.departure_time_s, RequestId::Invalid(),
-               false});
-  std::vector<std::size_t> via_idx = {0};
-  for (std::size_t i = 0; i < schedule.stops.size(); ++i) {
-    const ScheduleStop& stop = schedule.stops[i];
-    vias.push_back(ViaPoint{stop.node, 0.0, stop.request, stop.is_pickup});
+  std::vector<std::size_t> via_idx;
+  vias.push_back(ViaPoint{ride.source, ride.departure_time_s,
+                          RequestId::Invalid(), false});
+  via_idx.push_back(0);
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    vias.push_back(
+        ViaPoint{stops[i].node, 0.0, stops[i].request, stops[i].is_pickup});
     via_idx.push_back(stop_route_idx[i + 1]);
   }
   vias.push_back(ViaPoint{ride.destination, 0.0, RequestId::Invalid(), false});
@@ -592,10 +629,54 @@ Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
     ride.via_points[v].eta_s =
         ride.departure_time_s + ride.route_cum_time_s[ride.via_route_index[v]];
   }
+  ride.detour_used_m = detour_used;
+  if (sp_count != nullptr) *sp_count = legs;
+  return Status::OK();
+}
 
-  // Detour accounting is global in this mode: everything beyond the
-  // driver's own shortest path is shared detour.
-  ride.detour_used_m = std::max(0.0, ride.route.length_m - base_length);
+Result<BookingRecord> XarSystem::BookKinetic(Ride& ride,
+                                             const RideRequest& request,
+                                             const RideMatch& match,
+                                             NodeId pickup, NodeId dropoff) {
+  RideSchedule* sched = EnsureKineticSchedule(ride);
+  if (sched == nullptr) {
+    return Status::Internal(
+        "malformed via-point list: pickup without drop-off");
+  }
+  // Commit any stop the vehicle already passed before grafting the new
+  // rider: an insertion must never reorder history.
+  pooling_counters_.advanced_stops += sched->AdvanceTo(clock_.Now());
+
+  // The rider's detour budget, as deadlines: picked up within the ETA slack
+  // of their departure window (mirroring the search-side feasibility check)
+  // and dropped off within the onboard cap after that.
+  double pickup_deadline =
+      std::max(request.latest_departure_s, match.eta_source_s) +
+      options_.eta_window_slack_s;
+  double dropoff_deadline = pickup_deadline + options_.max_onboard_s;
+  ScheduleStop p{pickup, request.id, true, pickup_deadline};
+  ScheduleStop d{dropoff, request.id, false, dropoff_deadline};
+  if (!sched->Insert(p, d)) {
+    pooling_counters_.rejections += 1;
+    return Status::NotFound("no feasible stop ordering for this rider");
+  }
+
+  double budget_before = ride.RemainingDetourBudget();
+  double old_total = ride.route_cum_dist_m.back();
+  std::size_t sp_count = 0;
+  Status applied =
+      ApplyKineticPlan(ride, *sched, /*enforce_budget=*/true, &sp_count);
+  if (!applied.ok()) {
+    // Roll the tree back. Remove regrafts by replaying the other riders,
+    // which reproduces the pre-insert tree exactly (insertion keeps all
+    // feasible orderings), so a failed booking leaves no trace.
+    sched->Remove(request.id);
+    pooling_counters_.rejections += 1;
+    return applied;
+  }
+  pooling_counters_.insertions += 1;
+  pooling_counters_.max_pooled_riders =
+      std::max(pooling_counters_.max_pooled_riders, sched->ActiveRiders());
   ride.seats_available -= request.seats;
 
   index_->Update(ride);
@@ -664,52 +745,79 @@ Status XarSystem::RemoveRider(RideId ride_id, RequestId request,
     return Status::FailedPrecondition("booking already completed");
   }
 
-  // Remaining via-points, in order, without this rider's pair.
-  std::vector<ViaPoint> kept;
-  for (const ViaPoint& vp : ride.via_points) {
-    if (vp.request != request) kept.push_back(vp);
+  // The booking record is the seat ledger; resolve it before touching
+  // anything. A scheduled rider without a record is corrupted state — the
+  // old code silently refunded one seat here, which broke the seat
+  // accounting whenever the true booking held more.
+  auto record = std::find_if(bookings_.begin(), bookings_.end(),
+                             [&](const BookingRecord& b) {
+                               return b.ride == ride_id &&
+                                      b.request == request;
+                             });
+  if (record == bookings_.end()) {
+    return Status::Internal("booking record missing for scheduled rider");
   }
+  const int seats = record->seats;
 
-  // Re-route through the kept via-points (back-end shortest paths).
-  std::vector<NodeId> new_nodes;
-  std::vector<std::size_t> new_via_idx;
-  for (std::size_t v = 0; v < kept.size(); ++v) {
-    if (v == 0) {
-      new_nodes.push_back(kept[0].node);
-    } else if (kept[v].node != new_nodes.back()) {
-      Path leg = oracle_->DriveRoute(new_nodes.back(), kept[v].node);
-      if (!leg.Found()) {
-        return Status::Internal("cancellation re-route failed");
+  RideSchedule* sched = schedules_[LocalIndex(ride_id)].get();
+  if (sched != nullptr) {
+    // Persistent-kinetic unwinding: prune history first, drop the rider
+    // from the live tree (the regraft replays the surviving riders, keeping
+    // all their feasible orderings), then rebuild the route from the
+    // surviving plan. Budget is not enforced — shedding a rider never
+    // strands the others.
+    pooling_counters_.advanced_stops += sched->AdvanceTo(clock_.Now());
+    if (!sched->Remove(request)) {
+      return Status::Internal("rider missing from kinetic schedule");
+    }
+    Status applied =
+        ApplyKineticPlan(ride, *sched, /*enforce_budget=*/false, nullptr);
+    if (!applied.ok()) return applied;
+    pooling_counters_.removals += 1;
+  } else {
+    // Splice-path unwinding: remaining via-points, in order, without this
+    // rider's pair.
+    std::vector<ViaPoint> kept;
+    for (const ViaPoint& vp : ride.via_points) {
+      if (vp.request != request) kept.push_back(vp);
+    }
+
+    // Re-route through the kept via-points (back-end shortest paths).
+    std::vector<NodeId> new_nodes;
+    std::vector<std::size_t> new_via_idx;
+    for (std::size_t v = 0; v < kept.size(); ++v) {
+      if (v == 0) {
+        new_nodes.push_back(kept[0].node);
+      } else if (kept[v].node != new_nodes.back()) {
+        Path leg = oracle_->DriveRoute(new_nodes.back(), kept[v].node);
+        if (!leg.Found()) {
+          return Status::Internal("cancellation re-route failed");
+        }
+        AppendPathNodes(&new_nodes, leg.nodes);
       }
-      AppendPathNodes(&new_nodes, leg.nodes);
+      new_via_idx.push_back(new_nodes.size() - 1);
     }
-    new_via_idx.push_back(new_nodes.size() - 1);
+
+    double old_length = ride.route_cum_dist_m.back();
+    ride.route.nodes = std::move(new_nodes);
+    BuildCumulativeProfiles(*graph_, ride.route.nodes, &ride.route_cum_time_s,
+                            &ride.route_cum_dist_m);
+    ride.route.length_m = ride.route_cum_dist_m.back();
+    ride.route.time_s = ride.route_cum_time_s.back();
+    ride.via_points = std::move(kept);
+    ride.via_route_index = std::move(new_via_idx);
+    for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
+      ride.via_points[v].eta_s =
+          ride.departure_time_s +
+          ride.route_cum_time_s[ride.via_route_index[v]];
+    }
+
+    // Refund the freed detour budget.
+    double freed = std::max(0.0, old_length - ride.route.length_m);
+    ride.detour_used_m = std::max(0.0, ride.detour_used_m - freed);
   }
 
-  double old_length = ride.route_cum_dist_m.back();
-  ride.route.nodes = std::move(new_nodes);
-  BuildCumulativeProfiles(*graph_, ride.route.nodes, &ride.route_cum_time_s,
-                          &ride.route_cum_dist_m);
-  ride.route.length_m = ride.route_cum_dist_m.back();
-  ride.route.time_s = ride.route_cum_time_s.back();
-  ride.via_points = std::move(kept);
-  ride.via_route_index = std::move(new_via_idx);
-  for (std::size_t v = 0; v < ride.via_points.size(); ++v) {
-    ride.via_points[v].eta_s =
-        ride.departure_time_s + ride.route_cum_time_s[ride.via_route_index[v]];
-  }
-
-  // Refund the freed detour budget and the seat(s).
-  double freed = std::max(0.0, old_length - ride.route.length_m);
-  ride.detour_used_m = std::max(0.0, ride.detour_used_m - freed);
-  int seats = 1;
-  for (auto it = bookings_.begin(); it != bookings_.end(); ++it) {
-    if (it->ride == ride_id && it->request == request) {
-      seats = it->seats;
-      bookings_.erase(it);
-      break;
-    }
-  }
+  bookings_.erase(record);
   ride.seats_available =
       std::min(ride.seats_total, ride.seats_available + seats);
 
@@ -735,6 +843,13 @@ void XarSystem::AdvanceTime(double now_s) {
     events_.pop();
     Ride& ride = MutableRide(ride_id);
     if (!ride.active) continue;
+    // Prune the persistent schedule first: stops the vehicle passed are
+    // committed (riders board/alight, alternative orderings that begin
+    // differently are discarded), so the tree always roots at the present.
+    RideSchedule* sched = schedules_[LocalIndex(ride_id)].get();
+    if (sched != nullptr) {
+      pooling_counters_.advanced_stops += sched->AdvanceTo(now_s);
+    }
     if (ride.ArrivalTimeS() <= now_s) {
       FinishRide(ride);
       continue;
@@ -749,16 +864,42 @@ void XarSystem::FinishRide(Ride& ride) {
   ride.active = false;
   --active_rides_;
   index_->Remove(ride.id);
+  schedules_[LocalIndex(ride.id)].reset();
 }
 
 void XarSystem::ScheduleNextEvent(const Ride& ride) {
   double next = std::min(index_->NextEventTime(ride.id), ride.ArrivalTimeS());
+  // A live schedule wakes up at its next stop too, so the tree is pruned as
+  // each stop is passed, not only at cluster-exit events.
+  const std::unique_ptr<RideSchedule>& sched = schedules_[LocalIndex(ride.id)];
+  if (sched != nullptr && !sched->empty()) {
+    next = std::min(next, sched->NextStopEtaS());
+  }
   if (next < kInf) events_.emplace(next, ride.id);
 }
 
 const Ride* XarSystem::GetRide(RideId id) const {
   if (!OwnsRide(id)) return nullptr;
   return &rides_[LocalIndex(id)];
+}
+
+const RideSchedule* XarSystem::GetSchedule(RideId id) const {
+  if (!OwnsRide(id)) return nullptr;
+  return schedules_[LocalIndex(id)].get();
+}
+
+PoolingStats XarSystem::pooling_stats() const {
+  PoolingStats stats = pooling_counters_;
+  // Gauges scan the live fleet; FinishRide resets retired slots, so every
+  // non-null slot is a live kinetic ride.
+  for (const std::unique_ptr<RideSchedule>& sched : schedules_) {
+    if (sched == nullptr) continue;
+    stats.kinetic_rides += 1;
+    stats.onboard_riders += static_cast<std::size_t>(sched->Onboard());
+    stats.pending_stops += sched->PendingStops();
+    stats.retained_orderings += sched->NumSchedules();
+  }
+  return stats;
 }
 
 std::size_t XarSystem::MemoryFootprint() const {
@@ -772,6 +913,9 @@ std::size_t XarSystem::MemoryFootprint() const {
     bytes += r.via_route_index.capacity() * sizeof(std::size_t);
   }
   bytes += bookings_.capacity() * sizeof(BookingRecord);
+  for (const std::unique_ptr<RideSchedule>& sched : schedules_) {
+    if (sched != nullptr) bytes += sched->MemoryFootprint();
+  }
   return bytes;
 }
 

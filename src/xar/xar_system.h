@@ -1,6 +1,7 @@
 #ifndef XAR_XAR_XAR_SYSTEM_H_
 #define XAR_XAR_XAR_SYSTEM_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include "graph/oracle.h"
 #include "graph/road_graph.h"
 #include "graph/spatial_index.h"
+#include "schedule/ride_schedule.h"
 #include "xar/options.h"
 #include "xar/ride.h"
 #include "match/match_index.h"
@@ -30,6 +32,63 @@ struct PricingStats {
   std::size_t candidates = 0;  ///< matches offered to pricing, total
   std::size_t dropped = 0;     ///< matches dropped for an unreachable leg
 };
+
+/// Pooling observability (XarOptions::kinetic_booking with persistent
+/// per-ride schedules): lifecycle counters plus live-fleet gauges, snapshot
+/// by pooling_stats().
+struct PoolingStats {
+  // Counters (monotone over the system's life).
+  std::size_t insertions = 0;      ///< riders inserted into live trees
+  std::size_t rejections = 0;      ///< infeasible insertion attempts
+  std::size_t removals = 0;        ///< riders unwound (cancel / no-show)
+  std::size_t advanced_stops = 0;  ///< stops committed as vehicles passed them
+  std::size_t reprices = 0;        ///< schedule re-pricings on metric swaps
+  std::size_t relaxed_riders = 0;  ///< riders kept with relaxed deadlines
+  std::size_t max_pooled_riders = 0;  ///< peak concurrent riders on one ride
+  // Gauges (scanned over the live fleet at snapshot time).
+  std::size_t kinetic_rides = 0;       ///< rides owning a live schedule
+  std::size_t onboard_riders = 0;      ///< riders currently aboard, fleet-wide
+  std::size_t pending_stops = 0;       ///< outstanding stops, fleet-wide
+  std::size_t retained_orderings = 0;  ///< feasible orderings retained, total
+
+  PoolingStats& operator+=(const PoolingStats& o) {
+    insertions += o.insertions;
+    rejections += o.rejections;
+    removals += o.removals;
+    advanced_stops += o.advanced_stops;
+    reprices += o.reprices;
+    relaxed_riders += o.relaxed_riders;
+    max_pooled_riders = std::max(max_pooled_riders, o.max_pooled_riders);
+    kinetic_rides += o.kinetic_rides;
+    onboard_riders += o.onboard_riders;
+    pending_stops += o.pending_stops;
+    retained_orderings += o.retained_orderings;
+    return *this;
+  }
+};
+
+/// "pooling" stats section for the unified StatsRegistry surface.
+inline StatsSection PoolingStatsSection(const PoolingStats& s) {
+  StatsSection section;
+  section.name = "pooling";
+  section.AddRow(
+      {StatsMetric::Counter("insertions", s.insertions),
+       StatsMetric::Counter("rejections", s.rejections),
+       StatsMetric::Counter("removals", s.removals),
+       StatsMetric::Counter("advanced_stops", s.advanced_stops),
+       StatsMetric::Counter("reprices", s.reprices),
+       StatsMetric::Counter("relaxed_riders", s.relaxed_riders),
+       StatsMetric::Counter("max_pooled_riders", s.max_pooled_riders),
+       StatsMetric::Gauge("kinetic_rides",
+                          static_cast<double>(s.kinetic_rides), 0),
+       StatsMetric::Gauge("onboard_riders",
+                          static_cast<double>(s.onboard_riders), 0),
+       StatsMetric::Gauge("pending_stops",
+                          static_cast<double>(s.pending_stops), 0),
+       StatsMetric::Gauge("retained_orderings",
+                          static_cast<double>(s.retained_orderings), 0)});
+  return section;
+}
 
 /// The XAR run-time unit (paper Fig. 1): ride creation, shortest-path-free
 /// search, booking with at most four shortest-path computations, and
@@ -197,6 +256,13 @@ class XarSystem {
   }
   const RefreshStats& refresh_stats() const { return refresh_stats_; }
   const PricingStats& pricing_stats() const { return pricing_stats_; }
+  /// Lifecycle counters plus live gauges scanned over the current fleet's
+  /// persistent schedules (all zero while kinetic_booking is off).
+  PoolingStats pooling_stats() const;
+  /// The ride's persistent kinetic schedule, or nullptr when it has none
+  /// (kinetic_booking off, no kinetic booking yet, or the ride finished).
+  /// Test/introspection seam — never mutate through it.
+  const RideSchedule* GetSchedule(RideId id) const;
   const XarOptions& options() const { return options_; }
   /// The oracle answering this system's routing queries (swapped by
   /// AdoptSnapshot on graph deltas). Exposed for the stats surface.
@@ -229,12 +295,27 @@ class XarSystem {
   void FinishRide(Ride& ride);
   void ScheduleNextEvent(const Ride& ride);
 
-  /// Kinetic-booking path (XarOptions::kinetic_booking): re-orders all rider
-  /// stops of a not-yet-departed ride with a kinetic tree and rebuilds the
-  /// route stop-to-stop. Returns NotFound if no feasible ordering exists.
+  /// Kinetic-booking path (XarOptions::kinetic_booking): inserts the rider
+  /// into the ride's persistent kinetic schedule — materializing it from the
+  /// via list on first use — and rebuilds the route stop-to-stop from the
+  /// committed prefix plus the best remaining ordering. Works on departed
+  /// (in-progress) rides: the tree is rooted at the last passed stop.
+  /// Returns NotFound if no feasible ordering exists.
   Result<BookingRecord> BookKinetic(Ride& ride, const RideRequest& request,
                                     const RideMatch& match, NodeId pickup,
                                     NodeId dropoff);
+
+  /// The ride's persistent schedule, materialized from its via list on first
+  /// use (root at the last passed via-point; passed pickups become onboard
+  /// riders). nullptr only on corrupted ride state.
+  RideSchedule* EnsureKineticSchedule(Ride& ride);
+
+  /// Rebuilds the ride's route/via/profile state from its schedule: source,
+  /// committed stops, best remaining ordering, destination. With
+  /// `enforce_budget`, fails (ride untouched) when the exact route exceeds
+  /// the driver's detour limit — callers roll the tree back.
+  Status ApplyKineticPlan(Ride& ride, const RideSchedule& schedule,
+                          bool enforce_budget, std::size_t* sp_count);
 
   /// Shared unwinding behind CancelBooking and ReportNoShow: removes the
   /// rider's via-point pair, re-routes through the kept via-points, refunds
@@ -252,6 +333,10 @@ class XarSystem {
   XarOptions options_;
 
   std::vector<Ride> rides_;  // indexed by RideId
+  /// Persistent kinetic schedules, parallel to rides_ (nullptr = none).
+  /// Kept out of Ride so GetRide copies (ConcurrentXarSystem hands rides
+  /// across its lock boundary by value) stay cheap and tree-free.
+  std::vector<std::unique_ptr<RideSchedule>> schedules_;
   /// The pluggable candidate-generation index (XarOptions::match_index).
   /// Rebound to the new snapshot on refresh (OnEpochSwap) — a backend
   /// resolves against exactly one region epoch.
@@ -261,6 +346,7 @@ class XarSystem {
   std::size_t active_rides_ = 0;
   RefreshStats refresh_stats_;
   PricingStats pricing_stats_;
+  PoolingStats pooling_counters_;  ///< counters only; gauges scanned live
 
   // Tracking wake-up queue: (event time, ride). Entries may be stale; they
   // are validated on pop.

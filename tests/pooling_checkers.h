@@ -1,0 +1,178 @@
+// Shared invariant checkers for the pooling test battery (ISSUE 10).
+//
+// Three checkers, each an ::testing::AssertionResult so every suite
+// (differential, fuzz, property, stress) reports the same diagnostics:
+//
+//  - PersistentMatchesRebuild: the persistent RideSchedule must equal a
+//    from-scratch KineticTree rebuilt by replaying its pending riders —
+//    same retained-ordering count, same node count, same pending stops,
+//    cost-equal best schedule. This is the core soundness claim of the
+//    persistent tree: insertion keeps *all* feasible orderings, so
+//    incremental maintenance and rebuild are interchangeable.
+//  - PooledRideConsistent: ride-level via/route invariants — every via sits
+//    on the route in order, pickups precede drop-offs, seat capacity holds
+//    at every prefix. Works on Ride copies, so the concurrent suites can
+//    use it across lock boundaries.
+//  - ScheduleRespectsBudgets: independently re-prices the best ordering
+//    with the oracle and checks every stop meets its deadline and every
+//    prefix fits the seat capacity — catching arrival-time bookkeeping
+//    drift inside the tree itself.
+
+#ifndef XAR_TESTS_POOLING_CHECKERS_H_
+#define XAR_TESTS_POOLING_CHECKERS_H_
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "schedule/kinetic_tree.h"
+#include "schedule/ride_schedule.h"
+#include "xar/ride.h"
+
+namespace xar {
+namespace testing {
+
+inline ::testing::AssertionResult PersistentMatchesRebuild(
+    const RideSchedule& sched, DistanceOracle& oracle) {
+  const std::vector<RideSchedule::PendingRider> riders = sched.PendingRiders();
+  int onboard = 0;
+  for (const RideSchedule::PendingRider& r : riders) {
+    if (r.onboard) ++onboard;
+  }
+  KineticTree fresh(sched.root(), sched.root_time_s(), sched.capacity(),
+                    oracle, onboard);
+  for (const RideSchedule::PendingRider& r : riders) {
+    const bool ok = r.onboard ? fresh.InsertSingle(r.dropoff)
+                              : fresh.Insert(r.pickup, r.dropoff);
+    if (!ok) {
+      return ::testing::AssertionFailure()
+             << "from-scratch rebuild rejected rider " << r.request.value()
+             << " that the persistent tree holds";
+    }
+  }
+  if (fresh.NumSchedules() != sched.NumSchedules()) {
+    return ::testing::AssertionFailure()
+           << "retained orderings diverged: persistent=" << sched.NumSchedules()
+           << " rebuild=" << fresh.NumSchedules();
+  }
+  if (fresh.NumNodes() != sched.NumNodes()) {
+    return ::testing::AssertionFailure()
+           << "tree size diverged: persistent=" << sched.NumNodes()
+           << " rebuild=" << fresh.NumNodes();
+  }
+  if (fresh.NumPendingStops() != sched.PendingStops()) {
+    return ::testing::AssertionFailure()
+           << "pending stops diverged: persistent=" << sched.PendingStops()
+           << " rebuild=" << fresh.NumPendingStops();
+  }
+  const Schedule live = sched.Best();
+  const Schedule rebuilt = fresh.BestSchedule();
+  if (live.stops.size() != rebuilt.stops.size()) {
+    return ::testing::AssertionFailure()
+           << "best schedule lengths diverged: persistent="
+           << live.stops.size() << " rebuild=" << rebuilt.stops.size();
+  }
+  // Cost-equal, not bit-identical: sibling order inside the tree may differ
+  // after AdvanceTo promotions, so exact ties can tip toward a different
+  // (equally good) ordering.
+  if (std::abs(live.completion_time_s - rebuilt.completion_time_s) > 1e-6) {
+    return ::testing::AssertionFailure()
+           << "best completion time diverged: persistent="
+           << live.completion_time_s
+           << " rebuild=" << rebuilt.completion_time_s;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+inline ::testing::AssertionResult PooledRideConsistent(const Ride& r) {
+  if (r.via_points.size() != r.via_route_index.size()) {
+    return ::testing::AssertionFailure()
+           << "ride " << r.id.value() << ": " << r.via_points.size()
+           << " via points vs " << r.via_route_index.size() << " indexes";
+  }
+  if (r.via_points.empty() || r.via_points.front().node != r.source ||
+      r.via_points.back().node != r.destination) {
+    return ::testing::AssertionFailure()
+           << "ride " << r.id.value() << ": via list does not span "
+           << "source..destination";
+  }
+  for (std::size_t v = 0; v < r.via_points.size(); ++v) {
+    if (r.via_route_index[v] >= r.route.nodes.size() ||
+        r.route.nodes[r.via_route_index[v]] != r.via_points[v].node) {
+      return ::testing::AssertionFailure()
+             << "ride " << r.id.value() << ": via " << v
+             << " is not anchored on the route";
+    }
+    if (v > 0 && r.via_route_index[v - 1] > r.via_route_index[v]) {
+      return ::testing::AssertionFailure()
+             << "ride " << r.id.value() << ": via_route_index not monotone at "
+             << v;
+    }
+    if (v > 0 && r.via_points[v - 1].eta_s > r.via_points[v].eta_s + 1e-6) {
+      return ::testing::AssertionFailure()
+             << "ride " << r.id.value() << ": via ETAs not monotone at " << v;
+    }
+  }
+  int onboard = 0;
+  std::map<std::uint32_t, bool> picked;
+  for (const ViaPoint& vp : r.via_points) {
+    if (!vp.request.valid()) continue;
+    if (vp.is_pickup) {
+      ++onboard;
+      picked[vp.request.value()] = true;
+    } else {
+      if (!picked[vp.request.value()]) {
+        return ::testing::AssertionFailure()
+               << "ride " << r.id.value() << ": drop-off of request "
+               << vp.request.value() << " precedes its pickup";
+      }
+      --onboard;
+    }
+    if (onboard > r.seats_total || onboard < 0) {
+      return ::testing::AssertionFailure()
+             << "ride " << r.id.value() << ": prefix occupancy " << onboard
+             << " outside [0, " << r.seats_total << "]";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+inline ::testing::AssertionResult ScheduleRespectsBudgets(
+    const RideSchedule& sched, DistanceOracle& oracle) {
+  const Schedule best = sched.Best();
+  NodeId at = sched.root();
+  double t = sched.root_time_s();
+  int onboard = sched.Onboard();
+  for (std::size_t i = 0; i < best.stops.size(); ++i) {
+    const ScheduleStop& stop = best.stops[i];
+    t += oracle.DriveTime(at, stop.node);
+    at = stop.node;
+    if (t > stop.deadline_s + 1e-6) {
+      return ::testing::AssertionFailure()
+             << "stop " << i << " (request " << stop.request.value()
+             << (stop.is_pickup ? " pickup" : " dropoff") << ") arrives at "
+             << t << " past deadline " << stop.deadline_s;
+    }
+    onboard += stop.is_pickup ? 1 : -1;
+    if (onboard < 0 || onboard > sched.capacity()) {
+      return ::testing::AssertionFailure()
+             << "stop " << i << ": occupancy " << onboard << " outside [0, "
+             << sched.capacity() << "]";
+    }
+  }
+  if (!best.stops.empty() &&
+      std::abs(t - best.completion_time_s) > 1e-6) {
+    return ::testing::AssertionFailure()
+           << "tree completion time " << best.completion_time_s
+           << " disagrees with re-priced arrival " << t;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace testing
+}  // namespace xar
+
+#endif  // XAR_TESTS_POOLING_CHECKERS_H_

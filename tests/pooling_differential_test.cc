@@ -1,0 +1,305 @@
+// Persistent-vs-rebuild differential suite (ISSUE 10): after EVERY booking,
+// cancellation, no-show and clock advance, each ride's persistent
+// RideSchedule must equal a KineticTree rebuilt from scratch by replaying
+// its pending riders — same retained orderings, same node count, cost-equal
+// best schedule. This pins the all-feasible-orderings invariant that makes
+// incremental maintenance sound.
+//
+// Two legs per seed:
+//  - Serial: one XarSystem, schedule introspected directly via GetSchedule.
+//  - Concurrent: the same scripted op stream replayed through XarSystem and
+//    a 4-shard ConcurrentXarSystem side by side; outcomes must be
+//    observationally identical (booking status, detours, ETAs), with the
+//    serial twin supplying the rebuild check the sharded system cannot
+//    expose across lock boundaries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/oracle.h"
+#include "tests/pooling_checkers.h"
+#include "tests/test_helpers.h"
+#include "xar/concurrent_xar.h"
+#include "xar/xar_system.h"
+
+namespace xar {
+namespace {
+
+using testing::PersistentMatchesRebuild;
+using testing::PooledRideConsistent;
+using testing::ScheduleRespectsBudgets;
+using testing::SharedCity;
+using testing::TestCity;
+
+constexpr double kStart = 8 * 3600.0;
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kOpsPerSeed = 110;
+constexpr std::size_t kFleet = 3;
+
+XarOptions KineticOptions() {
+  XarOptions opt;
+  opt.kinetic_booking = true;
+  return opt;
+}
+
+LatLng Frac(double fy, double fx) {
+  const BoundingBox& b = SharedCity().graph.bounds();
+  return {b.min_lat + fy * (b.max_lat - b.min_lat),
+          b.min_lng + fx * (b.max_lng - b.min_lng)};
+}
+
+/// One scripted operation. The stream is a pure function of the seed;
+/// cancel / no-show targets are picked from the live booking ledger with
+/// `pick`, so two systems replaying the stream stay in lockstep as long as
+/// their outcomes agree (which the concurrent leg asserts).
+struct Op {
+  enum Kind { kBook, kCancel, kNoShow, kAdvance };
+  Kind kind = kBook;
+  RideRequest request;        // kBook
+  std::uint64_t pick = 0;     // kCancel / kNoShow
+  double advance_to = 0.0;    // kAdvance
+};
+
+std::vector<Op> MakeOps(std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<Op> ops;
+  double now = kStart;
+  std::uint32_t next_request = 1;
+  for (std::size_t i = 0; i < kOpsPerSeed; ++i) {
+    const double dice = u(rng);
+    Op op;
+    if (dice < 0.60) {
+      op.kind = Op::kBook;
+      // Riders hug the fleet's diagonal so true pooling happens.
+      const double a = 0.10 + 0.50 * u(rng);
+      const double b = std::min(0.95, a + 0.10 + 0.30 * u(rng));
+      const double jitter = 0.08 * (u(rng) - 0.5);
+      op.request.id = RequestId(next_request++);
+      op.request.source = Frac(a + jitter, a - jitter);
+      op.request.destination = Frac(b - jitter, b + jitter);
+      op.request.earliest_departure_s = now;
+      op.request.latest_departure_s = now + 2400;
+    } else if (dice < 0.74) {
+      op.kind = Op::kCancel;
+      op.pick = rng();
+    } else if (dice < 0.84) {
+      op.kind = Op::kNoShow;
+      op.pick = rng();
+    } else {
+      op.kind = Op::kAdvance;
+      now += 40 + 120 * u(rng);
+      op.advance_to = now;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+RideId CreateDiagonal(XarSystem& xar, double offset) {
+  RideOffer offer;
+  offer.source = Frac(0.05 + offset, 0.05);
+  offer.destination = Frac(0.95, 0.95 - offset);
+  offer.departure_time_s = kStart;
+  offer.detour_limit_m = 8000;
+  Result<RideId> ride = xar.CreateRide(offer);
+  EXPECT_TRUE(ride.ok());
+  return *ride;
+}
+
+class PoolingDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PoolingDifferentialTest, PersistentEqualsRebuildAfterEveryOp) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE(::testing::Message() << "reproducing seed = " << seed);
+  TestCity& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  XarSystem xar(city.graph, *city.spatial, *city.region, oracle,
+                KineticOptions());
+
+  std::vector<RideId> rides;
+  for (std::size_t f = 0; f < kFleet; ++f) {
+    rides.push_back(CreateDiagonal(xar, 0.03 * static_cast<double>(f)));
+  }
+
+  std::vector<std::pair<RideId, RequestId>> booked;
+  std::size_t bookings = 0;
+  std::size_t removals = 0;
+  std::size_t op_index = 0;
+  for (const Op& op : MakeOps(seed)) {
+    SCOPED_TRACE(::testing::Message() << "op " << op_index++);
+    switch (op.kind) {
+      case Op::kBook: {
+        std::vector<RideMatch> matches = xar.Search(op.request);
+        if (matches.empty()) break;
+        Result<BookingRecord> b =
+            xar.Book(matches.front().ride, op.request, matches.front());
+        if (b.ok()) {
+          booked.emplace_back(b->ride, op.request.id);
+          ++bookings;
+        }
+        break;
+      }
+      case Op::kCancel:
+      case Op::kNoShow: {
+        // Scan from the pick until one removal lands: a rider already
+        // picked up (or on a finished ride) legitimately stays booked.
+        const std::size_t n = booked.size();
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::size_t idx = (op.pick + k) % n;
+          const auto [ride, request] = booked[idx];
+          Status s = op.kind == Op::kCancel
+                         ? xar.CancelBooking(ride, request)
+                         : xar.ReportNoShow(ride, request);
+          if (s.ok()) {
+            booked.erase(booked.begin() + static_cast<std::ptrdiff_t>(idx));
+            ++removals;
+            break;
+          }
+        }
+        break;
+      }
+      case Op::kAdvance:
+        xar.AdvanceTime(op.advance_to);
+        break;
+    }
+
+    for (RideId ride : rides) {
+      const Ride* r = xar.GetRide(ride);
+      ASSERT_NE(r, nullptr);
+      EXPECT_TRUE(PooledRideConsistent(*r));
+      const RideSchedule* sched = xar.GetSchedule(ride);
+      if (sched == nullptr) continue;  // never booked kinetically / finished
+      EXPECT_TRUE(PersistentMatchesRebuild(*sched, oracle));
+      EXPECT_TRUE(ScheduleRespectsBudgets(*sched, oracle));
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      return;  // first divergence is the interesting one; stop the replay
+    }
+  }
+  EXPECT_GT(bookings, 0u) << "op stream produced no bookings";
+  EXPECT_GT(removals, 0u) << "op stream never exercised Remove";
+  const PoolingStats stats = xar.pooling_stats();
+  EXPECT_EQ(stats.insertions, bookings);
+  EXPECT_EQ(stats.removals, removals);
+}
+
+TEST_P(PoolingDifferentialTest, SerialAndConcurrentAgree) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE(::testing::Message() << "reproducing seed = " << seed);
+  TestCity& city = SharedCity();
+  GraphOracle serial_oracle(city.graph);
+  GraphOracle shard_oracle(city.graph);
+  XarSystem serial(city.graph, *city.spatial, *city.region, serial_oracle,
+                   KineticOptions());
+  ConcurrentXarSystem sharded(city.graph, *city.spatial, *city.region,
+                              shard_oracle, KineticOptions(), kShards);
+
+  std::vector<RideId> rides;
+  for (std::size_t f = 0; f < kFleet; ++f) {
+    RideOffer offer;
+    offer.source = Frac(0.05 + 0.03 * static_cast<double>(f), 0.05);
+    offer.destination = Frac(0.95, 0.95 - 0.03 * static_cast<double>(f));
+    offer.departure_time_s = kStart;
+    offer.detour_limit_m = 8000;
+    Result<RideId> a = serial.CreateRide(offer);
+    Result<RideId> b = sharded.CreateRide(offer);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value(), b.value());
+    rides.push_back(*a);
+  }
+
+  std::vector<std::pair<RideId, RequestId>> booked;
+  std::size_t op_index = 0;
+  for (const Op& op : MakeOps(seed)) {
+    SCOPED_TRACE(::testing::Message() << "op " << op_index++);
+    switch (op.kind) {
+      case Op::kBook: {
+        std::vector<RideMatch> sm = serial.Search(op.request);
+        std::vector<RideMatch> cm = sharded.Search(op.request);
+        ASSERT_EQ(sm.size(), cm.size());
+        if (sm.empty()) break;
+        ASSERT_EQ(sm.front().ride, cm.front().ride);
+        Result<BookingRecord> sb =
+            serial.Book(sm.front().ride, op.request, sm.front());
+        Result<BookingRecord> cb =
+            sharded.Book(cm.front().ride, op.request, cm.front());
+        ASSERT_EQ(sb.ok(), cb.ok()) << sb.status().ToString() << " vs "
+                                    << cb.status().ToString();
+        if (!sb.ok()) break;
+        EXPECT_EQ(sb->actual_detour_m, cb->actual_detour_m);
+        EXPECT_EQ(sb->pickup_eta_s, cb->pickup_eta_s);
+        EXPECT_EQ(sb->dropoff_eta_s, cb->dropoff_eta_s);
+        booked.emplace_back(sb->ride, op.request.id);
+        break;
+      }
+      case Op::kCancel:
+      case Op::kNoShow: {
+        const std::size_t n = booked.size();
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::size_t idx = (op.pick + k) % n;
+          const auto [ride, request] = booked[idx];
+          Status ss, cs;
+          if (op.kind == Op::kCancel) {
+            ss = serial.CancelBooking(ride, request);
+            cs = sharded.CancelBooking(ride, request);
+          } else {
+            ss = serial.ReportNoShow(ride, request);
+            cs = sharded.ReportNoShow(ride, request);
+          }
+          ASSERT_EQ(ss.ok(), cs.ok())
+              << ss.ToString() << " vs " << cs.ToString();
+          if (ss.ok()) {
+            booked.erase(booked.begin() + static_cast<std::ptrdiff_t>(idx));
+            break;
+          }
+        }
+        break;
+      }
+      case Op::kAdvance:
+        serial.AdvanceTime(op.advance_to);
+        sharded.AdvanceTime(op.advance_to);
+        break;
+    }
+
+    for (RideId ride : rides) {
+      const Ride* sr = serial.GetRide(ride);
+      ASSERT_NE(sr, nullptr);
+      Result<Ride> cr = sharded.GetRide(ride);
+      ASSERT_TRUE(cr.ok());
+      EXPECT_TRUE(PooledRideConsistent(*sr));
+      EXPECT_TRUE(PooledRideConsistent(cr.value()));
+      EXPECT_EQ(sr->seats_available, cr->seats_available);
+      EXPECT_EQ(sr->route.length_m, cr->route.length_m);
+      ASSERT_EQ(sr->via_points.size(), cr->via_points.size());
+      const RideSchedule* sched = serial.GetSchedule(ride);
+      if (sched != nullptr) {
+        EXPECT_TRUE(PersistentMatchesRebuild(*sched, serial_oracle));
+      }
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+
+  // Both sides must have done real pooled work, and agree on the totals.
+  const PoolingStats ss = serial.pooling_stats();
+  const PoolingStats cs = sharded.pooling_stats();
+  EXPECT_GT(ss.insertions, 0u);
+  EXPECT_EQ(ss.insertions, cs.insertions);
+  EXPECT_EQ(ss.removals, cs.removals);
+  EXPECT_EQ(ss.max_pooled_riders, cs.max_pooled_riders);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolingDifferentialTest,
+                         ::testing::Values(1u, 2u, 3u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "Seed" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace xar

@@ -1,0 +1,219 @@
+// Seeded pooling fuzz harness (ISSUE 10): randomized book / cancel /
+// no-show / advance streams against a kinetic-booking XarSystem, with an
+// EXACT external ledger of seats and detour budget:
+//
+//  - seats_available must equal seats_total minus the seats of every live
+//    booking — including multi-seat riders, which pins the RemoveRider fix
+//    that used to silently refund 1 seat when the booking record was gone;
+//  - detour_used_m must equal max(0, route_length - shortest(source, dest))
+//    exactly, and never exceed the driver's detour budget (the kinetic
+//    booking path enforces it before committing a plan);
+//  - every ride stays via/route-consistent with prefix seat feasibility.
+//
+// The tier-1 binary runs a small seed set; the stress twin (XAR_FUZZ_WIDE,
+// ctest label `stress`, TSan job) sweeps a wider range with longer streams.
+// Every assertion carries the reproducing seed:
+//   ./pooling_fuzz_test --gtest_filter='*Seed<seed>*'
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "graph/oracle.h"
+#include "tests/pooling_checkers.h"
+#include "tests/test_helpers.h"
+#include "xar/xar_system.h"
+
+namespace xar {
+namespace {
+
+using testing::PooledRideConsistent;
+using testing::SharedCity;
+using testing::TestCity;
+
+#ifdef XAR_FUZZ_WIDE
+constexpr std::uint64_t kSeedBegin = 1;
+constexpr std::uint64_t kSeedEnd = 13;  // exclusive
+constexpr std::size_t kOps = 280;
+#else
+constexpr std::uint64_t kSeedBegin = 1;
+constexpr std::uint64_t kSeedEnd = 5;  // exclusive
+constexpr std::size_t kOps = 140;
+#endif
+
+constexpr double kStart = 8 * 3600.0;
+constexpr std::size_t kFleet = 4;
+
+std::vector<std::uint64_t> FuzzSeeds() {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = kSeedBegin; s < kSeedEnd; ++s) seeds.push_back(s);
+  return seeds;
+}
+
+LatLng Frac(double fy, double fx) {
+  const BoundingBox& b = SharedCity().graph.bounds();
+  return {b.min_lat + fy * (b.max_lat - b.min_lat),
+          b.min_lng + fx * (b.max_lng - b.min_lng)};
+}
+
+struct LiveBooking {
+  RideId ride;
+  RequestId request;
+  int seats = 1;
+};
+
+class PoolingFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolingFuzzTest, ExactSeatAndBudgetLedger) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE(::testing::Message() << "reproducing seed = " << seed);
+  TestCity& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  XarOptions opt;
+  opt.kinetic_booking = true;
+  XarSystem xar(city.graph, *city.spatial, *city.region, oracle, opt);
+
+  std::vector<RideId> rides;
+  std::map<std::uint32_t, double> base_m;  // shortest source->dest per ride
+  for (std::size_t f = 0; f < kFleet; ++f) {
+    RideOffer offer;
+    offer.source = Frac(0.05 + 0.02 * static_cast<double>(f), 0.05);
+    offer.destination = Frac(0.95, 0.95 - 0.02 * static_cast<double>(f));
+    offer.departure_time_s = kStart;
+    offer.detour_limit_m = 6000;
+    offer.seats = 4;
+    Result<RideId> ride = xar.CreateRide(offer);
+    ASSERT_TRUE(ride.ok());
+    const Ride* r = xar.GetRide(*ride);
+    base_m[ride->value()] = oracle.DriveDistance(r->source, r->destination);
+    rides.push_back(*ride);
+  }
+
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<LiveBooking> ledger;
+  double now = kStart;
+  std::uint32_t next_request = 1;
+  std::size_t books = 0;
+  std::size_t unwinds = 0;
+
+  // Deterministic warm-up booking: some op streams advance sim time past
+  // the fleet's window before their first book lands, which would make the
+  // end-of-stream books>0 guard vacuous. One rider on the shared diagonal
+  // guarantees every seed exercises at least one kinetic insertion.
+  {
+    RideRequest req;
+    req.id = RequestId(next_request++);
+    req.source = Frac(0.30, 0.30);
+    req.destination = Frac(0.60, 0.60);
+    req.earliest_departure_s = now;
+    req.latest_departure_s = now + 2400;
+    std::vector<RideMatch> matches = xar.Search(req);
+    ASSERT_FALSE(matches.empty()) << "warm-up rider found no match";
+    Result<BookingRecord> booking =
+        xar.Book(matches.front().ride, req, matches.front());
+    ASSERT_TRUE(booking.ok()) << booking.status().message();
+    ledger.push_back({booking->ride, req.id, req.seats});
+    ++books;
+  }
+
+  for (std::size_t i = 0; i < kOps; ++i) {
+    SCOPED_TRACE(::testing::Message() << "op " << i);
+    const double dice = u(rng);
+    if (dice < 0.58) {
+      RideRequest req;
+      req.id = RequestId(next_request++);
+      const double a = 0.10 + 0.50 * u(rng);
+      const double b = std::min(0.95, a + 0.10 + 0.30 * u(rng));
+      const double jitter = 0.08 * (u(rng) - 0.5);
+      req.source = Frac(a + jitter, a - jitter);
+      req.destination = Frac(b - jitter, b + jitter);
+      req.earliest_departure_s = now;
+      req.latest_departure_s = now + 2400;
+      req.seats = u(rng) < 0.3 ? 2 : 1;  // multi-seat riders pin the refund
+      std::vector<RideMatch> matches = xar.Search(req);
+      if (!matches.empty()) {
+        Result<BookingRecord> booking =
+            xar.Book(matches.front().ride, req, matches.front());
+        if (booking.ok()) {
+          ASSERT_EQ(booking->seats, req.seats);
+          ledger.push_back({booking->ride, req.id, req.seats});
+          ++books;
+        }
+      }
+    } else if (dice < 0.80) {
+      // Scan from a random pick until one unwinding lands: riders already
+      // picked up (cancel) or fully served stay booked, legitimately.
+      const std::size_t n = ledger.size();
+      const std::size_t pick = n > 0 ? rng() % n : 0;
+      const bool cancel = u(rng) < 0.5;
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t idx = (pick + k) % n;
+        const LiveBooking picked = ledger[idx];
+        Status s = cancel ? xar.CancelBooking(picked.ride, picked.request)
+                          : xar.ReportNoShow(picked.ride, picked.request);
+        if (s.ok()) {
+          ledger.erase(ledger.begin() + static_cast<std::ptrdiff_t>(idx));
+          ++unwinds;
+          break;
+        }
+      }
+    } else {
+      now += 30 + 150 * u(rng);
+      xar.AdvanceTime(now);
+    }
+
+    // A finished ride served its riders: their bookings leave the ledger
+    // (their seats are never refunded — the ride is over).
+    ledger.erase(std::remove_if(ledger.begin(), ledger.end(),
+                                [&](const LiveBooking& b) {
+                                  const Ride* r = xar.GetRide(b.ride);
+                                  return r == nullptr || !r->active;
+                                }),
+                 ledger.end());
+
+    for (RideId ride : rides) {
+      const Ride* r = xar.GetRide(ride);
+      ASSERT_NE(r, nullptr);
+      if (!r->active) continue;
+      int booked_seats = 0;
+      for (const LiveBooking& b : ledger) {
+        if (b.ride == ride) booked_seats += b.seats;
+      }
+      ASSERT_EQ(r->seats_available, r->seats_total - booked_seats)
+          << "ride " << ride.value() << " seat ledger diverged";
+      ASSERT_LE(r->detour_used_m, r->detour_limit_m + 1e-6)
+          << "ride " << ride.value() << " blew its detour budget";
+      const double expected_detour =
+          std::max(0.0, r->route.length_m - base_m[ride.value()]);
+      ASSERT_NEAR(r->detour_used_m, expected_detour, 1e-6)
+          << "ride " << ride.value() << " detour bookkeeping diverged";
+      ASSERT_TRUE(PooledRideConsistent(*r));
+    }
+  }
+
+  EXPECT_GT(books, 0u) << "seed produced no bookings";
+  const PoolingStats stats = xar.pooling_stats();
+  EXPECT_EQ(stats.insertions, books);
+  EXPECT_EQ(stats.removals, unwinds);
+  EXPECT_GE(stats.max_pooled_riders, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+#ifdef XAR_FUZZ_WIDE
+    WideSeeds,
+#else
+    Tier1Seeds,
+#endif
+    PoolingFuzzTest, ::testing::ValuesIn(FuzzSeeds()),
+    [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+      return "Seed" + std::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace xar

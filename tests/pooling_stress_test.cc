@@ -1,0 +1,140 @@
+// Pooled bookings and unwindings racing RefreshDiscretization (ISSUE 10):
+// like no_show_stress_test but with kinetic_booking on, so every booking
+// mutates a persistent per-ride kinetic tree, every unwinding regrafts it,
+// and every refresh re-prices and re-homes live schedules under the shard
+// locks the bookers are contending for. Under -DXAR_SANITIZE=thread this is
+// the data-race detector for the persistent-schedule paths (ctest -L
+// stress). Afterwards the seat/occupancy accounting must be exact.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "tests/pooling_checkers.h"
+#include "tests/test_helpers.h"
+#include "workload/trip_generator.h"
+#include "xar/concurrent_xar.h"
+
+namespace xar {
+namespace {
+
+using testing::PooledRideConsistent;
+using testing::SharedCity;
+using testing::TestCity;
+
+std::vector<TaxiTrip> Trips(const TestCity& city, std::size_t n,
+                            std::uint64_t seed) {
+  WorkloadOptions opt;
+  opt.num_trips = n;
+  opt.seed = seed;
+  return GenerateTrips(city.graph.bounds(), opt);
+}
+
+TEST(PoolingStressTest, PooledUnwindingRacesRefreshDiscretization) {
+  TestCity& city = SharedCity();
+  GraphOracle oracle(city.graph);
+  XarOptions opt;
+  opt.kinetic_booking = true;
+  ConcurrentXarSystem xar(city.graph, *city.spatial, *city.region, oracle,
+                          opt, /*num_shards=*/4);
+
+  // A deliberately tight fleet so riders pool: many bookings per ride means
+  // every unwinding regrafts a tree that other threads are inserting into.
+  for (const TaxiTrip& t : Trips(city, 120, 80)) {
+    RideOffer offer;
+    offer.source = t.pickup;
+    offer.destination = t.dropoff;
+    offer.departure_time_s = t.pickup_time_s;
+    offer.seats = 4;
+    offer.detour_limit_m = 6000;
+    (void)xar.CreateRide(offer);
+  }
+
+  // Ledger of bookings made and NOT successfully unwound, kept by the
+  // bookers themselves; `keep` bookings stay aboard to force real pooling.
+  std::mutex ledger_mutex;
+  std::unordered_map<RideId, int> seats_held;
+  std::atomic<std::size_t> bookings{0};
+  std::atomic<std::size_t> unwound{0};
+
+  constexpr std::size_t kRefreshes = 4;
+  std::vector<std::uint64_t> observed_epochs;
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    for (std::size_t r = 0; r < kRefreshes; ++r) {
+      RefreshStats stats = xar.RefreshDiscretization();
+      observed_epochs.push_back(stats.epoch);
+    }
+  });
+  for (int b = 0; b < 3; ++b) {
+    threads.emplace_back([&, b] {
+      std::vector<TaxiTrip> trips =
+          Trips(city, 120, 300 + static_cast<std::uint64_t>(b));
+      std::uint32_t next_id = 10000 + 100000 * static_cast<std::uint32_t>(b);
+      for (const TaxiTrip& t : trips) {
+        RideRequest req;
+        req.id = RequestId(next_id++);
+        req.source = t.pickup;
+        req.destination = t.dropoff;
+        req.earliest_departure_s = t.pickup_time_s;
+        req.latest_departure_s = t.pickup_time_s + 900;
+        Result<BookingRecord> booked = xar.SearchAndBook(req);
+        if (!booked.ok()) continue;
+        bookings.fetch_add(1);
+        {
+          std::lock_guard<std::mutex> lock(ledger_mutex);
+          ++seats_held[booked->ride];
+        }
+        // A third of the riders stay aboard (pooled); the rest unwind,
+        // racing the refresher's re-home of the very tree they live in.
+        if (req.id.value() % 3 == 0) continue;
+        const bool no_show = (req.id.value() % 2) != 0;
+        Status status = no_show ? xar.ReportNoShow(booked->ride, req.id)
+                                : xar.CancelBooking(booked->ride, req.id);
+        if (status.ok()) {
+          unwound.fetch_add(1);
+          std::lock_guard<std::mutex> lock(ledger_mutex);
+          if (--seats_held[booked->ride] == 0) {
+            seats_held.erase(booked->ride);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_GT(bookings.load(), 0u);
+  ASSERT_GT(unwound.load(), 0u);
+
+  for (std::size_t i = 1; i < observed_epochs.size(); ++i) {
+    EXPECT_LT(observed_epochs[i - 1], observed_epochs[i]);
+  }
+
+  // Exact final accounting: every ride's free seats are its total minus the
+  // bookings still held on it, and its pooled via plan is consistent even
+  // after racing re-homes.
+  std::size_t pooled_rides = 0;
+  for (const auto& [ride_id, held] : seats_held) {
+    Result<Ride> ride = xar.GetRide(ride_id);
+    ASSERT_TRUE(ride.ok());
+    EXPECT_EQ(ride.value().seats_available + held, ride.value().seats_total)
+        << "ride " << ride_id.value();
+    EXPECT_TRUE(PooledRideConsistent(ride.value()));
+    if (held > 1) ++pooled_rides;
+  }
+
+  // The pooling counters agree with the bookers' own tallies exactly.
+  const PoolingStats stats = xar.pooling_stats();
+  EXPECT_EQ(stats.insertions, bookings.load());
+  EXPECT_EQ(stats.removals, unwound.load());
+  EXPECT_GE(stats.max_pooled_riders, pooled_rides > 0 ? 2u : 1u);
+}
+
+}  // namespace
+}  // namespace xar
